@@ -1,0 +1,346 @@
+// Command scrubjay is the analyst-facing CLI: it loads annotated datasets
+// from a catalog directory, answers dimension queries by deriving a
+// processing pipeline (§5), executes or stores plans (§5.4), and inspects
+// the semantic dictionary.
+//
+// Subcommands:
+//
+//	scrubjay query  -catalog DIR -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+//	scrubjay run    -catalog DIR -plan plan.json [-out FMT:PATH] [-cache DIR]
+//	scrubjay show   -in FMT:PATH [-n 20]
+//	scrubjay dict
+//	scrubjay formats
+//	scrubjay derivations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scrubjay/internal/cache"
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/derive"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/kvstore"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/wrappers"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "dict":
+		err = cmdDict()
+	case "formats":
+		fmt.Println(strings.Join(wrappers.Formats(), "\n"))
+	case "derivations":
+		fmt.Println("transformations:")
+		for _, n := range derive.TransformationNames() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("combinations:")
+		for _, n := range derive.CombinationNames() {
+			fmt.Println("  " + n)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scrubjay: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scrubjay:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scrubjay query  -catalog DIR -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+  scrubjay run    -catalog DIR -plan plan.json [-out FMT:PATH] [-cache DIR]
+  scrubjay show   -in FMT:PATH [-n 20]
+  scrubjay dict
+  scrubjay formats
+  scrubjay derivations`)
+}
+
+// loadCatalog reads every *.jsonl, *.csv, and *.bin file (with schema
+// sidecars where applicable) in dir, plus every table of any kv-store .log
+// files present; dataset names are file basenames / table names.
+func loadCatalog(ctx *rdd.Context, dir string) (pipeline.Catalog, map[string]semantics.Schema, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat := pipeline.Catalog{}
+	schemas := map[string]semantics.Schema{}
+	add := func(name string, src wrappers.Source) error {
+		ds, err := wrappers.Read(ctx, src)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", name, err)
+		}
+		cat[name] = ds
+		schemas[name] = ds.Schema()
+		return nil
+	}
+	hasKV := false
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		var format string
+		switch {
+		case strings.HasSuffix(name, ".jsonl"):
+			format = "jsonl"
+		case strings.HasSuffix(name, ".csv"):
+			format = "csv"
+		case strings.HasSuffix(name, ".bin"):
+			format = "bin"
+		case strings.HasSuffix(name, ".log"):
+			hasKV = true
+			continue
+		default:
+			continue
+		}
+		base := name[:len(name)-len(filepath.Ext(name))]
+		if err := add(base, wrappers.Source{Format: format, Path: filepath.Join(dir, name), Name: base}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if hasKV {
+		store, err := kvstore.Open(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		names, err := store.TableNames()
+		store.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, table := range names {
+			if err := add(table, wrappers.Source{Format: "kv", Path: dir, Table: table, Name: table}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(cat) == 0 {
+		return nil, nil, fmt.Errorf("catalog %s contains no datasets", dir)
+	}
+	return cat, schemas, nil
+}
+
+// parseSink parses "FMT:PATH" (or "kv:DIR:TABLE") into a wrappers.Source.
+func parseSink(spec string) (wrappers.Source, error) {
+	i := strings.Index(spec, ":")
+	if i <= 0 {
+		return wrappers.Source{}, fmt.Errorf("bad sink spec %q (want FMT:PATH)", spec)
+	}
+	format, rest := spec[:i], spec[i+1:]
+	if format == "kv" {
+		j := strings.LastIndex(rest, ":")
+		if j <= 0 || j == len(rest)-1 {
+			return wrappers.Source{}, fmt.Errorf("bad kv spec %q (want kv:DIR:TABLE)", spec)
+		}
+		return wrappers.Source{Format: "kv", Path: rest[:j], Table: rest[j+1:]}, nil
+	}
+	return wrappers.Source{Format: format, Path: rest}, nil
+}
+
+func openCache(dir string) (*cache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.Open(dir, 256<<20)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	catalogDir := fs.String("catalog", "", "catalog directory")
+	domains := fs.String("domains", "", "comma-separated domain dimensions")
+	values := fs.String("values", "", "comma-separated value dimensions, each optionally DIM:UNITS")
+	planOut := fs.String("plan", "", "write the derivation sequence as JSON to this path")
+	out := fs.String("out", "", "unwrap the result to FMT:PATH")
+	window := fs.Float64("window", 120, "interpolation-join window in seconds")
+	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
+	show := fs.Int("show", 10, "print up to this many result rows")
+	explain := fs.Bool("explain", false, "print the engine's search trace")
+	fs.Parse(args)
+	if *catalogDir == "" {
+		return fmt.Errorf("query: -catalog is required")
+	}
+
+	ctx := rdd.NewContext(0)
+	dict := semantics.DefaultDictionary()
+	cat, schemas, err := loadCatalog(ctx, *catalogDir)
+	if err != nil {
+		return err
+	}
+
+	q := engine.Query{}
+	for _, d := range strings.Split(*domains, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			q.Domains = append(q.Domains, d)
+		}
+	}
+	for _, v := range strings.Split(*values, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			qv := engine.QueryValue{Dimension: v}
+			if i := strings.Index(v, ":"); i > 0 {
+				qv = engine.QueryValue{Dimension: v[:i], Units: v[i+1:]}
+			}
+			q.Values = append(q.Values, qv)
+		}
+	}
+
+	opts := engine.DefaultOptions()
+	opts.WindowSeconds = *window
+	e := engine.New(dict, schemas, opts)
+	plan, trace, err := e.SolveTraced(q)
+	if *explain && trace != nil {
+		fmt.Printf("search trace:\n%s", trace)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\nderivation sequence:\n%s", q, plan)
+
+	if *planOut != "" {
+		data, err := plan.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", *planOut)
+	}
+
+	c, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	if err != nil {
+		return err
+	}
+	return emit(result, *out, *show)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	catalogDir := fs.String("catalog", "", "catalog directory")
+	planPath := fs.String("plan", "", "derivation sequence JSON")
+	out := fs.String("out", "", "unwrap the result to FMT:PATH")
+	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
+	show := fs.Int("show", 10, "print up to this many result rows")
+	fs.Parse(args)
+	if *catalogDir == "" || *planPath == "" {
+		return fmt.Errorf("run: -catalog and -plan are required")
+	}
+	data, err := os.ReadFile(*planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := pipeline.Decode(data)
+	if err != nil {
+		return err
+	}
+	ctx := rdd.NewContext(0)
+	dict := semantics.DefaultDictionary()
+	cat, _, err := loadCatalog(ctx, *catalogDir)
+	if err != nil {
+		return err
+	}
+	c, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	if err != nil {
+		return err
+	}
+	return emit(result, *out, *show)
+}
+
+func emit(result *dataset.Dataset, out string, show int) error {
+	fmt.Printf("result: %d rows, schema %s\n", result.Count(), result.Schema())
+	if show > 0 {
+		fmt.Print(result.Show(show))
+	}
+	if out != "" {
+		sink, err := parseSink(out)
+		if err != nil {
+			return err
+		}
+		if err := wrappers.Write(result, sink); err != nil {
+			return err
+		}
+		fmt.Printf("result written to %s\n", sink.Path)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "", "input FMT:PATH")
+	n := fs.Int("n", 20, "rows to display")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("show: -in is required")
+	}
+	src, err := parseSink(*in)
+	if err != nil {
+		return err
+	}
+	ctx := rdd.NewContext(0)
+	ds, err := wrappers.Read(ctx, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schema: %s\n", ds.Schema())
+	fmt.Print(ds.Show(*n))
+	return nil
+}
+
+func cmdDict() error {
+	dict := semantics.DefaultDictionary()
+	fmt.Println("dimensions:")
+	for _, n := range dict.DimensionNames() {
+		d, _ := dict.LookupDimension(n)
+		props := []string{}
+		if d.Ordered {
+			props = append(props, "ordered")
+		} else {
+			props = append(props, "unordered")
+		}
+		if d.Continuous {
+			props = append(props, "continuous")
+		} else {
+			props = append(props, "discrete")
+		}
+		fmt.Printf("  %-24s %s\n", n, strings.Join(props, ","))
+	}
+	fmt.Println("units:")
+	for _, n := range dict.Units.Names() {
+		u, _ := dict.Units.Lookup(n)
+		fmt.Printf("  %-24s dimension=%s scale=%g offset=%g\n", n, u.Dimension, u.Scale, u.Offset)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Command sjbench regenerates every figure of the paper's evaluation:
+//
+//	fig3a  Natural Join time vs rows            (§6, Figure 3 top-left)
+//	fig3b  Natural Join strong scaling          (§6, Figure 3 top-right)
+//	fig3c  Interpolation Join time vs rows      (§6, Figure 3 bottom-left)
+//	fig3d  Interpolation Join strong scaling    (§6, Figure 3 bottom-right)
+//	fig4   Rack heat profiles under AMG         (§7.2, Figure 4)
+//	fig5   Derivation sequence for jobs x heat  (§7.2, Figure 5)
+//	fig6   CPU/node series under mg.C + prime95 (§7.3, Figure 6)
+//	fig7   Derivation sequence for frequency    (§7.3, Figure 7)
+//	engine Derivation-engine query latency      (§5.2 interactive rates)
+//	memo   Memoization ablation                 (§5.2)
+//	naive  Dual-binning vs naive interp join    (§5.3 ablation)
+//	all    Everything above
+//
+// Absolute numbers depend on the host; the harness checks and reports the
+// *shapes* the paper claims (linearity, strong-scaling, outliers,
+// throttling contrast) and EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scrubjay/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run")
+		rowsMin = flag.Int("rows-min", 20_000, "figure 3 sweep: minimum rows")
+		rowsMax = flag.Int("rows-max", 200_000, "figure 3 sweep: maximum rows (paper: 40M)")
+		rows    = flag.Int("rows", 100_000, "figure 3 scaling: fixed rows (paper: 40M/16M)")
+		window  = flag.Float64("window", 2, "interpolation window seconds for figure 3")
+		racks   = flag.Int("racks", 12, "case studies: racks")
+		perRack = flag.Int("nodes-per-rack", 32, "case studies: nodes per rack")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		reps    = flag.Int("reps", 1, "repetitions per figure-3 sweep point (min kept)")
+	)
+	flag.Parse()
+
+	w := bench.DefaultJoinWorkload()
+	w.Rows = *rows
+	w.Workers = *workers
+	w.WindowSeconds = *window
+
+	cs := bench.DefaultCaseStudyConfig()
+	cs.Racks = *racks
+	cs.NodesPerRack = *perRack
+	if cs.AMGRack >= cs.Racks {
+		cs.AMGRack = cs.Racks - 3
+	}
+	cs.Workers = *workers
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig3a", func() error {
+		s, err := bench.Fig3Rows("Natural Join, 10 nodes (simulated), 32 cores/node",
+			bench.RunNaturalJoin, w, bench.RowSweep(*rowsMin, *rowsMax), *reps)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		fmt.Printf("shape: roughly linear in rows = %v\n", s.RoughlyLinear(8))
+		return nil
+	})
+	run("fig3b", func() error {
+		s, err := bench.Fig3Scaling("Natural Join, strong scaling, 32 cores/node", bench.RunNaturalJoin, w)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		fmt.Printf("shape: non-increasing with nodes = %v\n", s.Monotone(0.01))
+		return nil
+	})
+	run("fig3c", func() error {
+		s, err := bench.Fig3Rows("Interpolation Join, 10 nodes (simulated), 32 cores/node",
+			bench.RunInterpJoin, w, bench.RowSweep(*rowsMin, *rowsMax), *reps)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		fmt.Printf("shape: roughly linear in rows = %v\n", s.RoughlyLinear(8))
+		return nil
+	})
+	run("fig3d", func() error {
+		s, err := bench.Fig3Scaling("Interpolation Join, strong scaling, 32 cores/node", bench.RunInterpJoin, w)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		fmt.Printf("shape: non-increasing with nodes = %v\n", s.Monotone(0.01))
+		return nil
+	})
+	run("fig4", func() error {
+		res, err := bench.RunFig4(cs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("derived dataset: %d rows\n", res.JoinedRows)
+		fmt.Printf("hottest (rack, application) = (%s, %s); paper finds (rack17, AMG)\n",
+			res.HottestRack, res.HottestApp)
+		keys := make([]string, 0, len(res.HeatByRackApp))
+		for k := range res.HeatByRackApp {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return res.HeatByRackApp[keys[i]] > res.HeatByRackApp[keys[j]] })
+		fmt.Println("top 5 by mean heat:")
+		for i, k := range keys {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %-24s %6.2f deltaC\n", k, res.HeatByRackApp[k])
+		}
+		for _, p := range res.Profiles {
+			fmt.Printf("%-24s %s\n", p.Label, p.Sparkline(48))
+		}
+		fmt.Println()
+		bench.PrintAll(os.Stdout, res.Profiles)
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := bench.RunFig5Plan()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solved in %v\n%s", res.SolveDuration, res.Plan)
+		fmt.Printf("matches paper Figure 5 = %v\n", res.MatchesPaper)
+		return nil
+	})
+	run("fig6", func() error {
+		res, err := bench.RunFig6(cs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("derived dataset: %d rows\n", res.JoinedRows)
+		fmt.Println("per-run means (runs 1-3 = mg.C, 4-6 = prime95):")
+		metrics := bench.Fig6MetricColumns()
+		fmt.Printf("%-14s", "run")
+		for _, m := range metrics {
+			fmt.Printf(" %18s", m)
+		}
+		fmt.Println()
+		for _, r := range res.Runs {
+			fmt.Printf("%-14s", r)
+			for _, m := range metrics {
+				fmt.Printf(" %18.4g", res.PerRunMeans[r][m])
+			}
+			fmt.Println()
+		}
+		fmt.Println("\nsignal shapes:")
+		for _, m := range metrics {
+			s := res.Series[m]
+			fmt.Printf("%-20s %s\n", m, s.Sparkline(64))
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := bench.RunFig7Plan()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solved in %v\n%s", res.SolveDuration, res.Plan)
+		fmt.Printf("matches expected sequence = %v\n", res.MatchesPaper)
+		fmt.Println("note: the paper draws the final combine as a natural join with time")
+		fmt.Println("elided; with explicit time domains the engine selects an interpolation")
+		fmt.Println("join with exact node matching (see DESIGN.md).")
+		return nil
+	})
+	run("engine", func() error {
+		s, err := bench.EngineLatency([]int{2, 4, 8, 16, 24, 32})
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		return nil
+	})
+	run("memo", func() error {
+		res, err := bench.RunMemoAblation(8, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("catalog=%d datasets, %d solves\n", res.CatalogSize, res.Solves)
+		fmt.Printf("with memoization:    %v (%d memo hits)\n", res.WithMemo, res.MemoHits)
+		fmt.Printf("without memoization: %v\n", res.WithoutMemo)
+		return nil
+	})
+	run("naive", func() error {
+		// Sweep rows to expose the crossover: the naive all-pairs baseline
+		// is quadratic per key group, the dual-binning algorithm linear.
+		fmt.Printf("%-10s %-16s %-16s\n", "rows", "dual-binning", "naive-pairwise")
+		for _, rows := range bench.RowSweep(*rowsMin, *rowsMax) {
+			wn := w
+			wn.Rows = rows
+			fast, err := bench.RunInterpJoin(wn)
+			if err != nil {
+				return err
+			}
+			naive, err := bench.RunNaiveInterpJoin(wn)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10d %-16v %-16v\n", rows, fast.Wall.Round(1e6), naive.Wall.Round(1e6))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,109 @@
+// Command sjgen generates the synthetic monitoring datasets of the paper's
+// case studies (§7) into a directory of files with schema sidecars, so the
+// scrubjay CLI can operate on them like any other wrapped data source.
+//
+// Usage:
+//
+//	sjgen -out DIR [-dat 1|2] [-format jsonl|csv] [-racks N] [-nodes-per-rack N]
+//	      [-duration SEC] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scrubjay/internal/bench"
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/facility"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/workload"
+	"scrubjay/internal/wrappers"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output directory (required)")
+		dat      = flag.Int("dat", 1, "which dedicated-access-time session to simulate (1 or 2)")
+		format   = flag.String("format", "jsonl", "output format: jsonl or csv")
+		racks    = flag.Int("racks", 20, "number of racks")
+		perRack  = flag.Int("nodes-per-rack", 64, "nodes per rack")
+		amgRack  = flag.Int("amg-rack", 17, "rack hosting the AMG job (DAT 1)")
+		duration = flag.Int64("duration", 7200, "DAT-1 duration in seconds")
+		runSec   = flag.Int64("run", 300, "DAT-2 per-run duration in seconds")
+		gapSec   = flag.Int64("gap", 60, "DAT-2 gap between runs in seconds")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		withNet  = flag.Bool("with-network", false, "also emit per-link network counters and the link layout (DAT 1)")
+		withFS   = flag.Bool("with-fs", false, "also emit filesystem counters, instruction samples, and the node/server map (DAT 1)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "sjgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "jsonl" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "sjgen: unsupported format %q\n", *format)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "sjgen:", err)
+		os.Exit(1)
+	}
+
+	cfg := bench.DefaultCaseStudyConfig()
+	cfg.Racks = *racks
+	cfg.NodesPerRack = *perRack
+	cfg.AMGRack = *amgRack
+	cfg.DAT1DurationSec = *duration
+	cfg.DAT2RunSec = *runSec
+	cfg.DAT2GapSec = *gapSec
+	cfg.Seed = *seed
+
+	ctx := rdd.NewContext(0)
+	var cat map[string]*dataset.Dataset
+	switch *dat {
+	case 1:
+		c, _, sched := bench.DAT1Catalog(ctx, cfg)
+		cat = c
+		if *withNet {
+			f := facility.New(facility.Config{Racks: cfg.Racks, NodesPerRack: cfg.NodesPerRack, Seed: cfg.Seed})
+			nodes := f.Nodes()
+			cat["link_layout"] = workload.LinkLayout(ctx, nodes, cfg.Partitions)
+			cat["network_counters"] = workload.SimulateNetwork(ctx, sched, nodes, 0, cfg.DAT1DurationSec,
+				workload.DefaultNetworkConfig(), cfg.Partitions)
+		}
+		if *withFS {
+			f := facility.New(facility.Config{Racks: cfg.Racks, NodesPerRack: cfg.NodesPerRack, Seed: cfg.Seed})
+			nodes := f.Nodes()
+			fsc := workload.DefaultFSConfig()
+			cat["fs_map"] = workload.FSMap(ctx, nodes, fsc, cfg.Partitions)
+			cat["fs_counters"] = workload.SimulateFSCounters(ctx, fsc, 0, cfg.DAT1DurationSec, cfg.Partitions)
+			cat["instruction_samples"] = workload.SimulateInstructionSamples(ctx, fsc,
+				nodes[:min(4, len(nodes))], 4, 0, cfg.DAT1DurationSec, cfg.Partitions)
+		}
+	case 2:
+		c, _, _ := bench.DAT2Catalog(ctx, cfg)
+		cat = c
+	default:
+		fmt.Fprintf(os.Stderr, "sjgen: unknown DAT %d\n", *dat)
+		os.Exit(2)
+	}
+
+	for name, ds := range cat {
+		path := filepath.Join(*out, name+"."+*format)
+		if err := wrappers.Write(ds, wrappers.Source{Format: *format, Path: path}); err != nil {
+			fmt.Fprintln(os.Stderr, "sjgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %-22s %8d rows -> %s\n", name, ds.Count(), path)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

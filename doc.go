@@ -1,0 +1,27 @@
+// Package scrubjay is a from-scratch Go implementation of ScrubJay
+// (Giménez et al., SC 2017): a framework for analyzing big, heterogeneous
+// HPC performance data by decoupling data collection, representation, and
+// semantics.
+//
+// The public surface lives in the internal packages (this is a
+// reproduction repository, consumed through its commands and examples):
+//
+//   - internal/semantics, internal/units — annotate columns with relation
+//     type, dimension, units, and sampling cadence
+//   - internal/derive — transformations and combinations (natural join,
+//     windowed interpolation join)
+//   - internal/engine — the derivation engine: dimension queries solved by
+//     a memoized, precision-preferring search over schemas
+//   - internal/pipeline, internal/cache — reproducible JSON derivation
+//     sequences and the opt-in derivation-result cache
+//   - internal/rdd, internal/dataset — the data-parallel substrate
+//   - internal/wrappers, internal/kvstore, internal/ingest — storage
+//     formats and continuous ingestion
+//   - internal/facility, internal/workload — synthetic monitoring sources
+//   - internal/bench, internal/analysis — experiment harness and
+//     distributed statistics
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The root-level
+// benchmarks (go test -bench=.) mirror the paper's evaluation figures.
+package scrubjay

@@ -1,0 +1,60 @@
+// Cputhrottle reproduces the paper's second case study (§7.3): how does CPU
+// frequency throttling differ between a memory-intensive workload (mg.C)
+// and a compute-intensive one (prime95), and what does it do to node power
+// and thermal margins? It simulates the instrumented nodes, queries
+// ScrubJay for active CPU frequency plus CPU and node counter rates, and
+// prints the per-run series of the paper's Figure 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"scrubjay/internal/bench"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "instrumented nodes")
+	runSec := flag.Int64("run", 300, "seconds per application run")
+	gapSec := flag.Int64("gap", 60, "idle seconds between runs")
+	flag.Parse()
+
+	cfg := bench.DefaultCaseStudyConfig()
+	cfg.Racks = 2
+	cfg.NodesPerRack = 8
+	cfg.AMGRack = 0
+	cfg.DAT2Nodes = *nodes
+	cfg.DAT2RunSec = *runSec
+	cfg.DAT2GapSec = *gapSec
+
+	res, err := bench.RunFig6(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derivation sequence found by the engine:\n%s\n", res.Plan)
+	fmt.Printf("derived dataset: %d rows\n\n", res.JoinedRows)
+
+	fmt.Println("per-run means (1-3 mg.C, 4-6 prime95):")
+	metrics := bench.Fig6MetricColumns()
+	fmt.Printf("%-14s", "run")
+	for _, m := range metrics {
+		fmt.Printf(" %18s", m)
+	}
+	fmt.Println()
+	for _, r := range res.Runs {
+		fmt.Printf("%-14s", r)
+		for _, m := range metrics {
+			fmt.Printf(" %18.4g", res.PerRunMeans[r][m])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsignal shapes over the session (like Figure 6):")
+	for _, m := range metrics {
+		s := res.Series[m]
+		fmt.Printf("  %-20s %s\n", m, s.Sparkline(64))
+	}
+	fmt.Println("\nreading the shapes: mg.C holds full frequency with heavy memory")
+	fmt.Println("traffic; prime95 issues instructions fast and throttles hard.")
+}

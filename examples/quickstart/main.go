@@ -1,0 +1,75 @@
+// Quickstart: annotate two small heterogeneous datasets, ask ScrubJay a
+// dimension-level question, and let the derivation engine figure out how to
+// relate them — no join conditions, no column names in the query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+func main() {
+	ctx := rdd.NewContext(0)
+	dict := semantics.DefaultDictionary()
+
+	// Dataset 1: node temperatures, column named "node_id".
+	tempSchema := semantics.NewSchema(
+		"node_id", semantics.IDDomain("compute_node"),
+		"timestamp", semantics.TimeDomain(),
+		"node_temp", semantics.ValueEntry("temperature", "degrees_celsius"),
+	)
+	temps := dataset.FromRows(ctx, "node_temps", []value.Row{
+		value.NewRow("node_id", value.Str("cab01"), "timestamp", value.TimeNanos(0), "node_temp", value.Float(61.5)),
+		value.NewRow("node_id", value.Str("cab02"), "timestamp", value.TimeNanos(0), "node_temp", value.Float(74.0)),
+		value.NewRow("node_id", value.Str("cab01"), "timestamp", value.TimeNanos(120e9), "node_temp", value.Float(63.1)),
+		value.NewRow("node_id", value.Str("cab02"), "timestamp", value.TimeNanos(120e9), "node_temp", value.Float(75.8)),
+	}, tempSchema, 2)
+
+	// Dataset 2: rack layout, column named "NODEID" — a different name for
+	// the same domain. ScrubJay matches them by semantics, not by name.
+	layoutSchema := semantics.NewSchema(
+		"NODEID", semantics.IDDomain("compute_node"),
+		"rack", semantics.IDDomain("rack"),
+	)
+	layout := dataset.FromRows(ctx, "layout", []value.Row{
+		value.NewRow("NODEID", value.Str("cab01"), "rack", value.Str("rack0")),
+		value.NewRow("NODEID", value.Str("cab02"), "rack", value.Str("rack1")),
+	}, layoutSchema, 1)
+
+	// Validate both datasets against the semantic dictionary.
+	for _, ds := range []*dataset.Dataset{temps, layout} {
+		if err := ds.Validate(dict); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The query: temperatures (in Fahrenheit!) for racks. No mention of
+	// files, tables, columns, or join keys.
+	q := engine.Query{
+		Domains: []string{"rack"},
+		Values:  []engine.QueryValue{{Dimension: "temperature", Units: "degrees_fahrenheit"}},
+	}
+	e := engine.New(dict, map[string]semantics.Schema{
+		"node_temps": tempSchema,
+		"layout":     layoutSchema,
+	}, engine.DefaultOptions())
+	plan, err := e.Solve(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n\nderivation sequence:\n%s\n", q, plan)
+
+	result, err := pipeline.Execute(ctx, plan,
+		pipeline.Catalog{"node_temps": temps, "layout": layout}, dict, pipeline.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(result.Show(10))
+}

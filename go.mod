@@ -1,0 +1,3 @@
+module scrubjay
+
+go 1.22

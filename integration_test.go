@@ -1,0 +1,263 @@
+package scrubjay_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scrubjay/internal/analysis"
+	"scrubjay/internal/bench"
+	"scrubjay/internal/cache"
+	"scrubjay/internal/derive"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/facility"
+	"scrubjay/internal/ingest"
+	"scrubjay/internal/kvstore"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+	"scrubjay/internal/workload"
+	"scrubjay/internal/wrappers"
+)
+
+// TestFullDeploymentRoundTrip exercises the complete deployment the paper
+// describes, end to end: monitoring producers stream into the NoSQL store
+// (§2), datasets load through wrappers with shared semantics (§4), the
+// derivation engine answers a dimension query (§5), the pipeline executes
+// with the result cache (§5.4), results unwrap to CSV for external tools,
+// and the stored derivation sequence replays identically in a "different
+// session".
+func TestFullDeploymentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+
+	// --- Continuous collection into the store. ---
+	f := facility.New(facility.Config{Racks: 3, NodesPerRack: 6, Seed: 11})
+	sched := workload.DAT1(f, 1, 3600)
+	store, err := kvstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tempsSchema := facility.TemperatureSchema()
+	ing, err := ingest.Open(store, "rack_temperatures", tempsSchema, ingest.Config{BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveTemps := f.SimulateTemperatures(ctx, sched.PowerFunc(), 0, 3600, facility.DefaultThermalConfig(), 2)
+	for _, r := range liveTemps.Collect() {
+		if err := ing.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Static tables land in the same store via the unwrapper.
+	if err := wrappers.Write(f.LayoutDataset(ctx, 2), wrappers.Source{Format: "kv", Path: storeDir, Table: "node_layout"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrappers.Write(sched.JobQueueLog(ctx, 2), wrappers.Source{Format: "kv", Path: storeDir, Table: "job_queue_log"}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// --- Load the catalog back through the wrappers. ---
+	cat := pipeline.Catalog{}
+	schemas := map[string]semantics.Schema{}
+	for _, table := range []string{"rack_temperatures", "node_layout", "job_queue_log"} {
+		ds, err := wrappers.Read(ctx, wrappers.Source{Format: "kv", Path: storeDir, Table: table, Name: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Validate(dict); err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		cat[table] = ds
+		schemas[table] = ds.Schema()
+	}
+
+	// --- Solve the §7.2 query and execute with the cache. ---
+	e := engine.New(dict, schemas, engine.DefaultOptions())
+	plan, trace, err := e.SolveTraced(bench.Fig5Query())
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s", err, trace)
+	}
+	c, err := cache.Open(filepath.Join(dir, "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Count() == 0 {
+		t.Fatal("empty result")
+	}
+	if c.Len() == 0 {
+		t.Error("cache should hold intermediate results")
+	}
+
+	// --- Distributed analysis: once AMG's ramp completes (t >= 2400 s),
+	// it is the hottest application. The time filter comes from the
+	// relational interoperability layer, as a pipeline step would.
+	late, err := (&derive.FilterRows{
+		Column: "timespan_exploded", Op: ">=", Operand: "1970-01-01T00:40:00Z",
+	}).Apply(result, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp, err := analysis.GroupedMeans(late, "job_name", "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, mean := range byApp {
+		if app != "AMG" && mean >= byApp["AMG"] {
+			t.Errorf("application %s mean heat %v should be below AMG's %v (all: %v)",
+				app, mean, byApp["AMG"], byApp)
+		}
+	}
+
+	// --- Unwrap to CSV for external tools; read it back losslessly. ---
+	csvPath := filepath.Join(dir, "result.csv")
+	if err := wrappers.Write(result, wrappers.Source{Format: "csv", Path: csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := wrappers.Read(ctx, wrappers.Source{Format: "csv", Path: csvPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != result.Count() {
+		t.Errorf("CSV round trip lost rows: %d vs %d", back.Count(), result.Count())
+	}
+
+	// --- Store the plan; replay it in a fresh "session" from the cache. ---
+	planPath := filepath.Join(dir, "plan.json")
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(planPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := pipeline.Decode(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Hash() != plan.Hash() {
+		t.Error("plan hash changed across storage")
+	}
+	ctx2 := rdd.NewContext(2)
+	c2, err := cache.Open(filepath.Join(dir, "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result2, err := pipeline.Execute(ctx2, replay, cat, dict, pipeline.ExecOptions{Cache: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := result.Schema().Columns()
+	a := result.SortedBy(cols...)
+	b := result2.SortedBy(cols...)
+	if len(a) != len(b) {
+		t.Fatalf("replay row count %d != %d", len(b), len(a))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("replayed row %d differs:\n%v\n%v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPlanDeterminism: solving the same query twice, in fresh engines,
+// yields byte-identical plans — a prerequisite for the reproducibility
+// story and for cache-key stability.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() string {
+		schemas := map[string]semantics.Schema{
+			"job_queue_log":     workload.JobQueueSchema(),
+			"node_layout":       facility.LayoutSchema(),
+			"rack_temperatures": facility.TemperatureSchema(),
+		}
+		e := engine.New(semantics.DefaultDictionary(), schemas, engine.DefaultOptions())
+		plan, err := e.Solve(bench.Fig5Query())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := plan.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	first := mk()
+	for i := 0; i < 5; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("plan differs on run %d:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestHeterogeneousFormatsOneQuery: the same query runs over a catalog
+// whose datasets live in three different storage formats — the wrappers
+// abstraction the paper's Figure 2 shows.
+func TestHeterogeneousFormatsOneQuery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+	cfg := bench.DefaultCaseStudyConfig()
+	cfg.Racks = 3
+	cfg.NodesPerRack = 4
+	cfg.AMGRack = 1
+	cfg.DAT1DurationSec = 1200
+	src, schemas, _ := bench.DAT1Catalog(ctx, cfg)
+
+	// jobs -> CSV, layout -> kv, temps -> bin.
+	jobsPath := filepath.Join(dir, "jobs.csv")
+	tempsPath := filepath.Join(dir, "temps.bin")
+	if err := wrappers.Write(src["job_queue_log"], wrappers.Source{Format: "csv", Path: jobsPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrappers.Write(src["node_layout"], wrappers.Source{Format: "kv", Path: dir, Table: "layout"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrappers.Write(src["rack_temperatures"], wrappers.Source{Format: "bin", Path: tempsPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	cat := pipeline.Catalog{}
+	for name, s := range map[string]wrappers.Source{
+		"job_queue_log":     {Format: "csv", Path: jobsPath, Name: "job_queue_log"},
+		"node_layout":       {Format: "kv", Path: dir, Table: "layout", Name: "node_layout"},
+		"rack_temperatures": {Format: "bin", Path: tempsPath, Name: "rack_temperatures"},
+	} {
+		ds, err := wrappers.Read(ctx, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cat[name] = ds
+	}
+	e := engine.New(dict, schemas, engine.DefaultOptions())
+	plan, err := e.Solve(bench.Fig5Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() == 0 {
+		t.Fatal("heterogeneous-format query returned nothing")
+	}
+	for _, r := range out.Rows().Take(5) {
+		if !r.Has("heat") || !r.Has("job_name") || r.Get("rack").Kind() != value.KindString {
+			t.Errorf("malformed row: %v", r)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scrubjay/internal/engine"
+	"scrubjay/internal/facility"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/workload"
+)
+
+// CaseStudyConfig sizes the §7 case-study reproductions.
+type CaseStudyConfig struct {
+	// Racks / NodesPerRack size the facility (the Cab stand-in).
+	Racks        int
+	NodesPerRack int
+	// AMGRack is the rack hosting the AMG job in DAT-1 (the paper's rack 17).
+	AMGRack int
+	// DAT1DurationSec is the first session's length.
+	DAT1DurationSec int64
+	// DAT2 parameters: nodes instrumented, per-run length, gap.
+	DAT2Nodes  int
+	DAT2RunSec int64
+	DAT2GapSec int64
+	// Workers and Partitions configure execution.
+	Workers    int
+	Partitions int
+	Seed       int64
+}
+
+// DefaultCaseStudyConfig reproduces the paper's shapes at laptop scale:
+// 20 racks x 64 nodes, AMG on 60 nodes of rack 17, two-hour DAT-1, and a
+// six-run DAT-2 on two instrumented nodes.
+func DefaultCaseStudyConfig() CaseStudyConfig {
+	return CaseStudyConfig{
+		Racks:           20,
+		NodesPerRack:    64,
+		AMGRack:         17,
+		DAT1DurationSec: 7200,
+		DAT2Nodes:       2,
+		DAT2RunSec:      300,
+		DAT2GapSec:      60,
+		Workers:         0,
+		Partitions:      16,
+		Seed:            1,
+	}
+}
+
+// FigPlanExpect holds the expected derivation-step sequences for Figures 5
+// and 7, checked by the experiments.
+var (
+	Fig5ExpectedSteps = []string{
+		"source:job_queue_log",
+		"explode_discrete",
+		"explode_continuous",
+		"source:node_layout",
+		"natural_join",
+		"source:rack_temperatures",
+		"derive_heat",
+		"interpolation_join",
+	}
+	Fig7ExpectedSteps = []string{
+		"source:ipmi",
+		"derive_rate",
+		"source:cpu_specs",
+		"source:papi",
+		"derive_rate",
+		"natural_join",
+		"derive_active_frequency",
+		"interpolation_join",
+	}
+)
+
+// Fig5Query is the §7.2 query: application names for jobs, heat for racks.
+func Fig5Query() engine.Query {
+	return engine.Query{
+		Domains: []string{"job", "rack"},
+		Values: []engine.QueryValue{
+			{Dimension: "application"},
+			{Dimension: "temperature_difference"},
+		},
+	}
+}
+
+// Fig7Query is the §7.3 query: active CPU frequency and counter rates.
+func Fig7Query() engine.Query {
+	return engine.Query{
+		Domains: []string{"cpu"},
+		Values: []engine.QueryValue{
+			{Dimension: "active_frequency"},
+			{Dimension: "instructions/time_duration"},
+			{Dimension: "memory_reads/time_duration"},
+		},
+	}
+}
+
+// DAT1Catalog builds the first session's datasets: job queue log, node
+// layout, rack temperatures.
+func DAT1Catalog(ctx *rdd.Context, cfg CaseStudyConfig) (pipeline.Catalog, map[string]semantics.Schema, *workload.Schedule) {
+	f := facility.New(facility.Config{Racks: cfg.Racks, NodesPerRack: cfg.NodesPerRack, Seed: cfg.Seed})
+	sched := workload.DAT1(f, cfg.AMGRack, cfg.DAT1DurationSec)
+	temps := f.SimulateTemperatures(ctx, sched.PowerFunc(), 0, cfg.DAT1DurationSec,
+		facility.DefaultThermalConfig(), cfg.Partitions)
+	cat := pipeline.Catalog{
+		"job_queue_log":     sched.JobQueueLog(ctx, cfg.Partitions),
+		"node_layout":       f.LayoutDataset(ctx, cfg.Partitions),
+		"rack_temperatures": temps,
+	}
+	schemas := map[string]semantics.Schema{
+		"job_queue_log":     workload.JobQueueSchema(),
+		"node_layout":       facility.LayoutSchema(),
+		"rack_temperatures": facility.TemperatureSchema(),
+	}
+	return cat, schemas, sched
+}
+
+// DAT2Catalog builds the second session's datasets: PAPI counters, IPMI
+// counters, CPU specs.
+func DAT2Catalog(ctx *rdd.Context, cfg CaseStudyConfig) (pipeline.Catalog, map[string]semantics.Schema, *workload.Schedule) {
+	f := facility.New(facility.Config{Racks: cfg.Racks, NodesPerRack: cfg.NodesPerRack, Seed: cfg.Seed})
+	nodes := f.RackNodes(0)[:cfg.DAT2Nodes]
+	sched := workload.DAT2(f, nodes, cfg.DAT2RunSec, cfg.DAT2GapSec)
+	_, end := sched.Span()
+	cc := workload.DefaultCounterConfig()
+	cc.Seed = cfg.Seed + 7
+	cat := pipeline.Catalog{
+		"papi":      workload.SimulatePAPI(ctx, sched, nodes, 0, end+cfg.DAT2GapSec, cc, cfg.Partitions),
+		"ipmi":      workload.SimulateIPMI(ctx, sched, nodes, 0, end+cfg.DAT2GapSec, cc, cfg.Partitions),
+		"cpu_specs": workload.CPUSpecs(ctx, nodes, cc, cfg.Partitions),
+	}
+	schemas := map[string]semantics.Schema{
+		"papi":      workload.PAPISchema(),
+		"ipmi":      workload.IPMISchema(),
+		"cpu_specs": workload.CPUSpecsSchema(),
+	}
+	return cat, schemas, sched
+}
+
+// PlanResult reports a derivation-engine solve for the plan-shape figures.
+type PlanResult struct {
+	Plan          *pipeline.Plan
+	Steps         []string
+	MatchesPaper  bool
+	SolveDuration time.Duration
+}
+
+func stepsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunFig5Plan solves the §7.2 query and checks the derivation sequence
+// against the paper's Figure 5.
+func RunFig5Plan() (PlanResult, error) {
+	return runPlan(map[string]semantics.Schema{
+		"job_queue_log":     workload.JobQueueSchema(),
+		"node_layout":       facility.LayoutSchema(),
+		"rack_temperatures": facility.TemperatureSchema(),
+	}, Fig5Query(), Fig5ExpectedSteps)
+}
+
+// RunFig7Plan solves the §7.3 query and checks the derivation sequence
+// against the paper's Figure 7 (with the final combine as an interpolation
+// join; see DESIGN.md).
+func RunFig7Plan() (PlanResult, error) {
+	return runPlan(map[string]semantics.Schema{
+		"papi":      workload.PAPISchema(),
+		"ipmi":      workload.IPMISchema(),
+		"cpu_specs": workload.CPUSpecsSchema(),
+	}, Fig7Query(), Fig7ExpectedSteps)
+}
+
+func runPlan(schemas map[string]semantics.Schema, q engine.Query, want []string) (PlanResult, error) {
+	e := engine.New(semantics.DefaultDictionary(), schemas, engine.DefaultOptions())
+	start := time.Now()
+	plan, err := e.Solve(q)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	d := time.Since(start)
+	steps := plan.Steps()
+	return PlanResult{Plan: plan, Steps: steps, MatchesPaper: stepsEqual(steps, want), SolveDuration: d}, nil
+}
+
+// Fig4Result is the §7.2 rack-heat case study outcome.
+type Fig4Result struct {
+	Plan *pipeline.Plan
+	// HeatByRackApp maps "rack|app" to mean heat across the joined rows.
+	HeatByRackApp map[string]float64
+	// HottestRack and HottestApp identify the outlier (the paper finds
+	// rack 17 running AMG).
+	HottestRack string
+	HottestApp  string
+	// Profiles are heat-over-time series for the hottest rack at the top,
+	// middle, and bottom locations (the paper's Figure 4 plot).
+	Profiles []Series
+	// JoinedRows is the size of the derived dataset.
+	JoinedRows int64
+}
+
+// RunFig4 executes the full §7.2 pipeline: simulate the facility and DAT-1,
+// solve the query, execute the derivation sequence, and analyze the result.
+func RunFig4(cfg CaseStudyConfig) (Fig4Result, error) {
+	ctx := rdd.NewContext(cfg.Workers)
+	dict := semantics.DefaultDictionary()
+	cat, schemas, _ := DAT1Catalog(ctx, cfg)
+	e := engine.New(dict, schemas, engine.DefaultOptions())
+	plan, err := e.Solve(Fig5Query())
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	rows := out.Collect()
+
+	res := Fig4Result{Plan: plan, HeatByRackApp: map[string]float64{}, JoinedRows: int64(len(rows))}
+	counts := map[string]int{}
+	for _, r := range rows {
+		key := r.Get("rack").StrVal() + "|" + r.Get("job_name").StrVal()
+		res.HeatByRackApp[key] += r.Get("heat").FloatVal()
+		counts[key]++
+	}
+	best := ""
+	bestHeat := 0.0
+	for k := range res.HeatByRackApp {
+		res.HeatByRackApp[k] /= float64(counts[k])
+		if best == "" || res.HeatByRackApp[k] > bestHeat {
+			best, bestHeat = k, res.HeatByRackApp[k]
+		}
+	}
+	if best != "" {
+		for i := 0; i < len(best); i++ {
+			if best[i] == '|' {
+				res.HottestRack, res.HottestApp = best[:i], best[i+1:]
+				break
+			}
+		}
+	}
+
+	// Heat profiles over time for the hottest rack, per location.
+	timeCol := "timespan_exploded"
+	byLoc := map[string]map[int64][]float64{}
+	for _, r := range rows {
+		if r.Get("rack").StrVal() != res.HottestRack {
+			continue
+		}
+		loc := r.Get("location").StrVal()
+		if byLoc[loc] == nil {
+			byLoc[loc] = map[int64][]float64{}
+		}
+		ts := r.Get(timeCol).TimeNanosVal() / 1e9
+		byLoc[loc][ts] = append(byLoc[loc][ts], r.Get("heat").FloatVal())
+	}
+	for _, loc := range facility.Locations {
+		s := Series{Label: "heat " + res.HottestRack + " " + loc, XLabel: "seconds", YLabel: "heat(deltaC)"}
+		samples := byLoc[loc]
+		times := make([]int64, 0, len(samples))
+		for ts := range samples {
+			times = append(times, ts)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for _, ts := range times {
+			var sum float64
+			for _, h := range samples[ts] {
+				sum += h
+			}
+			s.Add(float64(ts), sum/float64(len(samples[ts])))
+		}
+		res.Profiles = append(res.Profiles, s)
+	}
+	return res, nil
+}
+
+// Fig6Result is the §7.3 throttling case study outcome.
+type Fig6Result struct {
+	Plan *pipeline.Plan
+	// Series holds one time series per derived metric, averaged across
+	// CPUs/sockets per instant: active_frequency, instructions_rate,
+	// mem_reads_rate, mem_writes_rate, thermal_margin, socket_power.
+	Series map[string]Series
+	// PerRunMeans maps each run (e.g. "1:mg.C") to metric means within it.
+	PerRunMeans map[string]map[string]float64
+	// Runs lists the run labels in order.
+	Runs       []string
+	JoinedRows int64
+}
+
+// fig6Metrics maps output metric names to result columns.
+var fig6Metrics = map[string]string{
+	"active_frequency":  "active_frequency",
+	"instructions_rate": "instructions_rate",
+	"mem_reads_rate":    "mem_reads_rate",
+	"mem_writes_rate":   "mem_writes_rate",
+	"thermal_margin":    "thermal_margin",
+	"socket_power":      "socket_power",
+}
+
+// RunFig6 executes the full §7.3 pipeline and derives the Figure 6 series.
+func RunFig6(cfg CaseStudyConfig) (Fig6Result, error) {
+	ctx := rdd.NewContext(cfg.Workers)
+	dict := semantics.DefaultDictionary()
+	cat, schemas, sched := DAT2Catalog(ctx, cfg)
+	e := engine.New(dict, schemas, engine.DefaultOptions())
+	plan, err := e.Solve(Fig7Query())
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	rows := out.Collect()
+	res := Fig6Result{
+		Plan:        plan,
+		Series:      map[string]Series{},
+		PerRunMeans: map[string]map[string]float64{},
+		JoinedRows:  int64(len(rows)),
+	}
+
+	// Average each metric per instant.
+	type agg struct {
+		sum float64
+		n   int
+	}
+	perMetric := map[string]map[int64]*agg{}
+	for m := range fig6Metrics {
+		perMetric[m] = map[int64]*agg{}
+	}
+	for _, r := range rows {
+		ts := r.Get("time").TimeNanosVal() / 1e9
+		for m, col := range fig6Metrics {
+			v := r.Get(col)
+			if f, ok := v.AsFloat(); ok {
+				a := perMetric[m][ts]
+				if a == nil {
+					a = &agg{}
+					perMetric[m][ts] = a
+				}
+				a.sum += f
+				a.n++
+			}
+		}
+	}
+	for m, samples := range perMetric {
+		s := Series{Label: m, XLabel: "seconds", YLabel: m}
+		times := make([]int64, 0, len(samples))
+		for ts := range samples {
+			times = append(times, ts)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for _, ts := range times {
+			s.Add(float64(ts), samples[ts].sum/float64(samples[ts].n))
+		}
+		res.Series[m] = s
+	}
+
+	// Per-run means.
+	for i, j := range sched.Jobs {
+		label := fmt.Sprintf("%d:%s", i+1, j.App.Name)
+		res.Runs = append(res.Runs, label)
+		means := map[string]float64{}
+		for m := range fig6Metrics {
+			s := res.Series[m]
+			var sum float64
+			var n int
+			for k := range s.X {
+				ts := int64(s.X[k])
+				if ts >= j.StartSec+10 && ts < j.EndSec {
+					sum += s.Y[k]
+					n++
+				}
+			}
+			if n > 0 {
+				means[m] = sum / float64(n)
+			}
+		}
+		res.PerRunMeans[label] = means
+	}
+	return res, nil
+}
+
+// Fig6MetricColumns lists the derived result columns Figure 6 plots.
+func Fig6MetricColumns() []string {
+	cols := make([]string, 0, len(fig6Metrics))
+	for _, c := range fig6Metrics {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}

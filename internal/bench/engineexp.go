@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"scrubjay/internal/engine"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/units"
+)
+
+// chainCatalog builds a synthetic catalog of k datasets that must all be
+// combined to answer the end-to-end query: dataset i carries domain
+// dimensions chain_i and chain_{i+1} plus one value column, so relating
+// chain_0 to chain_k requires k natural joins. This stresses the derivation
+// engine's search exactly where the paper's §5.2 optimizations (semantics-
+// only derivation, memoization, short-sequence preference) matter.
+func chainCatalog(k int) (*semantics.Dictionary, map[string]semantics.Schema, engine.Query) {
+	dict := semantics.NewDictionary(units.Default())
+	for i := 0; i <= k; i++ {
+		dict.MustRegisterDimension(semantics.Dimension{Name: fmt.Sprintf("chain_%d", i)})
+	}
+	dict.MustRegisterDimension(semantics.Dimension{Name: "payload", Ordered: true, Continuous: true})
+	schemas := map[string]semantics.Schema{}
+	for i := 0; i < k; i++ {
+		schemas[fmt.Sprintf("ds_%02d", i)] = semantics.NewSchema(
+			fmt.Sprintf("a_%d", i), semantics.IDDomain(fmt.Sprintf("chain_%d", i)),
+			fmt.Sprintf("b_%d", i), semantics.IDDomain(fmt.Sprintf("chain_%d", i+1)),
+			fmt.Sprintf("v_%d", i), semantics.ValueEntry("payload", "fraction"),
+		)
+	}
+	q := engine.Query{
+		Domains: []string{"chain_0", fmt.Sprintf("chain_%d", k)},
+		Values:  []engine.QueryValue{{Dimension: "payload"}},
+	}
+	return dict, schemas, q
+}
+
+// EngineLatency measures derivation-engine solve latency over growing
+// catalog sizes — the §5.2 "interactive rates" claim. The returned series
+// reports milliseconds per solve.
+func EngineLatency(sizes []int) (Series, error) {
+	s := Series{Label: "engine query latency", XLabel: "datasets", YLabel: "milliseconds"}
+	for _, k := range sizes {
+		dict, schemas, q := chainCatalog(k)
+		e := engine.New(dict, schemas, engine.DefaultOptions())
+		start := time.Now()
+		plan, err := e.Solve(q)
+		if err != nil {
+			return Series{}, fmt.Errorf("chain size %d: %w", k, err)
+		}
+		d := time.Since(start)
+		if got := len(plan.Steps()); got < k {
+			return Series{}, fmt.Errorf("chain size %d: plan too short (%d steps)", k, got)
+		}
+		s.Add(float64(k), float64(d.Microseconds())/1000)
+	}
+	return s, nil
+}
+
+// MemoAblationResult compares the engine with and without pairwise
+// memoization (§5.2), on repeated solves of the same query.
+type MemoAblationResult struct {
+	CatalogSize int
+	Solves      int
+	WithMemo    time.Duration
+	WithoutMemo time.Duration
+	MemoHits    int
+}
+
+// RunMemoAblation solves the chain query `solves` times under both engine
+// configurations.
+func RunMemoAblation(catalogSize, solves int) (MemoAblationResult, error) {
+	dict, schemas, q := chainCatalog(catalogSize)
+
+	withOpts := engine.DefaultOptions()
+	eWith := engine.New(dict, schemas, withOpts)
+	start := time.Now()
+	for i := 0; i < solves; i++ {
+		if _, err := eWith.Solve(q); err != nil {
+			return MemoAblationResult{}, err
+		}
+	}
+	withDur := time.Since(start)
+
+	withoutOpts := engine.DefaultOptions()
+	withoutOpts.DisableMemo = true
+	eWithout := engine.New(dict, schemas, withoutOpts)
+	start = time.Now()
+	for i := 0; i < solves; i++ {
+		if _, err := eWithout.Solve(q); err != nil {
+			return MemoAblationResult{}, err
+		}
+	}
+	withoutDur := time.Since(start)
+
+	return MemoAblationResult{
+		CatalogSize: catalogSize,
+		Solves:      solves,
+		WithMemo:    withDur,
+		WithoutMemo: withoutDur,
+		MemoHits:    eWith.MemoHits(),
+	}, nil
+}

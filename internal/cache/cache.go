@@ -1,0 +1,186 @@
+// Package cache implements ScrubJay's derivation-result cache (§5.4 of the
+// paper): an opt-in, non-volatile store of intermediate derivation results
+// keyed by a content hash of the derivation subtree that produced them. Two
+// derivation sequences sharing an expensive prefix compute it once; entries
+// evict least-recently-used when the cache exceeds its budget.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/wrappers"
+)
+
+// Cache is a directory of cached datasets with an LRU index.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[string]*entry
+	// coldDir, when set, is the compressed long-term tier (EnableColdTier).
+	coldDir string
+	// now is the clock, overridable in tests.
+	now func() time.Time
+}
+
+type entry struct {
+	Key      string    `json:"key"`
+	Bytes    int64     `json:"bytes"`
+	LastUsed time.Time `json:"last_used"`
+}
+
+const indexFile = "index.json"
+
+// Open opens (creating if needed) a cache rooted at dir with a total size
+// budget in bytes; maxBytes <= 0 means unlimited.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c := &Cache{dir: dir, maxBytes: maxBytes, index: map[string]*entry{}, now: time.Now}
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err == nil {
+		var entries []*entry
+		if err := json.Unmarshal(data, &entries); err == nil {
+			for _, e := range entries {
+				c.index[e.Key] = e
+			}
+		}
+	}
+	return c, nil
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// TotalBytes reports the recorded size of all entries.
+func (c *Cache) TotalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalLocked()
+}
+
+func (c *Cache) totalLocked() int64 {
+	var n int64
+	for _, e := range c.index {
+		n += e.Bytes
+	}
+	return n
+}
+
+func (c *Cache) dataPath(key string) string {
+	return filepath.Join(c.dir, key+".bin")
+}
+
+// Get loads the cached dataset for key, marking it recently used.
+func (c *Cache) Get(ctx *rdd.Context, key string) (*dataset.Dataset, bool) {
+	c.mu.Lock()
+	e, ok := c.index[key]
+	if ok {
+		e.LastUsed = c.now()
+	}
+	c.mu.Unlock()
+	if !ok {
+		// A miss in the hot tier may hit the compressed cold tier; a
+		// successful promotion restores the entry and we retry.
+		if !c.promote(key) {
+			return nil, false
+		}
+	}
+	ds, err := wrappers.Read(ctx, wrappers.Source{Format: "bin", Path: c.dataPath(key), Name: "cache:" + key})
+	if err != nil {
+		// A damaged entry is dropped rather than surfaced.
+		c.Delete(key)
+		return nil, false
+	}
+	c.saveIndex()
+	return ds, true
+}
+
+// Put stores a dataset under key and evicts LRU entries beyond the budget.
+func (c *Cache) Put(key string, ds *dataset.Dataset) error {
+	path := c.dataPath(key)
+	if err := wrappers.Write(ds, wrappers.Source{Format: "bin", Path: path}); err != nil {
+		return err
+	}
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	c.mu.Lock()
+	c.index[key] = &entry{Key: key, Bytes: size, LastUsed: c.now()}
+	c.evictLocked()
+	c.mu.Unlock()
+	return c.saveIndex()
+}
+
+// Delete removes an entry.
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	delete(c.index, key)
+	c.mu.Unlock()
+	os.Remove(c.dataPath(key))
+	c.saveIndex()
+}
+
+// Contains reports whether key is cached (without touching recency).
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.index[key]
+	return ok
+}
+
+// evictLocked removes least-recently-used entries until within budget.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.totalLocked() > c.maxBytes && len(c.index) > 1 {
+		var oldest *entry
+		for _, e := range c.index {
+			if oldest == nil || e.LastUsed.Before(oldest.LastUsed) {
+				oldest = e
+			}
+		}
+		delete(c.index, oldest.Key)
+		c.demoteLocked(oldest.Key)
+		os.Remove(c.dataPath(oldest.Key))
+	}
+}
+
+// saveIndex persists the LRU index.
+func (c *Cache) saveIndex() error {
+	c.mu.Lock()
+	entries := make([]*entry, 0, len(c.index))
+	for _, e := range c.index {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	data, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(c.dir, indexFile), data, 0o644)
+}
+
+// SetClock overrides the cache's clock; for tests.
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+func smallDataset(ctx *rdd.Context, n int) *dataset.Dataset {
+	s := semantics.NewSchema("x", semantics.ValueEntry("count", "count"))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.NewRow("x", value.Int(int64(i)))
+	}
+	return dataset.FromRows(ctx, "small", rows, s, 1)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := smallDataset(ctx, 10)
+	if err := c.Put("k1", ds); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("k1") || c.Len() != 1 {
+		t.Error("entry should exist")
+	}
+	got, ok := c.Get(ctx, "k1")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if got.Count() != 10 {
+		t.Errorf("count = %d", got.Count())
+	}
+	if !got.Schema().Equal(ds.Schema()) {
+		t.Error("schema lost")
+	}
+	if _, ok := c.Get(ctx, "missing"); ok {
+		t.Error("missing key should miss")
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dir := t.TempDir()
+	c, _ := Open(dir, 0)
+	c.Put("persist", smallDataset(ctx, 5))
+
+	c2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(ctx, "persist")
+	if !ok || got.Count() != 5 {
+		t.Errorf("reopened cache lost entry: %v %v", got, ok)
+	}
+	if c2.TotalBytes() <= 0 {
+		t.Error("sizes should persist")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	c, _ := Open(t.TempDir(), 1) // 1-byte budget: force eviction to a single entry
+	base := time.Unix(1000, 0)
+	tick := 0
+	c.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	c.Put("a", smallDataset(ctx, 50))
+	c.Put("b", smallDataset(ctx, 50))
+	// Budget of 1 byte retains only the most recent entry.
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if c.Contains("a") || !c.Contains("b") {
+		t.Error("LRU should evict the older entry")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	// Budget that fits about two small entries; entry sizes are a few
+	// hundred bytes each.
+	c, _ := Open(t.TempDir(), 2500)
+	base := time.Unix(1000, 0)
+	tick := 0
+	c.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	c.Put("a", smallDataset(ctx, 20))
+	c.Put("b", smallDataset(ctx, 20))
+	// Touch a, making b the LRU entry.
+	if _, ok := c.Get(ctx, "a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", smallDataset(ctx, 20))
+	if !c.Contains("a") {
+		t.Error("recently used entry evicted")
+	}
+	if c.Contains("b") && c.TotalBytes() > 2500 {
+		t.Error("cache exceeded budget without evicting LRU")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	c, _ := Open(t.TempDir(), 0)
+	c.Put("x", smallDataset(ctx, 3))
+	c.Delete("x")
+	if c.Contains("x") || c.Len() != 0 {
+		t.Error("delete failed")
+	}
+	if _, ok := c.Get(ctx, "x"); ok {
+		t.Error("deleted entry should miss")
+	}
+	// Deleting again is a no-op.
+	c.Delete("x")
+}
+
+func TestDamagedEntryDropped(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dir := t.TempDir()
+	c, _ := Open(dir, 0)
+	c.Put("hurt", smallDataset(ctx, 3))
+	// Corrupt the data file.
+	if err := writeFile(c.dataPath("hurt"), "{broken\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(ctx, "hurt"); ok {
+		t.Error("damaged entry should miss")
+	}
+	if c.Contains("hurt") {
+		t.Error("damaged entry should be dropped from the index")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestColdTierDemoteAndPromote(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	c, _ := Open(t.TempDir(), 1) // evict everything but the newest entry
+	if err := c.EnableColdTier(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	tick := 0
+	c.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	c.Put("old", smallDataset(ctx, 40))
+	c.Put("new", smallDataset(ctx, 10))
+	// "old" was evicted from the hot tier into the cold tier.
+	if c.Contains("old") {
+		t.Fatal("old should be evicted from hot tier")
+	}
+	if c.ColdLen() != 1 {
+		t.Fatalf("cold entries = %d, want 1", c.ColdLen())
+	}
+	// A Get promotes it back, decompressed and readable.
+	got, ok := c.Get(ctx, "old")
+	if !ok {
+		t.Fatal("cold-tier Get should hit")
+	}
+	if got.Count() != 40 {
+		t.Errorf("promoted count = %d", got.Count())
+	}
+	// Promotion put "old" back in the hot tier; the 1-byte budget then
+	// demoted "new" into the cold tier in its place.
+	if !c.Contains("old") || c.Contains("new") {
+		t.Error("promotion should swap the hot entry")
+	}
+	if c.ColdLen() != 1 {
+		t.Errorf("displaced entry should be in the cold tier, have %d", c.ColdLen())
+	}
+	if got2, ok := c.Get(ctx, "new"); !ok || got2.Count() != 10 {
+		t.Error("displaced entry should be recoverable from the cold tier")
+	}
+	// Truly missing keys still miss.
+	if _, ok := c.Get(ctx, "never"); ok {
+		t.Error("missing key should miss both tiers")
+	}
+}
+
+func TestColdTierDisabledMisses(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	c, _ := Open(t.TempDir(), 1)
+	base := time.Unix(1000, 0)
+	tick := 0
+	c.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	c.Put("old", smallDataset(ctx, 40))
+	c.Put("new", smallDataset(ctx, 10))
+	if _, ok := c.Get(ctx, "old"); ok {
+		t.Error("without a cold tier, evicted entries are gone")
+	}
+	if c.ColdLen() != 0 {
+		t.Error("ColdLen without cold tier should be 0")
+	}
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The cold tier implements the paper's envisioned storage-cache hierarchy
+// (§9): instead of discarding LRU-evicted derivation results, the cache can
+// compress them into a long-term directory. Hits in the cold tier
+// decompress and promote the entry back to the hot tier.
+
+// EnableColdTier turns on the compressed long-term tier rooted at dir.
+func (c *Cache) EnableColdTier(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: cold tier: %w", err)
+	}
+	c.mu.Lock()
+	c.coldDir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// ColdLen reports the number of entries in the cold tier.
+func (c *Cache) ColdLen() int {
+	c.mu.Lock()
+	dir := c.coldDir
+	c.mu.Unlock()
+	if dir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".gz" {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) coldPath(key string) string {
+	return filepath.Join(c.coldDir, key+".bin.gz")
+}
+
+// demoteLocked compresses a hot entry's data file into the cold tier.
+// Called with c.mu held; returns silently on failure (eviction proceeds
+// either way).
+func (c *Cache) demoteLocked(key string) {
+	if c.coldDir == "" {
+		return
+	}
+	src, err := os.Open(c.dataPath(key))
+	if err != nil {
+		return
+	}
+	defer src.Close()
+	dst, err := os.Create(c.coldPath(key))
+	if err != nil {
+		return
+	}
+	zw := gzip.NewWriter(dst)
+	_, copyErr := io.Copy(zw, src)
+	closeErr := zw.Close()
+	if err := dst.Close(); copyErr != nil || closeErr != nil || err != nil {
+		os.Remove(c.coldPath(key))
+	}
+}
+
+// promote decompresses a cold entry back into the hot tier, returning
+// whether it succeeded.
+func (c *Cache) promote(key string) bool {
+	c.mu.Lock()
+	dir := c.coldDir
+	c.mu.Unlock()
+	if dir == "" {
+		return false
+	}
+	src, err := os.Open(c.coldPath(key))
+	if err != nil {
+		return false
+	}
+	defer src.Close()
+	zr, err := gzip.NewReader(src)
+	if err != nil {
+		return false
+	}
+	defer zr.Close()
+	dst, err := os.Create(c.dataPath(key))
+	if err != nil {
+		return false
+	}
+	if _, err := io.Copy(dst, zr); err != nil {
+		dst.Close()
+		os.Remove(c.dataPath(key))
+		return false
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(c.dataPath(key))
+		return false
+	}
+	var size int64
+	if fi, err := os.Stat(c.dataPath(key)); err == nil {
+		size = fi.Size()
+	}
+	c.mu.Lock()
+	c.index[key] = &entry{Key: key, Bytes: size, LastUsed: c.now()}
+	c.evictLocked()
+	c.mu.Unlock()
+	os.Remove(c.coldPath(key))
+	c.saveIndex()
+	return true
+}

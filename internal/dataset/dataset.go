@@ -1,0 +1,181 @@
+// Package dataset binds the data-parallel substrate to ScrubJay's semantic
+// layer. A Dataset is the paper's ScrubJayRDD (§4.1): a distributed
+// collection of sparse, heterogeneous named-tuple rows together with the
+// Schema describing what each column means. All derivations operate on
+// Datasets; the derivation engine operates on their Schemas alone.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/units"
+	"scrubjay/internal/value"
+)
+
+// Dataset is a semantically annotated, partitioned collection of rows.
+type Dataset struct {
+	name   string
+	rows   *rdd.RDD[value.Row]
+	schema semantics.Schema
+}
+
+// New wraps an RDD of rows with its schema.
+func New(name string, rows *rdd.RDD[value.Row], schema semantics.Schema) *Dataset {
+	return &Dataset{name: name, rows: rows, schema: schema}
+}
+
+// FromRows distributes a row slice over numParts partitions.
+func FromRows(ctx *rdd.Context, name string, rows []value.Row, schema semantics.Schema, numParts int) *Dataset {
+	return New(name, rdd.Parallelize(ctx, rows, numParts).WithName(name), schema)
+}
+
+// Name returns the dataset's name.
+func (d *Dataset) Name() string { return d.name }
+
+// WithName returns the dataset relabeled (rows and schema shared).
+func (d *Dataset) WithName(name string) *Dataset {
+	return &Dataset{name: name, rows: d.rows, schema: d.schema}
+}
+
+// Rows returns the underlying RDD.
+func (d *Dataset) Rows() *rdd.RDD[value.Row] { return d.rows }
+
+// Schema returns the dataset's schema. Callers must not mutate it.
+func (d *Dataset) Schema() semantics.Schema { return d.schema }
+
+// Context returns the execution context.
+func (d *Dataset) Context() *rdd.Context { return d.rows.Context() }
+
+// Collect materializes all rows.
+func (d *Dataset) Collect() []value.Row { return d.rows.Collect() }
+
+// Count returns the number of rows.
+func (d *Dataset) Count() int64 { return d.rows.Count() }
+
+// Cache marks the underlying RDD for in-memory reuse.
+func (d *Dataset) Cache() *Dataset {
+	d.rows.Cache()
+	return d
+}
+
+// Select projects the dataset onto the named columns; the schema shrinks
+// accordingly. Unknown columns are an error.
+func (d *Dataset) Select(cols ...string) (*Dataset, error) {
+	ns := make(semantics.Schema, len(cols))
+	for _, c := range cols {
+		e, ok := d.schema[c]
+		if !ok {
+			return nil, fmt.Errorf("dataset %q: no column %q", d.name, c)
+		}
+		ns[c] = e
+	}
+	cols = append([]string(nil), cols...)
+	out := rdd.Map(d.rows, func(r value.Row) value.Row { return r.Project(cols...) })
+	return New(d.name+"|select", out.WithName(d.name+"|select"), ns), nil
+}
+
+// Where filters rows by a predicate; the schema is unchanged.
+func (d *Dataset) Where(pred func(value.Row) bool) *Dataset {
+	out := rdd.Filter(d.rows, pred).WithName(d.name + "|where")
+	return New(d.name+"|where", out, d.schema)
+}
+
+// SortedBy returns rows totally ordered by the given columns (materializes).
+func (d *Dataset) SortedBy(cols ...string) []value.Row {
+	rows := d.Collect()
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			cmp := rows[i].Get(c).Compare(rows[j].Get(c))
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// KindForUnits returns the value.Kind a column with the given units is
+// expected to hold, and whether there is such an expectation.
+func KindForUnits(u string) (value.Kind, bool) {
+	if u == "datetime" {
+		return value.KindTime, true
+	}
+	if u == "timespan" {
+		return value.KindSpan, true
+	}
+	if _, ok := units.IsList(u); ok {
+		return value.KindList, true
+	}
+	return value.KindNull, false
+}
+
+// Validate checks the schema against the dictionary and every row against
+// the schema: rows may not carry columns absent from the schema, and
+// structurally typed units (datetime, timespan, lists) must hold the
+// matching value kind. It materializes the dataset.
+func (d *Dataset) Validate(dict *semantics.Dictionary) error {
+	if err := d.schema.Validate(dict); err != nil {
+		return fmt.Errorf("dataset %q: %w", d.name, err)
+	}
+	type rowErr struct{ msg string }
+	bad := rdd.FlatMap(d.rows, func(r value.Row) []rowErr {
+		for col, v := range r {
+			e, ok := d.schema[col]
+			if !ok {
+				return []rowErr{{fmt.Sprintf("row has column %q absent from schema", col)}}
+			}
+			if v.IsNull() {
+				continue
+			}
+			if want, constrained := KindForUnits(e.Units); constrained && v.Kind() != want {
+				return []rowErr{{fmt.Sprintf("column %q: units %q require kind %s, got %s",
+					col, e.Units, want, v.Kind())}}
+			}
+		}
+		return nil
+	})
+	errs := bad.Take(1)
+	if len(errs) > 0 {
+		return fmt.Errorf("dataset %q: %s", d.name, errs[0].msg)
+	}
+	return nil
+}
+
+// Show renders up to n rows as an aligned table for terminal output.
+func (d *Dataset) Show(n int) string {
+	rows := d.rows.Take(n)
+	cols := d.schema.Columns()
+	width := make([]int, len(cols))
+	for i, c := range cols {
+		width[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for ri, r := range rows {
+		cells[ri] = make([]string, len(cols))
+		for ci, c := range cols {
+			s := r.Get(c).String()
+			cells[ri][ci] = s
+			if len(s) > width[ci] {
+				width[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset %q (%d shown)\n", d.name, len(rows))
+	for i, c := range cols {
+		fmt.Fprintf(&b, "%-*s  ", width[i], c)
+	}
+	b.WriteByte('\n')
+	for ri := range cells {
+		for ci := range cols {
+			fmt.Fprintf(&b, "%-*s  ", width[ci], cells[ri][ci])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

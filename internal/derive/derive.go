@@ -1,0 +1,197 @@
+// Package derive implements ScrubJay's data derivations (§4.3 of the paper):
+// transformations, which produce a modified dataset from an existing one,
+// and combinations, which relate two datasets into a merged result.
+//
+// Every derivation is described twice: DeriveSchema computes the semantics
+// of the output from the semantics of the input(s) — the cheap, data-free
+// operation the derivation engine searches over (§5.2) — and Apply performs
+// the actual data-parallel computation (§5.3). Derivations self-register by
+// name with JSON-serializable parameters so derivation sequences can be
+// stored, shared, edited, and replayed (§5.4).
+package derive
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/semantics"
+)
+
+// Transformation derives a new dataset from one input dataset.
+type Transformation interface {
+	// Name is the registry name of the derivation kind.
+	Name() string
+	// Params returns the JSON-serializable parameters identifying this
+	// instance.
+	Params() map[string]any
+	// DeriveSchema computes the output schema, or an error if the
+	// transformation does not apply to the input schema.
+	DeriveSchema(in semantics.Schema, dict *semantics.Dictionary) (semantics.Schema, error)
+	// Apply executes the transformation.
+	Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*dataset.Dataset, error)
+}
+
+// Combination derives a relation between two datasets.
+type Combination interface {
+	Name() string
+	Params() map[string]any
+	DeriveSchema(left, right semantics.Schema, dict *semantics.Dictionary) (semantics.Schema, error)
+	Apply(left, right *dataset.Dataset, dict *semantics.Dictionary) (*dataset.Dataset, error)
+}
+
+// Factories rebuild derivations from their serialized (name, params) form.
+type (
+	TransformationFactory func(params map[string]any) (Transformation, error)
+	CombinationFactory    func(params map[string]any) (Combination, error)
+)
+
+var (
+	regMu        sync.RWMutex
+	transFactory = map[string]TransformationFactory{}
+	combFactory  = map[string]CombinationFactory{}
+)
+
+// RegisterTransformation installs a factory under a derivation name.
+func RegisterTransformation(name string, f TransformationFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	transFactory[name] = f
+}
+
+// RegisterCombination installs a factory under a derivation name.
+func RegisterCombination(name string, f CombinationFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	combFactory[name] = f
+}
+
+// NewTransformation rebuilds a transformation from its serialized form.
+func NewTransformation(name string, params map[string]any) (Transformation, error) {
+	regMu.RLock()
+	f, ok := transFactory[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("derive: unknown transformation %q", name)
+	}
+	return f(params)
+}
+
+// NewCombination rebuilds a combination from its serialized form.
+func NewCombination(name string, params map[string]any) (Combination, error) {
+	regMu.RLock()
+	f, ok := combFactory[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("derive: unknown combination %q", name)
+	}
+	return f(params)
+}
+
+// TransformationNames lists registered transformation names, sorted.
+func TransformationNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(transFactory))
+	for n := range transFactory {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CombinationNames lists registered combination names, sorted.
+func CombinationNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(combFactory))
+	for n := range combFactory {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- Parameter decoding helpers (params arrive as generic JSON maps) ----
+
+func paramString(params map[string]any, key string) (string, error) {
+	v, ok := params[key]
+	if !ok {
+		return "", fmt.Errorf("derive: missing parameter %q", key)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("derive: parameter %q must be a string, got %T", key, v)
+	}
+	return s, nil
+}
+
+func paramStringDefault(params map[string]any, key, def string) (string, error) {
+	if _, ok := params[key]; !ok {
+		return def, nil
+	}
+	return paramString(params, key)
+}
+
+func paramFloat(params map[string]any, key string) (float64, error) {
+	v, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("derive: missing parameter %q", key)
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int:
+		return float64(n), nil
+	case int64:
+		return float64(n), nil
+	default:
+		return 0, fmt.Errorf("derive: parameter %q must be a number, got %T", key, v)
+	}
+}
+
+// CandidateOptions tunes automatic derivation instantiation in the engine.
+type CandidateOptions struct {
+	// ExplodePeriodSeconds is the sampling period used when exploding a
+	// timespan into discrete instants (explode continuous).
+	ExplodePeriodSeconds float64
+}
+
+// DefaultCandidateOptions matches the paper's facility data: rack sensors
+// sample every two minutes, so spans explode at 60-second granularity.
+func DefaultCandidateOptions() CandidateOptions {
+	return CandidateOptions{ExplodePeriodSeconds: 60}
+}
+
+// Candidates enumerates the transformations that apply to a schema, with
+// parameters inferred from the semantics. This is how the derivation engine
+// discovers representation changes (explodes) and derivable value dimensions
+// (rates, heat, active frequency) without user input.
+func Candidates(s semantics.Schema, dict *semantics.Dictionary, opts CandidateOptions) []Transformation {
+	var out []Transformation
+	for _, gen := range candidateGenerators() {
+		out = append(out, gen(s, dict, opts)...)
+	}
+	return out
+}
+
+// candidateGenerator proposes applicable transformations for a schema.
+type candidateGenerator func(semantics.Schema, *semantics.Dictionary, CandidateOptions) []Transformation
+
+var (
+	genMu         sync.RWMutex
+	candidateGens []candidateGenerator
+)
+
+func registerCandidateGenerator(g candidateGenerator) {
+	genMu.Lock()
+	defer genMu.Unlock()
+	candidateGens = append(candidateGens, g)
+}
+
+func candidateGenerators() []candidateGenerator {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	return append([]candidateGenerator(nil), candidateGens...)
+}

@@ -1,0 +1,220 @@
+package derive
+
+import (
+	"testing"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+func jobSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"job_id", semantics.IDDomain("job"),
+		"job_name", semantics.ValueEntry("application", "identifier"),
+		"elapsed", semantics.ValueEntry("time_duration", "seconds"),
+		"nodelist", semantics.IDListDomain("compute_node"),
+		"timespan", semantics.SpanDomain(),
+	)
+}
+
+func jobRows() []value.Row {
+	return []value.Row{
+		value.NewRow(
+			"job_id", value.Str("j1"),
+			"job_name", value.Str("AMG"),
+			"elapsed", value.Float(120),
+			"nodelist", value.StrList("n1", "n2"),
+			"timespan", value.Span(0, 180e9),
+		),
+		value.NewRow(
+			"job_id", value.Str("j2"),
+			"job_name", value.Str("mg.C"),
+			"elapsed", value.Float(60),
+			"nodelist", value.StrList("n3"),
+			"timespan", value.Span(200e9, 230e9),
+		),
+	}
+}
+
+func TestExplodeDiscrete(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+	ds := dataset.FromRows(ctx, "jobs", jobRows(), jobSchema(), 2)
+
+	ex := &ExplodeDiscrete{Column: "nodelist"}
+	out, err := ex.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Schema()["nodelist"]; ok {
+		t.Error("nodelist should be removed from schema")
+	}
+	e, ok := out.Schema()["nodelist_exploded"]
+	if !ok || e.Units != "identifier" || e.Dimension != "compute_node" || e.Relation != semantics.Domain {
+		t.Errorf("exploded entry = %v", e)
+	}
+	rows := out.SortedBy("nodelist_exploded")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Get("nodelist_exploded").StrVal() != "n1" ||
+		rows[2].Get("nodelist_exploded").StrVal() != "n3" {
+		t.Errorf("exploded values wrong: %v", rows)
+	}
+	// Other columns carried through.
+	if rows[2].Get("job_name").StrVal() != "mg.C" {
+		t.Error("carried columns lost")
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("exploded dataset invalid: %v", err)
+	}
+}
+
+func TestExplodeDiscreteErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := jobSchema()
+	cases := []*ExplodeDiscrete{
+		{Column: "missing"},
+		{Column: "job_name"},               // value, not domain
+		{Column: "job_id"},                 // not a list
+		{Column: "nodelist", As: "job_id"}, // output exists
+	}
+	for _, c := range cases {
+		if _, err := c.DeriveSchema(s, dict); err == nil {
+			t.Errorf("%+v should fail", c)
+		}
+	}
+}
+
+func TestExplodeDiscreteDropsEmpty(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	rows := []value.Row{
+		value.NewRow("nodelist", value.List(), "job_id", value.Str("j")),
+		value.NewRow("job_id", value.Str("k")),
+	}
+	ds := dataset.FromRows(ctx, "jobs", rows, jobSchema(), 1)
+	out, err := (&ExplodeDiscrete{Column: "nodelist"}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 0 {
+		t.Errorf("rows with empty/missing lists should be dropped, got %d", out.Count())
+	}
+}
+
+func TestExplodeContinuous(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+	ds := dataset.FromRows(ctx, "jobs", jobRows(), jobSchema(), 2)
+
+	ex := &ExplodeContinuous{Column: "timespan", PeriodSeconds: 60}
+	out, err := ex.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := out.Schema()["timespan_exploded"]
+	if !ok || e.Units != "datetime" || e.Dimension != "time" {
+		t.Errorf("exploded entry = %v", e)
+	}
+	rows := out.SortedBy("job_id", "timespan_exploded")
+	// j1 spans [0,180): instants 0,60,120 -> 3. j2 spans [200,230): no
+	// aligned instant inside, so the start instant 200 is kept -> 1.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(rows), rows)
+	}
+	if rows[0].Get("timespan_exploded").TimeNanosVal() != 0 ||
+		rows[2].Get("timespan_exploded").TimeNanosVal() != 120e9 {
+		t.Errorf("instants wrong: %v", rows)
+	}
+	if rows[3].Get("timespan_exploded").TimeNanosVal() != 200e9 {
+		t.Errorf("short span should keep start: %v", rows[3])
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("exploded dataset invalid: %v", err)
+	}
+}
+
+func TestExplodeContinuousGridAligned(t *testing.T) {
+	// Spans starting at different offsets produce coincident instants.
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	rows := []value.Row{
+		value.NewRow("job_id", value.Str("a"), "timespan", value.Span(10e9, 130e9)),
+		value.NewRow("job_id", value.Str("b"), "timespan", value.Span(55e9, 130e9)),
+	}
+	ds := dataset.FromRows(ctx, "jobs", rows, jobSchema(), 1)
+	out, err := (&ExplodeContinuous{Column: "timespan", PeriodSeconds: 60}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.SortedBy("job_id", "timespan_exploded")
+	// a: 60,120; b: 60,120 — all grid aligned.
+	if len(got) != 4 {
+		t.Fatalf("rows = %v", got)
+	}
+	if got[0].Get("timespan_exploded").TimeNanosVal() != got[2].Get("timespan_exploded").TimeNanosVal() {
+		t.Error("instants from different spans should coincide on the grid")
+	}
+}
+
+func TestExplodeContinuousErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := jobSchema()
+	cases := []*ExplodeContinuous{
+		{Column: "missing", PeriodSeconds: 60},
+		{Column: "nodelist", PeriodSeconds: 60}, // not a timespan
+		{Column: "timespan", PeriodSeconds: 0},  // bad period
+		{Column: "timespan", PeriodSeconds: 60, As: "job_id"},
+	}
+	for _, c := range cases {
+		if _, err := c.DeriveSchema(s, dict); err == nil {
+			t.Errorf("%+v should fail", c)
+		}
+	}
+}
+
+func TestExplodeRoundTripThroughRegistry(t *testing.T) {
+	for _, d := range []Transformation{
+		&ExplodeDiscrete{Column: "nodelist", As: "node"},
+		&ExplodeContinuous{Column: "timespan", PeriodSeconds: 30, As: "t"},
+	} {
+		rebuilt, err := NewTransformation(d.Name(), d.Params())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		s := jobSchema()
+		dict := semantics.DefaultDictionary()
+		a, err1 := d.DeriveSchema(s, dict)
+		b, err2 := rebuilt.DeriveSchema(s, dict)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", d.Name(), err1, err2)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: rebuilt derivation derives different schema", d.Name())
+		}
+	}
+}
+
+func TestCandidatesForJobSchema(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	cands := Candidates(jobSchema(), dict, DefaultCandidateOptions())
+	var names []string
+	for _, c := range cands {
+		names = append(names, c.Name())
+	}
+	hasED, hasEC := false, false
+	for _, n := range names {
+		if n == "explode_discrete" {
+			hasED = true
+		}
+		if n == "explode_continuous" {
+			hasEC = true
+		}
+	}
+	if !hasED || !hasEC {
+		t.Errorf("candidates = %v, want explode_discrete and explode_continuous", names)
+	}
+}

@@ -1,0 +1,159 @@
+package derive
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// referenceNaturalJoin computes the natural join by nested loops: for every
+// left/right row pair, if all join-column values match exactly, merge.
+func referenceNaturalJoin(left, right []value.Row, pairs []joinPair) []value.Row {
+	var out []value.Row
+	for _, l := range left {
+		for _, r := range right {
+			match := true
+			for _, p := range pairs {
+				if !l.Get(p.LeftCol).Equal(r.Get(p.RightCol)) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			m := r.Clone()
+			for _, p := range pairs {
+				if p.RightCol != p.LeftCol {
+					delete(m, p.RightCol)
+				}
+			}
+			out = append(out, l.Merge(m))
+		}
+	}
+	return out
+}
+
+func canonRows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestNaturalJoinMatchesReference compares the shuffled hash join against
+// the nested-loop reference on random instances with duplicate keys,
+// missing values, and multiple shared dimensions.
+func TestNaturalJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dict := semantics.DefaultDictionary()
+	ls := semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"cpu", semantics.IDDomain("cpu"),
+		"load", semantics.ValueEntry("fraction", "fraction"),
+	)
+	rs := semantics.NewSchema(
+		"node_id", semantics.IDDomain("compute_node"),
+		"cpu_id", semantics.IDDomain("cpu"),
+		"temp", semantics.ValueEntry("temperature", "kelvin"),
+	)
+	pairs := []joinPair{
+		{Dim: "compute_node", LeftCol: "node", RightCol: "node_id"},
+		{Dim: "cpu", LeftCol: "cpu", RightCol: "cpu_id"},
+	}
+	for trial := 0; trial < 25; trial++ {
+		nl, nr := 1+rng.Intn(40), 1+rng.Intn(40)
+		keys := 1 + rng.Intn(6) // few distinct keys -> many duplicates
+		mkLeft := func(i int) value.Row {
+			r := value.NewRow(
+				"node", value.Str(fmt.Sprintf("n%d", rng.Intn(keys))),
+				"cpu", value.Str(fmt.Sprintf("c%d", rng.Intn(keys))),
+			)
+			if rng.Intn(4) > 0 {
+				r["load"] = value.Float(float64(i))
+			}
+			return r
+		}
+		mkRight := func(i int) value.Row {
+			return value.NewRow(
+				"node_id", value.Str(fmt.Sprintf("n%d", rng.Intn(keys))),
+				"cpu_id", value.Str(fmt.Sprintf("c%d", rng.Intn(keys))),
+				"temp", value.Float(300+float64(i)),
+			)
+		}
+		lrows := make([]value.Row, nl)
+		for i := range lrows {
+			lrows[i] = mkLeft(i)
+		}
+		rrows := make([]value.Row, nr)
+		for i := range rrows {
+			rrows[i] = mkRight(i)
+		}
+		ctx := rdd.NewContext(3)
+		left := dataset.FromRows(ctx, "l", lrows, ls, 3)
+		right := dataset.FromRows(ctx, "r", rrows, rs, 2)
+		out, err := (&NaturalJoin{}).Apply(left, right, dict)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := canonRows(out.Collect())
+		want := canonRows(referenceNaturalJoin(lrows, rrows, pairs))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d rows, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d row %d:\n got %s\nwant %s", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNaturalJoinOutputInvariant: every output row carries every domain
+// dimension of both inputs, and the join column values come from the left
+// naming.
+func TestNaturalJoinOutputInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dict := semantics.DefaultDictionary()
+	ls := semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"v", semantics.ValueEntry("power", "watts"),
+	)
+	rs := semantics.NewSchema(
+		"NODEID", semantics.IDDomain("compute_node"),
+		"rack", semantics.IDDomain("rack"),
+	)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(30)
+		lrows := make([]value.Row, n)
+		rrows := make([]value.Row, n)
+		for i := range lrows {
+			lrows[i] = value.NewRow("node", value.Str(fmt.Sprintf("n%d", rng.Intn(8))), "v", value.Float(1))
+			rrows[i] = value.NewRow("NODEID", value.Str(fmt.Sprintf("n%d", rng.Intn(8))), "rack", value.Str("r"))
+		}
+		ctx := rdd.NewContext(2)
+		out, err := (&NaturalJoin{}).Apply(
+			dataset.FromRows(ctx, "l", lrows, ls, 2),
+			dataset.FromRows(ctx, "r", rrows, rs, 2), dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := out.Schema()
+		if !sch.HasDomainDimension("compute_node") || !sch.HasDomainDimension("rack") {
+			t.Fatalf("schema lost domains: %v", sch)
+		}
+		for _, r := range out.Collect() {
+			if !r.Has("node") || r.Has("NODEID") {
+				t.Fatalf("join naming invariant violated: %v", r)
+			}
+		}
+	}
+}

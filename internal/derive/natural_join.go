@@ -1,0 +1,188 @@
+package derive
+
+import (
+	"fmt"
+	"strings"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// joinPair is one shared domain dimension resolved to a concrete column on
+// each side.
+type joinPair struct {
+	Dim      string
+	LeftCol  string
+	RightCol string
+}
+
+// resolveJoinPairs maps every shared domain dimension of two schemas to the
+// single domain column carrying it on each side. ScrubJay identifies join
+// columns by semantics, not by name (§4.3): a "node" column joins a
+// "NODEID" column because both are domains on the compute_node dimension.
+func resolveJoinPairs(left, right semantics.Schema) ([]joinPair, error) {
+	shared := left.SharedDomainDimensions(right)
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("derive: no shared domain dimensions between %v and %v",
+			left.DomainDimensions(), right.DomainDimensions())
+	}
+	pairs := make([]joinPair, 0, len(shared))
+	for _, dim := range shared {
+		lc := left.ColumnsOnDimension(semantics.Domain, dim)
+		rc := right.ColumnsOnDimension(semantics.Domain, dim)
+		if len(lc) != 1 || len(rc) != 1 {
+			return nil, fmt.Errorf("derive: shared dimension %q is ambiguous (%d left, %d right columns)",
+				dim, len(lc), len(rc))
+		}
+		pairs = append(pairs, joinPair{Dim: dim, LeftCol: lc[0], RightCol: rc[0]})
+	}
+	return pairs, nil
+}
+
+// exactMatchable reports whether a join pair's columns can be compared for
+// exact equality: identical units, or both scalar units on the same
+// dimension (convertible). Structural mismatches (timespan vs datetime,
+// list vs scalar) are not exact-matchable — the engine must first explode.
+func exactMatchable(p joinPair, left, right semantics.Schema, dict *semantics.Dictionary) bool {
+	lu, ru := left[p.LeftCol].Units, right[p.RightCol].Units
+	if lu == ru {
+		return true
+	}
+	if lu == "timespan" || ru == "timespan" || lu == "datetime" || ru == "datetime" {
+		return false
+	}
+	if strings.HasPrefix(lu, "list<") || strings.HasPrefix(ru, "list<") {
+		return false
+	}
+	return dict.Units.Convertible(ru, lu)
+}
+
+// mergedJoinSchema builds the result schema of a join: left's columns plus
+// right's columns, with every right join column dropped — it denotes the
+// same entity as its left counterpart, and the left entry (name, units,
+// cadence) describes the output.
+func mergedJoinSchema(left, right semantics.Schema, pairs []joinPair) (semantics.Schema, error) {
+	rs := right.Clone()
+	for _, p := range pairs {
+		delete(rs, p.RightCol)
+	}
+	return left.Merge(rs)
+}
+
+// joinKey renders the values of the join columns as a canonical composite
+// key, converting right-side scalar units to left-side units so that
+// semantically equal values key identically.
+func joinKey(r value.Row, cols []string, convert []func(value.Value) value.Value) string {
+	var b strings.Builder
+	for i, c := range cols {
+		v := r.Get(c)
+		if convert != nil && convert[i] != nil {
+			v = convert[i](v)
+		}
+		b.WriteString(v.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// NaturalJoin relates two datasets by exact match on every shared domain
+// dimension (§4.3, §5.3). It is implemented as a hash shuffle join on the
+// data-parallel substrate; with 10 nodes it is the cheaper of the paper's
+// two evaluated combinations (Figure 3, left).
+type NaturalJoin struct{}
+
+func init() {
+	RegisterCombination("natural_join", func(map[string]any) (Combination, error) {
+		return &NaturalJoin{}, nil
+	})
+}
+
+// Name implements Combination.
+func (n *NaturalJoin) Name() string { return "natural_join" }
+
+// Params implements Combination.
+func (n *NaturalJoin) Params() map[string]any { return map[string]any{} }
+
+// DeriveSchema implements Combination: applicable when the schemas share at
+// least one domain dimension and every shared dimension is exact-matchable.
+func (n *NaturalJoin) DeriveSchema(left, right semantics.Schema, dict *semantics.Dictionary) (semantics.Schema, error) {
+	pairs, err := resolveJoinPairs(left, right)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		if !exactMatchable(p, left, right, dict) {
+			return nil, fmt.Errorf("natural_join: shared dimension %q is not exact-matchable (units %q vs %q)",
+				p.Dim, left[p.LeftCol].Units, right[p.RightCol].Units)
+		}
+	}
+	return mergedJoinSchema(left, right, pairs)
+}
+
+// rightConverters builds per-pair unit converters that bring right-side join
+// values into left-side units before keying.
+func rightConverters(pairs []joinPair, left, right semantics.Schema, dict *semantics.Dictionary) []func(value.Value) value.Value {
+	convs := make([]func(value.Value) value.Value, len(pairs))
+	for i, p := range pairs {
+		lu, ru := left[p.LeftCol].Units, right[p.RightCol].Units
+		if lu == ru {
+			continue
+		}
+		from, to := ru, lu
+		u := dict.Units
+		convs[i] = func(v value.Value) value.Value {
+			f, ok := v.AsFloat()
+			if !ok || v.Kind() == value.KindTime {
+				return v
+			}
+			c, err := u.Convert(f, from, to)
+			if err != nil {
+				return v
+			}
+			return value.Float(c)
+		}
+	}
+	return convs
+}
+
+// Apply implements Combination.
+func (n *NaturalJoin) Apply(left, right *dataset.Dataset, dict *semantics.Dictionary) (*dataset.Dataset, error) {
+	schema, err := n.DeriveSchema(left.Schema(), right.Schema(), dict)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := resolveJoinPairs(left.Schema(), right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	leftCols := make([]string, len(pairs))
+	rightCols := make([]string, len(pairs))
+	dropRight := make([]string, len(pairs))
+	for i, p := range pairs {
+		leftCols[i] = p.LeftCol
+		rightCols[i] = p.RightCol
+		// The right join column always drops: it denotes the same entity
+		// as the left's, whose value (and name) the output keeps.
+		dropRight[i] = p.RightCol
+	}
+	convs := rightConverters(pairs, left.Schema(), right.Schema(), dict)
+
+	joined := rdd.JoinHash(left.Rows(), right.Rows(),
+		func(r value.Row) string { return joinKey(r, leftCols, nil) },
+		func(r value.Row) string { return joinKey(r, rightCols, convs) },
+	)
+	rows := rdd.Map(joined, func(p rdd.Pair[value.Row, value.Row]) value.Row {
+		r := p.Right
+		if len(dropRight) > 0 {
+			r = r.Clone()
+			for _, c := range dropRight {
+				delete(r, c)
+			}
+		}
+		return p.Left.Merge(r)
+	})
+	name := fmt.Sprintf("natural_join(%s,%s)", left.Name(), right.Name())
+	return dataset.New(name, rows.WithName(name), schema), nil
+}

@@ -1,0 +1,453 @@
+package derive
+
+import (
+	"math"
+	"testing"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+func counterSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain(),
+		"cpu_id", semantics.IDDomain("cpu"),
+		"instructions", semantics.ValueEntry("instructions", "count"),
+		"aperf", semantics.ValueEntry("aperf_cycles", "count"),
+	)
+}
+
+func counterRows() []value.Row {
+	mk := func(t int64, cpu string, ins, ap int64) value.Row {
+		return value.NewRow(
+			"time", value.TimeNanos(t*1e9),
+			"cpu_id", value.Str(cpu),
+			"instructions", value.Int(ins),
+			"aperf", value.Int(ap),
+		)
+	}
+	return []value.Row{
+		mk(0, "c0", 0, 0),
+		mk(2, "c0", 2000, 100),
+		mk(4, "c0", 6000, 300),
+		mk(6, "c0", 1000, 400), // instruction counter reset
+		mk(0, "c1", 500, 0),
+		mk(2, "c1", 1500, 50),
+	}
+}
+
+func TestDeriveRateSchema(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	d := &DeriveRate{}
+	out, err := d.DeriveSchema(counterSchema(), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["instructions"]; ok {
+		t.Error("counter column should be replaced")
+	}
+	e, ok := out["instructions_rate"]
+	if !ok || e.Dimension != "instructions/time_duration" || e.Units != "count/seconds" {
+		t.Errorf("rate entry = %v", e)
+	}
+	if _, ok := out["aperf_rate"]; !ok {
+		t.Error("aperf_rate missing")
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("derived schema invalid: %v", err)
+	}
+}
+
+func TestDeriveRateApply(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+	ds := dataset.FromRows(ctx, "papi", counterRows(), counterSchema(), 2)
+	out, err := (&DeriveRate{}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.SortedBy("cpu_id", "time")
+	// c0: samples at 0,2,4,6 -> rates at 2,4,6 (6 has a reset -> null rate
+	// for instructions, valid for aperf). c1: rate at 2.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	r2 := rows[0] // c0 t=2
+	if got := r2.Get("instructions_rate").FloatVal(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("rate at t=2 = %v, want 1000/s", got)
+	}
+	if got := r2.Get("aperf_rate").FloatVal(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("aperf rate at t=2 = %v, want 50/s", got)
+	}
+	r4 := rows[1]
+	if got := r4.Get("instructions_rate").FloatVal(); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("rate at t=4 = %v, want 2000/s", got)
+	}
+	r6 := rows[2]
+	if r6.Has("instructions_rate") {
+		t.Errorf("reset window should have no instruction rate: %v", r6)
+	}
+	if got := r6.Get("aperf_rate").FloatVal(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("aperf rate at t=6 = %v, want 50/s", got)
+	}
+	// Groups are independent: c1's rate used only c1 samples.
+	rc1 := rows[3]
+	if rc1.Get("cpu_id").StrVal() != "c1" {
+		t.Fatalf("expected c1 row, got %v", rc1)
+	}
+	if got := rc1.Get("instructions_rate").FloatVal(); math.Abs(got-500) > 1e-9 {
+		t.Errorf("c1 rate = %v, want 500/s", got)
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("derived dataset invalid: %v", err)
+	}
+}
+
+func TestDeriveRateExplicitColumns(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	ds := dataset.FromRows(ctx, "papi", counterRows(), counterSchema(), 1)
+	out, err := (&DeriveRate{Columns: []string{"instructions"}}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Schema()["aperf"]; !ok {
+		t.Error("unlisted counter should remain")
+	}
+	if _, ok := out.Schema()["instructions_rate"]; !ok {
+		t.Error("listed counter should be converted")
+	}
+}
+
+func TestDeriveRateErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	// No time column.
+	s1 := semantics.NewSchema("c", semantics.ValueEntry("count", "count"))
+	if _, err := (&DeriveRate{}).DeriveSchema(s1, dict); err == nil {
+		t.Error("missing time column should fail")
+	}
+	// No counters.
+	s2 := semantics.NewSchema("time", semantics.TimeDomain(),
+		"temp", semantics.ValueEntry("temperature", "degrees_celsius"))
+	if _, err := (&DeriveRate{}).DeriveSchema(s2, dict); err == nil {
+		t.Error("no counters should fail")
+	}
+	// Explicit non-counter column.
+	if _, err := (&DeriveRate{Columns: []string{"temp"}}).DeriveSchema(s2, dict); err == nil {
+		t.Error("non-counter column should fail")
+	}
+	// Bad explicit time column.
+	s3 := counterSchema()
+	if _, err := (&DeriveRate{TimeColumn: "cpu_id"}).DeriveSchema(s3, dict); err == nil {
+		t.Error("non-datetime time column should fail")
+	}
+}
+
+func TestDeriveRateRegistryRoundTrip(t *testing.T) {
+	d := &DeriveRate{TimeColumn: "time", Columns: []string{"aperf", "instructions"}}
+	rebuilt, err := NewTransformation(d.Name(), d.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := semantics.DefaultDictionary()
+	a, _ := d.DeriveSchema(counterSchema(), dict)
+	b, err := rebuilt.DeriveSchema(counterSchema(), dict)
+	if err != nil || !a.Equal(b) {
+		t.Errorf("rebuilt derive_rate differs: %v", err)
+	}
+}
+
+func TestDeriveRateCandidate(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	cands := Candidates(counterSchema(), dict, DefaultCandidateOptions())
+	found := false
+	for _, c := range cands {
+		if c.Name() == "derive_rate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("derive_rate should be a candidate for counter schema")
+	}
+}
+
+func TestConvertUnits(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"t", semantics.TimeDomain(),
+		"temp", semantics.ValueEntry("temperature", "degrees_celsius"),
+	)
+	rows := []value.Row{
+		value.NewRow("t", value.TimeNanos(0), "temp", value.Float(100)),
+		value.NewRow("t", value.TimeNanos(1e9)),
+	}
+	ds := dataset.FromRows(ctx, "temps", rows, s, 1)
+	out, err := (&ConvertUnits{Column: "temp", To: "degrees_fahrenheit"}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema()["temp"].Units != "degrees_fahrenheit" {
+		t.Errorf("units = %v", out.Schema()["temp"])
+	}
+	got := out.SortedBy("t")
+	if v := got[0].Get("temp").FloatVal(); math.Abs(v-212) > 1e-9 {
+		t.Errorf("100C = %vF, want 212", v)
+	}
+	if got[1].Has("temp") {
+		t.Error("null cell should stay null")
+	}
+
+	// Errors.
+	if _, err := (&ConvertUnits{Column: "nope", To: "kelvin"}).DeriveSchema(s, dict); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := (&ConvertUnits{Column: "temp", To: "watts"}).DeriveSchema(s, dict); err == nil {
+		t.Error("cross-dimension conversion should fail")
+	}
+	if _, err := (&ConvertUnits{Column: "t", To: "seconds"}).DeriveSchema(s, dict); err == nil {
+		t.Error("structural time column should fail")
+	}
+}
+
+func TestDeriveRatio(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"job_id", semantics.IDDomain("job"),
+		"instructions", semantics.ValueEntry("instructions", "count"),
+		"elapsed", semantics.ValueEntry("time_duration", "seconds"),
+	)
+	rows := []value.Row{
+		value.NewRow("job_id", value.Str("a"), "instructions", value.Int(1000), "elapsed", value.Float(4)),
+		value.NewRow("job_id", value.Str("b"), "instructions", value.Int(1000), "elapsed", value.Float(0)),
+		value.NewRow("job_id", value.Str("c"), "elapsed", value.Float(5)),
+	}
+	ds := dataset.FromRows(ctx, "jobs", rows, s, 1)
+	d := &DeriveRatio{Numerator: "instructions", Denominator: "elapsed", As: "ipc"}
+	out, err := d.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out.Schema()["ipc"]
+	if e.Dimension != "instructions/time_duration" || e.Units != "count/seconds" {
+		t.Errorf("ratio entry = %v", e)
+	}
+	got := out.SortedBy("job_id")
+	if v := got[0].Get("ipc").FloatVal(); math.Abs(v-250) > 1e-9 {
+		t.Errorf("ratio = %v", v)
+	}
+	if got[1].Has("ipc") {
+		t.Error("division by zero should yield no value")
+	}
+	if got[2].Has("ipc") {
+		t.Error("missing numerator should yield no value")
+	}
+
+	// Errors.
+	if _, err := (&DeriveRatio{Numerator: "job_id", Denominator: "elapsed", As: "x"}).DeriveSchema(s, dict); err == nil {
+		t.Error("domain numerator should fail")
+	}
+	if _, err := (&DeriveRatio{Numerator: "instructions", Denominator: "elapsed", As: "elapsed"}).DeriveSchema(s, dict); err == nil {
+		t.Error("existing output column should fail")
+	}
+	if _, err := (&DeriveRatio{Numerator: "instructions", Denominator: "elapsed"}).DeriveSchema(s, dict); err == nil {
+		t.Error("empty output name should fail")
+	}
+}
+
+func TestDeriveHeat(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"time", semantics.TimeDomain(),
+		"rack", semantics.IDDomain("rack"),
+		"location", semantics.IDDomain("rack_location"),
+		"aisle", semantics.IDDomain("rack_aisle"),
+		"temp", semantics.ValueEntry("temperature", "degrees_celsius"),
+	)
+	mk := func(t int64, rack, loc, aisle string, temp float64) value.Row {
+		return value.NewRow("time", value.TimeNanos(t*1e9), "rack", value.Str(rack),
+			"location", value.Str(loc), "aisle", value.Str(aisle), "temp", value.Float(temp))
+	}
+	rows := []value.Row{
+		mk(0, "r17", "top", AisleHot, 35), mk(0, "r17", "top", AisleCold, 20),
+		mk(0, "r17", "mid", AisleHot, 40), mk(0, "r17", "mid", AisleCold, 21),
+		mk(0, "r18", "top", AisleHot, 25), mk(0, "r18", "top", AisleCold, 19),
+		mk(120, "r17", "top", AisleHot, 37), mk(120, "r17", "top", AisleCold, 20),
+		// Missing cold reading: dropped.
+		mk(120, "r18", "top", AisleHot, 26),
+	}
+	ds := dataset.FromRows(ctx, "racktemps", rows, s, 2)
+	out, err := (&DeriveHeat{}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := out.Schema()
+	if _, ok := sch["aisle"]; ok {
+		t.Error("aisle should be removed")
+	}
+	if _, ok := sch["temp"]; ok {
+		t.Error("temp should be removed")
+	}
+	if e := sch["heat"]; e.Dimension != "temperature_difference" || e.Units != "delta_celsius" {
+		t.Errorf("heat entry = %v", e)
+	}
+	got := out.SortedBy("rack", "location", "time")
+	if len(got) != 4 {
+		t.Fatalf("rows = %d: %v", len(got), got)
+	}
+	// r17 mid t0: 40-21 = 19.
+	if v := got[0].Get("heat").FloatVal(); math.Abs(v-19) > 1e-9 {
+		t.Errorf("r17 mid heat = %v", v)
+	}
+	// r17 top t0: 15, t120: 17.
+	if v := got[1].Get("heat").FloatVal(); math.Abs(v-15) > 1e-9 {
+		t.Errorf("r17 top heat = %v", v)
+	}
+	if v := got[2].Get("heat").FloatVal(); math.Abs(v-17) > 1e-9 {
+		t.Errorf("r17 top t120 heat = %v", v)
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("heat dataset invalid: %v", err)
+	}
+}
+
+func TestDeriveHeatErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	noAisle := semantics.NewSchema("temp", semantics.ValueEntry("temperature", "degrees_celsius"))
+	if _, err := (&DeriveHeat{}).DeriveSchema(noAisle, dict); err == nil {
+		t.Error("missing aisle should fail")
+	}
+	noTemp := semantics.NewSchema("aisle", semantics.IDDomain("rack_aisle"))
+	if _, err := (&DeriveHeat{}).DeriveSchema(noTemp, dict); err == nil {
+		t.Error("missing temp should fail")
+	}
+}
+
+func TestDeriveActiveFrequency(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"cpu_id", semantics.IDDomain("cpu"),
+		"aperf_rate", semantics.ValueEntry("aperf_cycles/time_duration", "count/seconds"),
+		"mperf_rate", semantics.ValueEntry("mperf_cycles/time_duration", "count/seconds"),
+		"base_frequency", semantics.ValueEntry("frequency", "gigahertz"),
+	)
+	rows := []value.Row{
+		value.NewRow("cpu_id", value.Str("c0"),
+			"aperf_rate", value.Float(1.6e9), "mperf_rate", value.Float(3.2e9),
+			"base_frequency", value.Float(3.2)),
+		value.NewRow("cpu_id", value.Str("c1"),
+			"aperf_rate", value.Float(3.2e9), "mperf_rate", value.Float(0),
+			"base_frequency", value.Float(3.2)),
+	}
+	ds := dataset.FromRows(ctx, "papi", rows, s, 1)
+	out, err := (&DeriveActiveFrequency{}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := out.Schema()["active_frequency"]; e.Dimension != "active_frequency" || e.Units != "gigahertz" {
+		t.Errorf("entry = %v", e)
+	}
+	got := out.SortedBy("cpu_id")
+	// Throttled to half base: 1.6/3.2*3.2 = 1.6 GHz.
+	if v := got[0].Get("active_frequency").FloatVal(); math.Abs(v-1.6) > 1e-9 {
+		t.Errorf("active freq = %v", v)
+	}
+	if got[1].Has("active_frequency") {
+		t.Error("zero mperf should yield no value")
+	}
+
+	// Candidate generation fires on this schema.
+	found := false
+	for _, c := range Candidates(s, dict, DefaultCandidateOptions()) {
+		if c.Name() == "derive_active_frequency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("derive_active_frequency should be a candidate")
+	}
+}
+
+func TestDeriveActiveFrequencyErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"aperf_rate", semantics.ValueEntry("aperf_cycles/time_duration", "count/seconds"),
+	)
+	if _, err := (&DeriveActiveFrequency{}).DeriveSchema(s, dict); err == nil {
+		t.Error("missing mperf/base should fail")
+	}
+}
+
+func TestDeriveDuration(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	dict := semantics.DefaultDictionary()
+	s := semantics.NewSchema(
+		"job_id", semantics.IDDomain("job"),
+		"timespan", semantics.SpanDomain(),
+	)
+	rows := []value.Row{
+		value.NewRow("job_id", value.Str("a"), "timespan", value.Span(0, 90e9)),
+		value.NewRow("job_id", value.Str("b")),
+	}
+	ds := dataset.FromRows(ctx, "jobs", rows, s, 1)
+	out, err := (&DeriveDuration{}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out.Schema()["timespan_duration"]
+	if e.Dimension != "time_duration" || e.Units != "seconds" {
+		t.Errorf("entry = %v", e)
+	}
+	got := out.SortedBy("job_id")
+	if v := got[0].Get("timespan_duration").FloatVal(); math.Abs(v-90) > 1e-9 {
+		t.Errorf("duration = %v", v)
+	}
+	if got[1].Has("timespan_duration") {
+		t.Error("missing span should yield no duration")
+	}
+	// The span column remains a domain.
+	if _, ok := out.Schema()["timespan"]; !ok {
+		t.Error("span column must remain")
+	}
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("result invalid: %v", err)
+	}
+
+	// Candidate only when no duration value exists yet.
+	found := false
+	for _, c := range Candidates(s, dict, DefaultCandidateOptions()) {
+		if c.Name() == "derive_duration" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("derive_duration should be a candidate for span-only schema")
+	}
+	withElapsed := s.Clone()
+	withElapsed["elapsed"] = semantics.ValueEntry("time_duration", "seconds")
+	for _, c := range Candidates(withElapsed, dict, DefaultCandidateOptions()) {
+		if c.Name() == "derive_duration" {
+			t.Error("derive_duration should not be a candidate when a duration value exists")
+		}
+	}
+
+	// Errors and registry round trip.
+	if _, err := (&DeriveDuration{Column: "job_id"}).DeriveSchema(s, dict); err == nil {
+		t.Error("non-span column should fail")
+	}
+	if _, err := (&DeriveDuration{As: "timespan"}).DeriveSchema(s, dict); err == nil {
+		t.Error("existing output name should fail")
+	}
+	rebuilt, err := NewTransformation("derive_duration", (&DeriveDuration{Column: "timespan", As: "len"}).Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rebuilt.DeriveSchema(s, dict); err != nil {
+		t.Errorf("rebuilt derive_duration: %v", err)
+	}
+}

@@ -1,0 +1,319 @@
+package derive
+
+import (
+	"math"
+	"testing"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+func relSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"time", semantics.TimeDomain(),
+		"nodelist", semantics.IDListDomain("compute_node"),
+		"temp", semantics.ValueEntry("temperature", "degrees_celsius"),
+		"power", semantics.ValueEntry("power", "watts"),
+	)
+}
+
+func relRows() []value.Row {
+	mk := func(node string, t int64, temp, power float64) value.Row {
+		return value.NewRow("node", value.Str(node), "time", value.TimeNanos(t*1e9),
+			"temp", value.Float(temp), "power", value.Float(power))
+	}
+	return []value.Row{
+		mk("n1", 0, 60, 100),
+		mk("n1", 60, 70, 200),
+		mk("n2", 0, 50, 150),
+		mk("n2", 60, 55, 250),
+		value.NewRow("node", value.Str("n3"), "time", value.TimeNanos(0),
+			"nodelist", value.StrList("a", "b")),
+	}
+}
+
+func relDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ctx := rdd.NewContext(2)
+	return dataset.FromRows(ctx, "rel", relRows(), relSchema(), 2)
+}
+
+func TestFilterComparisons(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	cases := []struct {
+		f    FilterRows
+		want int64
+	}{
+		{FilterRows{Column: "temp", Op: ">=", Operand: "60.0"}, 2},
+		{FilterRows{Column: "temp", Op: ">", Operand: "60.0"}, 1},
+		{FilterRows{Column: "temp", Op: "<", Operand: "55.0"}, 1},
+		{FilterRows{Column: "temp", Op: "<=", Operand: "55.0"}, 2},
+		{FilterRows{Column: "node", Op: "==", Operand: "n1"}, 2},
+		{FilterRows{Column: "node", Op: "!=", Operand: "n1"}, 3},
+		{FilterRows{Column: "node", Op: "contains", Operand: "n"}, 5},
+		{FilterRows{Column: "nodelist", Op: "contains", Operand: "a"}, 1},
+		{FilterRows{Column: "nodelist", Op: "contains", Operand: "zz"}, 0},
+	}
+	for _, c := range cases {
+		out, err := c.f.Apply(ds, dict)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.f, err)
+		}
+		if got := out.Count(); got != c.want {
+			t.Errorf("%+v: count = %d, want %d", c.f, got, c.want)
+		}
+		if !out.Schema().Equal(ds.Schema()) {
+			t.Errorf("%+v: schema changed", c.f)
+		}
+	}
+}
+
+func TestFilterNullsNeverMatch(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	// n3 has a null temp; != should still exclude it.
+	out, err := (&FilterRows{Column: "temp", Op: "!=", Operand: "999.0"}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 4 {
+		t.Errorf("count = %d, want 4 (null row excluded)", out.Count())
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := relSchema()
+	cases := []FilterRows{
+		{Column: "nope", Op: "==", Operand: "1"},
+		{Column: "temp", Op: "~", Operand: "1"},
+		{Column: "node", Op: "<", Operand: "x"}, // unordered dimension
+	}
+	for _, c := range cases {
+		if _, err := c.DeriveSchema(s, dict); err == nil {
+			t.Errorf("%+v should fail", c)
+		}
+	}
+}
+
+func TestProjectKeepsDomains(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	out, err := (&ProjectColumns{Values: []string{"temp"}}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := out.Schema()
+	for _, want := range []string{"node", "time", "nodelist", "temp"} {
+		if _, ok := sch[want]; !ok {
+			t.Errorf("column %q missing: %v", want, sch)
+		}
+	}
+	if _, ok := sch["power"]; ok {
+		t.Error("power should be projected away")
+	}
+	for _, r := range out.Collect() {
+		if r.Has("power") {
+			t.Errorf("row retains power: %v", r)
+		}
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := relSchema()
+	if _, err := (&ProjectColumns{Values: []string{"nope"}}).DeriveSchema(s, dict); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := (&ProjectColumns{Values: []string{"node"}}).DeriveSchema(s, dict); err == nil {
+		t.Error("projecting a domain should fail")
+	}
+}
+
+func TestAggregateBy(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	agg := &AggregateBy{
+		GroupBy: []string{"node"},
+		Ops:     map[string]string{"temp": "mean", "power": "max"},
+	}
+	out, err := agg.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := out.Schema()
+	if _, ok := sch["time"]; ok {
+		t.Error("unlisted domain should be dropped")
+	}
+	if e := sch["temp_mean"]; e.Dimension != "temperature" {
+		t.Errorf("temp_mean entry = %v", e)
+	}
+	rows := out.SortedBy("node")
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d: %v", len(rows), rows)
+	}
+	if v := rows[0].Get("temp_mean").FloatVal(); math.Abs(v-65) > 1e-9 {
+		t.Errorf("n1 mean temp = %v", v)
+	}
+	if v := rows[0].Get("power_max").FloatVal(); math.Abs(v-200) > 1e-9 {
+		t.Errorf("n1 max power = %v", v)
+	}
+	// n3 has no temp/power values at all.
+	if rows[2].Has("temp_mean") || rows[2].Has("power_max") {
+		t.Errorf("n3 aggregates should be absent: %v", rows[2])
+	}
+}
+
+func TestAggregateSumMinCount(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	agg := &AggregateBy{
+		GroupBy: []string{"node"},
+		Ops:     map[string]string{"temp": "count", "power": "sum"},
+	}
+	out, err := agg.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := out.Schema()["temp_count"]; e.Dimension != "count" || e.Units != "count" {
+		t.Errorf("count entry = %v", e)
+	}
+	rows := out.SortedBy("node")
+	if rows[0].Get("temp_count").IntVal() != 2 {
+		t.Errorf("n1 count = %v", rows[0].Get("temp_count"))
+	}
+	if v := rows[1].Get("power_sum").FloatVal(); math.Abs(v-400) > 1e-9 {
+		t.Errorf("n2 power sum = %v", v)
+	}
+	if rows[2].Get("temp_count").IntVal() != 0 {
+		t.Errorf("n3 count = %v", rows[2].Get("temp_count"))
+	}
+
+	aggMin := &AggregateBy{GroupBy: []string{"node"}, Ops: map[string]string{"temp": "min"}}
+	out2, err := aggMin.Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := out2.SortedBy("node")
+	if v := r2[0].Get("temp_min").FloatVal(); math.Abs(v-60) > 1e-9 {
+		t.Errorf("n1 min temp = %v", v)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := relSchema()
+	cases := []*AggregateBy{
+		{GroupBy: nil, Ops: map[string]string{"temp": "mean"}},
+		{GroupBy: []string{"nope"}, Ops: map[string]string{"temp": "mean"}},
+		{GroupBy: []string{"temp"}, Ops: map[string]string{"power": "mean"}}, // group by value
+		{GroupBy: []string{"node"}, Ops: map[string]string{"temp": "median"}},
+		{GroupBy: []string{"node"}, Ops: map[string]string{"nope": "mean"}},
+		{GroupBy: []string{"node"}, Ops: map[string]string{"time": "mean"}}, // aggregate a domain
+	}
+	for _, c := range cases {
+		if _, err := c.DeriveSchema(s, dict); err == nil {
+			t.Errorf("%+v should fail", c)
+		}
+	}
+}
+
+func TestRelationalRegistryRoundTrip(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	s := relSchema()
+	for _, d := range []Transformation{
+		&FilterRows{Column: "temp", Op: ">", Operand: "50.0"},
+		&ProjectColumns{Values: []string{"temp"}},
+		&AggregateBy{GroupBy: []string{"node"}, Ops: map[string]string{"temp": "mean"}},
+	} {
+		rebuilt, err := NewTransformation(d.Name(), d.Params())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		a, err1 := d.DeriveSchema(s, dict)
+		b, err2 := rebuilt.DeriveSchema(s, dict)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", d.Name(), err1, err2)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: rebuilt transformation differs", d.Name())
+		}
+	}
+	// Bad params through the registry.
+	if _, err := NewTransformation("filter", map[string]any{"column": "x"}); err == nil {
+		t.Error("filter without op should fail")
+	}
+	if _, err := NewTransformation("project", map[string]any{}); err == nil {
+		t.Error("project without values should fail")
+	}
+	if _, err := NewTransformation("project", map[string]any{"values": []any{1}}); err == nil {
+		t.Error("project with non-string values should fail")
+	}
+	if _, err := NewTransformation("aggregate", map[string]any{"group_by": []any{"n"}}); err == nil {
+		t.Error("aggregate without ops should fail")
+	}
+	if _, err := NewTransformation("aggregate", map[string]any{"group_by": []any{"n"}, "ops": map[string]any{"t": 5}}); err == nil {
+		t.Error("aggregate with non-string op should fail")
+	}
+}
+
+func TestRelationalNotAutoCandidates(t *testing.T) {
+	// The interoperability layer is analyst-driven: the engine's candidate
+	// enumeration must never propose filter/project/aggregate.
+	dict := semantics.DefaultDictionary()
+	for _, c := range Candidates(relSchema(), dict, DefaultCandidateOptions()) {
+		switch c.Name() {
+		case "filter", "project", "aggregate":
+			t.Errorf("%s must not be an automatic candidate", c.Name())
+		}
+	}
+}
+
+func TestRenameColumn(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	ds := relDataset(t)
+	out, err := (&RenameColumn{From: "node", To: "NODEID"}).Apply(ds, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Schema()["node"]; ok {
+		t.Error("old name should be gone")
+	}
+	e, ok := out.Schema()["NODEID"]
+	if !ok || e.Dimension != "compute_node" {
+		t.Errorf("renamed entry = %v", e)
+	}
+	for _, r := range out.Collect() {
+		if r.Has("node") {
+			t.Errorf("row retains old column: %v", r)
+		}
+	}
+	// Semantics unchanged: the renamed dataset still joins by dimension.
+	if err := out.Validate(dict); err != nil {
+		t.Errorf("renamed dataset invalid: %v", err)
+	}
+
+	// Errors.
+	for _, bad := range []*RenameColumn{
+		{From: "missing", To: "x"},
+		{From: "node", To: ""},
+		{From: "node", To: "node"},
+		{From: "node", To: "temp"},
+	} {
+		if _, err := bad.DeriveSchema(relSchema(), dict); err == nil {
+			t.Errorf("%+v should fail", bad)
+		}
+	}
+	// Registry round trip.
+	rebuilt, err := NewTransformation("rename_column", (&RenameColumn{From: "node", To: "n2"}).Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rebuilt.DeriveSchema(relSchema(), dict); err != nil {
+		t.Errorf("rebuilt rename: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records the derivation engine's search decisions for one query —
+// which datasets were deemed relevant, which pairs were combinable at what
+// precision, and why the returned plan won. It is the engine's "explain"
+// output, surfaced by `scrubjay query -explain`.
+type Trace struct {
+	Events []string
+}
+
+func (t *Trace) addf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, fmt.Sprintf(format, args...))
+}
+
+// String renders the trace one event per line.
+func (t *Trace) String() string {
+	if t == nil || len(t.Events) == 0 {
+		return ""
+	}
+	return strings.Join(t.Events, "\n") + "\n"
+}
+
+// className names a combination precision class for traces.
+func className(bucket int) string {
+	switch {
+	case bucket >= classNaturalDiscrete:
+		return "natural join (exact)"
+	case bucket >= classInterp:
+		return "interpolation join"
+	default:
+		return "natural join over a continuous dimension (low precision)"
+	}
+}

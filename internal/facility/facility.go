@@ -1,0 +1,217 @@
+// Package facility simulates the HPC facility behind the paper's case
+// studies (§7): a cluster of racks and compute nodes (the Cab stand-in),
+// the static node/rack layout table provided by system administrators, and
+// the OSIsoft-PI-style rack environment sensors — six per rack, at the top,
+// middle, and bottom of the hot and cold aisles, sampled every two minutes.
+//
+// The thermal model is a first-order lag: each hot-aisle sensor tracks a
+// target temperature of ambient plus a coefficient times the power drawn by
+// the third of the rack's nodes nearest the sensor, with exponential
+// approach (thermal inertia) and small deterministic noise. Cold-aisle
+// sensors sit near ambient. This reproduces exactly the structure and the
+// qualitative signal shapes (§7.2: ramping heat under AMG, rise-and-fall
+// under phased applications) that ScrubJay's derivations consume.
+package facility
+
+import (
+	"fmt"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// Locations of rack sensors.
+var Locations = []string{"top", "mid", "bot"}
+
+// Aisles of rack sensors.
+var Aisles = []string{"hot", "cold"}
+
+// Config sizes the simulated facility.
+type Config struct {
+	// Racks is the number of racks.
+	Racks int
+	// NodesPerRack is the number of compute nodes per rack.
+	NodesPerRack int
+	// Seed drives the deterministic noise.
+	Seed int64
+}
+
+// DefaultConfig approximates one row of the Cab machine room: 20 racks of
+// 64 nodes.
+func DefaultConfig() Config {
+	return Config{Racks: 20, NodesPerRack: 64, Seed: 1}
+}
+
+// Facility is a configured cluster.
+type Facility struct {
+	cfg   Config
+	nodes []string // node names, rack-major
+}
+
+// New builds a facility.
+func New(cfg Config) *Facility {
+	if cfg.Racks < 1 {
+		cfg.Racks = 1
+	}
+	if cfg.NodesPerRack < 1 {
+		cfg.NodesPerRack = 1
+	}
+	f := &Facility{cfg: cfg}
+	for r := 0; r < cfg.Racks; r++ {
+		for n := 0; n < cfg.NodesPerRack; n++ {
+			f.nodes = append(f.nodes, NodeName(r, n))
+		}
+	}
+	return f
+}
+
+// NodeName renders the canonical node name for rack r, slot n.
+func NodeName(rack, slot int) string { return fmt.Sprintf("cab%02d-%02d", rack, slot) }
+
+// RackName renders the canonical rack name.
+func RackName(rack int) string { return fmt.Sprintf("rack%02d", rack) }
+
+// Config returns the facility's configuration.
+func (f *Facility) Config() Config { return f.cfg }
+
+// Nodes lists all node names, rack-major.
+func (f *Facility) Nodes() []string { return f.nodes }
+
+// RackNodes lists the node names in one rack.
+func (f *Facility) RackNodes(rack int) []string {
+	lo := rack * f.cfg.NodesPerRack
+	return f.nodes[lo : lo+f.cfg.NodesPerRack]
+}
+
+// RackOf returns the rack index of a node index.
+func (f *Facility) RackOf(nodeIdx int) int { return nodeIdx / f.cfg.NodesPerRack }
+
+// LayoutSchema is the semantics of the static node/rack layout table.
+func LayoutSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"rack", semantics.IDDomain("rack"),
+	)
+}
+
+// LayoutDataset materializes the node/rack layout table — the static
+// information the paper obtained from a facility administrator (§7.1).
+func (f *Facility) LayoutDataset(ctx *rdd.Context, parts int) *dataset.Dataset {
+	rows := make([]value.Row, len(f.nodes))
+	for i, n := range f.nodes {
+		rows[i] = value.NewRow(
+			"node", value.Str(n),
+			"rack", value.Str(RackName(f.RackOf(i))),
+		)
+	}
+	return dataset.FromRows(ctx, "node_layout", rows, LayoutSchema(), parts)
+}
+
+// TemperatureSchema is the semantics of the rack environment sensor data.
+func TemperatureSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"rack", semantics.IDDomain("rack"),
+		"location", semantics.IDDomain("rack_location"),
+		"aisle", semantics.IDDomain("rack_aisle"),
+		// The facility records every two minutes (§7.2).
+		"time", semantics.TimeDomain().WithCadence(120),
+		"temp", semantics.ValueEntry("temperature", "degrees_celsius"),
+	)
+}
+
+// ThermalConfig tunes the sensor simulation.
+type ThermalConfig struct {
+	// PeriodSeconds is the sensor sampling interval (the paper's facility
+	// records every two minutes).
+	PeriodSeconds int64
+	// AmbientC is the cold-aisle ambient temperature.
+	AmbientC float64
+	// DegreesPerKilowatt converts a rack third's power draw into its
+	// steady-state hot-aisle temperature rise.
+	DegreesPerKilowatt float64
+	// Inertia in (0,1] is the per-sample approach rate toward the target
+	// temperature; lower is more thermal mass.
+	Inertia float64
+	// NoiseC is the amplitude of the deterministic sensor noise.
+	NoiseC float64
+}
+
+// DefaultThermalConfig matches the paper's two-minute cadence.
+func DefaultThermalConfig() ThermalConfig {
+	return ThermalConfig{
+		PeriodSeconds:      120,
+		AmbientC:           18,
+		DegreesPerKilowatt: 1.2,
+		Inertia:            0.35,
+		NoiseC:             0.15,
+	}
+}
+
+// PowerFunc reports the power draw, in watts, of a node at a Unix-seconds
+// instant. Workload simulations provide it.
+type PowerFunc func(node string, unixSec int64) float64
+
+// noise is a cheap deterministic hash-noise in [-1, 1).
+func noise(seed int64, a, b int64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(a)*0xBF58476D1CE4E5B9 ^ uint64(b)*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	return float64(x%2000000)/1000000 - 1
+}
+
+// SimulateTemperatures produces the rack temperature dataset over
+// [startSec, endSec) driven by the given per-node power function. Sensors
+// at top/mid/bot react to the power of the corresponding third of the
+// rack's nodes.
+func (f *Facility) SimulateTemperatures(ctx *rdd.Context, power PowerFunc, startSec, endSec int64, tc ThermalConfig, parts int) *dataset.Dataset {
+	if tc.PeriodSeconds <= 0 {
+		tc.PeriodSeconds = 120
+	}
+	var rows []value.Row
+	third := (f.cfg.NodesPerRack + 2) / 3
+	for r := 0; r < f.cfg.Racks; r++ {
+		rackNodes := f.RackNodes(r)
+		// Hot-aisle temperature state per location, warmed to ambient.
+		state := map[string]float64{}
+		for _, loc := range Locations {
+			state[loc] = tc.AmbientC + 4
+		}
+		for t := startSec; t < endSec; t += tc.PeriodSeconds {
+			for li, loc := range Locations {
+				lo := li * third
+				hi := lo + third
+				if hi > len(rackNodes) {
+					hi = len(rackNodes)
+				}
+				var kw float64
+				for _, n := range rackNodes[lo:hi] {
+					kw += power(n, t) / 1000
+				}
+				target := tc.AmbientC + 4 + tc.DegreesPerKilowatt*kw
+				state[loc] += (target - state[loc]) * tc.Inertia
+				hot := state[loc] + tc.NoiseC*noise(f.cfg.Seed, int64(r*3+li), t)
+				cold := tc.AmbientC + tc.NoiseC*noise(f.cfg.Seed+1, int64(r*3+li), t)
+				rows = append(rows,
+					value.NewRow(
+						"rack", value.Str(RackName(r)),
+						"location", value.Str(loc),
+						"aisle", value.Str("hot"),
+						"time", value.TimeNanos(t*1e9),
+						"temp", value.Float(hot),
+					),
+					value.NewRow(
+						"rack", value.Str(RackName(r)),
+						"location", value.Str(loc),
+						"aisle", value.Str("cold"),
+						"time", value.TimeNanos(t*1e9),
+						"temp", value.Float(cold),
+					),
+				)
+			}
+		}
+	}
+	return dataset.FromRows(ctx, "rack_temperatures", rows, TemperatureSchema(), parts)
+}

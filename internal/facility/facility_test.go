@@ -1,0 +1,115 @@
+package facility
+
+import (
+	"testing"
+
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+)
+
+func TestNewFacilityLayout(t *testing.T) {
+	f := New(Config{Racks: 3, NodesPerRack: 4, Seed: 1})
+	if len(f.Nodes()) != 12 {
+		t.Fatalf("nodes = %d", len(f.Nodes()))
+	}
+	if f.Nodes()[0] != "cab00-00" || f.Nodes()[11] != "cab02-03" {
+		t.Errorf("node names = %v", f.Nodes())
+	}
+	if f.RackOf(0) != 0 || f.RackOf(11) != 2 {
+		t.Error("RackOf")
+	}
+	rn := f.RackNodes(1)
+	if len(rn) != 4 || rn[0] != "cab01-00" {
+		t.Errorf("RackNodes(1) = %v", rn)
+	}
+	// Degenerate configs are clamped.
+	g := New(Config{})
+	if len(g.Nodes()) != 1 {
+		t.Errorf("clamped facility nodes = %d", len(g.Nodes()))
+	}
+}
+
+func TestLayoutDataset(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	f := New(Config{Racks: 2, NodesPerRack: 3, Seed: 1})
+	ds := f.LayoutDataset(ctx, 2)
+	if ds.Count() != 6 {
+		t.Fatalf("layout rows = %d", ds.Count())
+	}
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Errorf("layout invalid: %v", err)
+	}
+	rows := ds.SortedBy("node")
+	if rows[0].Get("rack").StrVal() != "rack00" || rows[5].Get("rack").StrVal() != "rack01" {
+		t.Errorf("layout mapping wrong: %v", rows)
+	}
+}
+
+func TestSimulateTemperaturesShape(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	f := New(Config{Racks: 2, NodesPerRack: 6, Seed: 1})
+	tc := DefaultThermalConfig()
+
+	// Rack 0 hot (400 W/node), rack 1 idle (80 W/node).
+	power := func(node string, _ int64) float64 {
+		if node[:5] == "cab00" {
+			return 400
+		}
+		return 80
+	}
+	ds := f.SimulateTemperatures(ctx, power, 0, 3600, tc, 2)
+	// 2 racks x 3 locations x 2 aisles x 30 samples.
+	if ds.Count() != int64(2*3*2*30) {
+		t.Fatalf("rows = %d", ds.Count())
+	}
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Errorf("temps invalid: %v", err)
+	}
+
+	// After warm-up, rack 0's hot aisle must exceed rack 1's, and both
+	// exceed their cold aisles.
+	var hot0, hot1, cold0 float64
+	var n0, n1, nc int
+	for _, r := range ds.Collect() {
+		if r.Get("time").TimeNanosVal() < 1800e9 {
+			continue
+		}
+		temp := r.Get("temp").FloatVal()
+		switch {
+		case r.Get("rack").StrVal() == "rack00" && r.Get("aisle").StrVal() == "hot":
+			hot0 += temp
+			n0++
+		case r.Get("rack").StrVal() == "rack01" && r.Get("aisle").StrVal() == "hot":
+			hot1 += temp
+			n1++
+		case r.Get("rack").StrVal() == "rack00" && r.Get("aisle").StrVal() == "cold":
+			cold0 += temp
+			nc++
+		}
+	}
+	hot0 /= float64(n0)
+	hot1 /= float64(n1)
+	cold0 /= float64(nc)
+	if hot0 <= hot1 {
+		t.Errorf("high-power rack should be hotter: %.2f vs %.2f", hot0, hot1)
+	}
+	if hot1 <= cold0 {
+		t.Errorf("hot aisle should exceed cold aisle: %.2f vs %.2f", hot1, cold0)
+	}
+}
+
+func TestSimulateTemperaturesDeterministic(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	f := New(Config{Racks: 1, NodesPerRack: 3, Seed: 42})
+	power := func(string, int64) float64 { return 200 }
+	a := f.SimulateTemperatures(ctx, power, 0, 1200, DefaultThermalConfig(), 1).SortedBy("location", "aisle", "time")
+	b := f.SimulateTemperatures(ctx, power, 0, 1200, DefaultThermalConfig(), 1).SortedBy("location", "aisle", "time")
+	if len(a) != len(b) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package ingest implements the continuous-collection path of the paper's
+// deployment (§2, §7.1): monitoring producers (an LDMS-style metric
+// service, counter samplers) stream records into tables of the embedded
+// key-value store, from which ScrubJay's kv wrapper loads them for
+// analysis. Records buffer in memory and flush in batches — the shape of
+// any real telemetry ingester — with a background ticker bounding how stale
+// the durable table may be. Tables written here are exactly the kv-wrapper
+// format: binary rows plus a JSON schema record, appended in arrival order.
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scrubjay/internal/kvstore"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+	"scrubjay/internal/wrappers"
+)
+
+// Config tunes an Ingester.
+type Config struct {
+	// BatchSize is the number of buffered rows that triggers a flush.
+	BatchSize int
+	// FlushInterval bounds buffering time; <= 0 disables the background
+	// flusher (flushes then happen only on BatchSize and Close).
+	FlushInterval time.Duration
+}
+
+// DefaultConfig buffers 256 rows for at most one second.
+func DefaultConfig() Config {
+	return Config{BatchSize: 256, FlushInterval: time.Second}
+}
+
+// Ingester appends rows to one kv table.
+type Ingester struct {
+	cfg Config
+
+	mu     sync.Mutex
+	tbl    *kvstore.Table
+	buf    []value.Row
+	next   int
+	closed bool
+
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+}
+
+// Open prepares ingestion into store/table with the given schema. If the
+// table already holds rows (a previous ingestion run), new rows append
+// after them; an existing schema record must match the provided schema.
+func Open(store *kvstore.Store, table string, schema semantics.Schema, cfg Config) (*Ingester, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	tbl, err := store.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	schemaData, err := json.Marshal(schema)
+	if err != nil {
+		return nil, err
+	}
+	if prev, err := tbl.Get(wrappers.SchemaKey); err == nil {
+		var prevSchema semantics.Schema
+		if err := json.Unmarshal(prev, &prevSchema); err != nil {
+			return nil, fmt.Errorf("ingest: table %q has a corrupt schema record: %w", table, err)
+		}
+		if !prevSchema.Equal(schema) {
+			return nil, fmt.Errorf("ingest: table %q already has a different schema", table)
+		}
+	} else if err := tbl.Put(wrappers.SchemaKey, schemaData); err != nil {
+		return nil, err
+	}
+	ing := &Ingester{
+		cfg:  cfg,
+		tbl:  tbl,
+		next: len(tbl.Keys("row:")),
+	}
+	if cfg.FlushInterval > 0 {
+		ing.stopFlusher = make(chan struct{})
+		ing.flusherDone = make(chan struct{})
+		go ing.flusher()
+	}
+	return ing, nil
+}
+
+func (ing *Ingester) flusher() {
+	defer close(ing.flusherDone)
+	ticker := time.NewTicker(ing.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ing.Flush()
+		case <-ing.stopFlusher:
+			return
+		}
+	}
+}
+
+// Ingest buffers one row; it flushes synchronously when the batch fills.
+// Safe for concurrent use.
+func (ing *Ingester) Ingest(row value.Row) error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return errors.New("ingest: ingester closed")
+	}
+	ing.buf = append(ing.buf, row)
+	full := len(ing.buf) >= ing.cfg.BatchSize
+	ing.mu.Unlock()
+	if full {
+		return ing.Flush()
+	}
+	return nil
+}
+
+// Pending reports the number of buffered, unflushed rows.
+func (ing *Ingester) Pending() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return len(ing.buf)
+}
+
+// Ingested reports the number of rows durably appended so far.
+func (ing *Ingester) Ingested() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.next
+}
+
+// Flush appends all buffered rows to the table and syncs the log.
+func (ing *Ingester) Flush() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.flushLocked()
+}
+
+func (ing *Ingester) flushLocked() error {
+	if len(ing.buf) == 0 {
+		return nil
+	}
+	for _, row := range ing.buf {
+		if err := ing.tbl.Put(wrappers.RowKey(ing.next), row.AppendBinary(nil)); err != nil {
+			return err
+		}
+		ing.next++
+	}
+	ing.buf = ing.buf[:0]
+	return ing.tbl.Flush()
+}
+
+// Close flushes remaining rows and stops the background flusher. The
+// underlying store stays open (it may serve other tables).
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	err := ing.flushLocked()
+	ing.mu.Unlock()
+	if ing.stopFlusher != nil {
+		close(ing.stopFlusher)
+		<-ing.flusherDone
+	}
+	return err
+}

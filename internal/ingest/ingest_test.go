@@ -1,0 +1,197 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scrubjay/internal/kvstore"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+	"scrubjay/internal/wrappers"
+)
+
+func metricSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain(),
+		"node", semantics.IDDomain("compute_node"),
+		"load", semantics.ValueEntry("fraction", "fraction"),
+	)
+}
+
+func metricRow(i int) value.Row {
+	return value.NewRow(
+		"time", value.TimeNanos(int64(i)*1e9),
+		"node", value.Str(fmt.Sprintf("n%d", i%4)),
+		"load", value.Float(float64(i%100)/100),
+	)
+}
+
+func TestIngestThenLoadViaWrapper(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := Open(store, "ldms", metricSchema(), Config{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ing.Ingest(metricRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ing.Ingested() < 80 {
+		t.Errorf("batched flushes should have run: %d durable", ing.Ingested())
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Ingested() != n || ing.Pending() != 0 {
+		t.Errorf("after close: %d durable, %d pending", ing.Ingested(), ing.Pending())
+	}
+	store.Close()
+
+	// The ingested table is a regular kv-wrapper dataset.
+	ctx := rdd.NewContext(2)
+	ds, err := wrappers.Read(ctx, wrappers.Source{Format: "kv", Path: dir, Table: "ldms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != n {
+		t.Fatalf("loaded %d rows, want %d", ds.Count(), n)
+	}
+	if !ds.Schema().Equal(metricSchema()) {
+		t.Error("schema mismatch")
+	}
+	// Rows arrive in insertion order.
+	rows := ds.Collect()
+	if rows[0].Get("time").TimeNanosVal() != 0 || rows[n-1].Get("time").TimeNanosVal() != int64(n-1)*1e9 {
+		t.Error("insertion order lost")
+	}
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Errorf("ingested dataset invalid: %v", err)
+	}
+}
+
+func TestIngestResumeAppends(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := kvstore.Open(dir)
+	ing, err := Open(store, "t", metricSchema(), Config{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ing.Ingest(metricRow(i))
+	}
+	ing.Close()
+
+	// Re-open and continue: rows append after the existing ones.
+	ing2, err := Open(store, "t", metricSchema(), Config{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing2.Ingested() != 10 {
+		t.Fatalf("resumed at %d, want 10", ing2.Ingested())
+	}
+	for i := 10; i < 15; i++ {
+		ing2.Ingest(metricRow(i))
+	}
+	ing2.Close()
+	store.Close()
+
+	ctx := rdd.NewContext(1)
+	ds, err := wrappers.Read(ctx, wrappers.Source{Format: "kv", Path: dir, Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != 15 {
+		t.Errorf("count = %d, want 15", ds.Count())
+	}
+}
+
+func TestIngestSchemaConflict(t *testing.T) {
+	store, _ := kvstore.Open(t.TempDir())
+	ing, err := Open(store, "t", metricSchema(), Config{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing.Close()
+	other := semantics.NewSchema("x", semantics.IDDomain("rack"))
+	if _, err := Open(store, "t", other, Config{}); err == nil {
+		t.Error("conflicting schema should fail")
+	}
+	// Same schema is fine.
+	if _, err := Open(store, "t", metricSchema(), Config{}); err != nil {
+		t.Errorf("same schema should resume: %v", err)
+	}
+}
+
+func TestIngestBackgroundFlusher(t *testing.T) {
+	store, _ := kvstore.Open(t.TempDir())
+	ing, err := Open(store, "t", metricSchema(), Config{BatchSize: 1000, FlushInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing.Ingest(metricRow(0))
+	deadline := time.Now().Add(2 * time.Second)
+	for ing.Ingested() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ing.Ingested() != 1 {
+		t.Error("background flusher never flushed")
+	}
+	ing.Close()
+}
+
+func TestIngestConcurrentProducers(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := kvstore.Open(dir)
+	ing, err := Open(store, "t", metricSchema(), Config{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers, each = 8, 50
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := ing.Ingest(metricRow(p*each + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	ctx := rdd.NewContext(2)
+	ds, err := wrappers.Read(ctx, wrappers.Source{Format: "kv", Path: dir, Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Count() != producers*each {
+		t.Errorf("count = %d, want %d", ds.Count(), producers*each)
+	}
+}
+
+func TestIngestAfterCloseFails(t *testing.T) {
+	store, _ := kvstore.Open(t.TempDir())
+	ing, _ := Open(store, "t", metricSchema(), Config{})
+	ing.Close()
+	if err := ing.Ingest(metricRow(0)); err == nil {
+		t.Error("ingest after close should fail")
+	}
+	if err := ing.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package rdd is ScrubJay's data-parallel substrate: a from-scratch,
+// in-memory reimplementation of the resilient-distributed-dataset execution
+// model the paper builds on (§4.1, §5.3). An RDD is a lazily evaluated,
+// partitioned collection with lineage: narrow operations (map, filter,
+// flatMap) fuse into a single stage per partition, while shuffle operations
+// (groupByKey, coGroup, repartition) force a stage boundary that exchanges
+// rows between partitions.
+//
+// Execution happens on a worker pool inside one process. Every task
+// (one partition of one stage) is timed, and the recorded task log can be
+// replayed onto a simulated cluster (see Cluster and SimulateMakespan) to
+// study scaling behaviour on hardware that lacks the paper's 10-node,
+// 32-core data cluster. The computed results are always real; only the
+// placement of measured task costs onto parallel executors is simulated.
+package rdd
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Context owns the worker pool and the task-metric log for a set of RDDs.
+type Context struct {
+	workers int
+
+	mu     sync.Mutex
+	stages []StageMetrics
+	nextID int
+}
+
+// NewContext returns a context executing with the given number of parallel
+// workers; workers <= 0 selects GOMAXPROCS.
+func NewContext(workers int) *Context {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Context{workers: workers}
+}
+
+// Workers reports the configured real parallelism.
+func (c *Context) Workers() int { return c.workers }
+
+// TaskMetrics records one executed task (one partition of one stage).
+type TaskMetrics struct {
+	Partition int
+	Duration  time.Duration
+	RowsOut   int64
+}
+
+// StageMetrics records one executed stage.
+type StageMetrics struct {
+	ID   int
+	Name string
+	// Shuffle is true when the stage ended in a partition exchange.
+	Shuffle bool
+	// ShuffleRows is the number of rows exchanged at the stage boundary.
+	ShuffleRows int64
+	Tasks       []TaskMetrics
+}
+
+// TotalTaskTime sums the durations of all tasks in the stage.
+func (s StageMetrics) TotalTaskTime() time.Duration {
+	var t time.Duration
+	for _, task := range s.Tasks {
+		t += task.Duration
+	}
+	return t
+}
+
+// Metrics is a snapshot of the stages executed so far.
+type Metrics struct {
+	Stages []StageMetrics
+}
+
+// TotalTaskTime sums task durations across all stages.
+func (m Metrics) TotalTaskTime() time.Duration {
+	var t time.Duration
+	for _, s := range m.Stages {
+		t += s.TotalTaskTime()
+	}
+	return t
+}
+
+// TotalShuffleRows sums shuffled rows across all stages.
+func (m Metrics) TotalShuffleRows() int64 {
+	var n int64
+	for _, s := range m.Stages {
+		n += s.ShuffleRows
+	}
+	return n
+}
+
+// ResetMetrics clears the recorded stage log (used between benchmark runs).
+func (c *Context) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = nil
+}
+
+// SnapshotMetrics copies the recorded stage log.
+func (c *Context) SnapshotMetrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageMetrics, len(c.stages))
+	copy(out, c.stages)
+	return Metrics{Stages: out}
+}
+
+func (c *Context) recordStage(s StageMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.ID = c.nextID
+	c.nextID++
+	c.stages = append(c.stages, s)
+}
+
+// runTasks executes task(0..n-1) on the worker pool and returns the
+// duration of each task. Panics inside tasks propagate to the caller.
+func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
+	metrics := make([]TaskMetrics, n)
+	if n == 0 {
+		return metrics
+	}
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			for i := range next {
+				start := time.Now()
+				task(i)
+				metrics[i] = TaskMetrics{Partition: i, Duration: time.Since(start)}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	return metrics
+}

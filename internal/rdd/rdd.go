@@ -1,0 +1,331 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RDD is a lazily evaluated, partitioned, immutable collection of T.
+// Operations build lineage; actions (Collect, Count, Reduce) trigger
+// execution. Narrow operations fuse: a chain of maps/filters over one RDD
+// executes as a single task per partition, as in Spark.
+type RDD[T any] struct {
+	ctx      *Context
+	name     string
+	numParts int
+	// compute produces one partition. It must be safe to call concurrently
+	// for distinct partitions and is pure with respect to its input lineage.
+	compute func(part int) []T
+
+	// Caching: once materialized, partitions are served from memory.
+	cacheMu sync.Mutex
+	caching bool
+	cached  [][]T
+}
+
+// Parallelize distributes a slice across numParts partitions.
+func Parallelize[T any](ctx *Context, data []T, numParts int) *RDD[T] {
+	if numParts <= 0 {
+		numParts = ctx.Workers()
+	}
+	if numParts < 1 {
+		numParts = 1
+	}
+	return &RDD[T]{
+		ctx:      ctx,
+		name:     "parallelize",
+		numParts: numParts,
+		compute: func(part int) []T {
+			lo := part * len(data) / numParts
+			hi := (part + 1) * len(data) / numParts
+			out := make([]T, hi-lo)
+			copy(out, data[lo:hi])
+			return out
+		},
+	}
+}
+
+// FromPartitions wraps pre-partitioned data.
+func FromPartitions[T any](ctx *Context, parts [][]T) *RDD[T] {
+	return &RDD[T]{
+		ctx:      ctx,
+		name:     "fromPartitions",
+		numParts: len(parts),
+		compute:  func(part int) []T { return parts[part] },
+	}
+}
+
+// Generate builds an RDD of n elements produced by gen(i), partitioned into
+// numParts. Useful for synthetic workloads without materializing input
+// slices up front.
+func Generate[T any](ctx *Context, n int, numParts int, gen func(i int) T) *RDD[T] {
+	if numParts <= 0 {
+		numParts = ctx.Workers()
+	}
+	if numParts < 1 {
+		numParts = 1
+	}
+	return &RDD[T]{
+		ctx:      ctx,
+		name:     "generate",
+		numParts: numParts,
+		compute: func(part int) []T {
+			lo := part * n / numParts
+			hi := (part + 1) * n / numParts
+			out := make([]T, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, gen(i))
+			}
+			return out
+		},
+	}
+}
+
+// Context returns the execution context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions reports the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numParts }
+
+// Name returns the lineage label of this RDD.
+func (r *RDD[T]) Name() string { return r.name }
+
+// WithName relabels the RDD for metrics and debugging.
+func (r *RDD[T]) WithName(name string) *RDD[T] {
+	r.name = name
+	return r
+}
+
+// Cache marks the RDD so its first materialization is retained and reused
+// by later actions.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cacheMu.Lock()
+	r.caching = true
+	r.cacheMu.Unlock()
+	return r
+}
+
+// partition computes (or fetches from cache) one partition.
+func (r *RDD[T]) partition(part int) []T {
+	r.cacheMu.Lock()
+	if r.cached != nil {
+		p := r.cached[part]
+		r.cacheMu.Unlock()
+		return p
+	}
+	r.cacheMu.Unlock()
+	return r.compute(part)
+}
+
+// materialize runs a stage that computes every partition of r on the worker
+// pool, records metrics, and returns the partitions.
+func (r *RDD[T]) materialize(stageName string, shuffle bool, shuffleRows int64) [][]T {
+	r.cacheMu.Lock()
+	if r.cached != nil {
+		parts := r.cached
+		r.cacheMu.Unlock()
+		return parts
+	}
+	r.cacheMu.Unlock()
+
+	parts := make([][]T, r.numParts)
+	var rows int64
+	tasks := r.ctx.runTasks(r.numParts, func(i int) {
+		parts[i] = r.partition(i)
+		atomic.AddInt64(&rows, int64(len(parts[i])))
+	})
+	for i := range tasks {
+		tasks[i].RowsOut = int64(len(parts[i]))
+	}
+	r.ctx.recordStage(StageMetrics{
+		Name:        stageName,
+		Shuffle:     shuffle,
+		ShuffleRows: shuffleRows,
+		Tasks:       tasks,
+	})
+
+	r.cacheMu.Lock()
+	if r.caching && r.cached == nil {
+		r.cached = parts
+	}
+	r.cacheMu.Unlock()
+	return parts
+}
+
+// ---- Narrow transformations (fuse into the consumer's stage) ----
+
+// Map applies f elementwise.
+func Map[A, B any](r *RDD[A], f func(A) B) *RDD[B] {
+	return &RDD[B]{
+		ctx:      r.ctx,
+		name:     r.name + "|map",
+		numParts: r.numParts,
+		compute: func(part int) []B {
+			in := r.partition(part)
+			out := make([]B, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out
+		},
+	}
+}
+
+// FlatMap applies f elementwise and concatenates the results.
+func FlatMap[A, B any](r *RDD[A], f func(A) []B) *RDD[B] {
+	return &RDD[B]{
+		ctx:      r.ctx,
+		name:     r.name + "|flatMap",
+		numParts: r.numParts,
+		compute: func(part int) []B {
+			in := r.partition(part)
+			var out []B
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out
+		},
+	}
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		ctx:      r.ctx,
+		name:     r.name + "|filter",
+		numParts: r.numParts,
+		compute: func(part int) []T {
+			in := r.partition(part)
+			out := make([]T, 0, len(in))
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// MapPartitions transforms whole partitions at once.
+func MapPartitions[A, B any](r *RDD[A], f func(part int, in []A) []B) *RDD[B] {
+	return &RDD[B]{
+		ctx:      r.ctx,
+		name:     r.name + "|mapPartitions",
+		numParts: r.numParts,
+		compute:  func(part int) []B { return f(part, r.partition(part)) },
+	}
+}
+
+// Union concatenates two RDDs (narrow; partitions are appended).
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd.Union: RDDs from different contexts")
+	}
+	return &RDD[T]{
+		ctx:      a.ctx,
+		name:     fmt.Sprintf("union(%s,%s)", a.name, b.name),
+		numParts: a.numParts + b.numParts,
+		compute: func(part int) []T {
+			if part < a.numParts {
+				return a.partition(part)
+			}
+			return b.partition(part - a.numParts)
+		},
+	}
+}
+
+// ---- Actions ----
+
+// Collect materializes the RDD into a single slice.
+func (r *RDD[T]) Collect() []T {
+	parts := r.materialize(r.name+"|collect", false, 0)
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() int64 {
+	parts := r.materialize(r.name+"|count", false, 0)
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Take returns up to n elements (materializes the whole RDD; this substrate
+// has no partial evaluation).
+func (r *RDD[T]) Take(n int) []T {
+	all := r.Collect()
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// Reduce folds all elements with an associative, commutative f. The second
+// result is false for an empty RDD.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, bool) {
+	parts := r.materialize(r.name+"|reduce", false, 0)
+	var acc T
+	have := false
+	for _, p := range parts {
+		for _, v := range p {
+			if !have {
+				acc, have = v, true
+			} else {
+				acc = f(acc, v)
+			}
+		}
+	}
+	return acc, have
+}
+
+// Aggregate folds each partition with seqOp from zero, then merges the
+// per-partition results with combOp.
+func Aggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combOp func(U, U) U) U {
+	parts := r.materialize(r.name+"|aggregate", false, 0)
+	partial := make([]U, len(parts))
+	r.ctx.runTasks(len(parts), func(i int) {
+		acc := zero()
+		for _, v := range parts[i] {
+			acc = seqOp(acc, v)
+		}
+		partial[i] = acc
+	})
+	acc := zero()
+	for _, p := range partial {
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// SortBy returns a new RDD with all elements totally ordered by less. The
+// implementation exchanges all rows (a full shuffle) and range-partitions
+// the sorted output back to the original partition count.
+func SortBy[T any](r *RDD[T], less func(a, b T) bool) *RDD[T] {
+	parts := r.materialize(r.name+"|sort-input", false, 0)
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	all := make([]T, 0, n)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
+	out := Parallelize(r.ctx, all, r.numParts)
+	out.name = r.name + "|sortBy"
+	r.ctx.recordStage(StageMetrics{Name: out.name, Shuffle: true, ShuffleRows: n})
+	return out
+}

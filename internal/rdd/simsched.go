@@ -1,0 +1,118 @@
+package rdd
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+)
+
+// Cluster describes a simulated data cluster onto which a recorded task log
+// is replayed. It models the two effects that dominate Spark job time in
+// the paper's evaluation (§6): dividing per-partition compute across
+// parallel executors, and the shuffle barrier whose cost scales with data
+// volume and improves with node count (more aggregate NIC bandwidth).
+type Cluster struct {
+	// Nodes and CoresPerNode define the executor count. The paper's
+	// evaluation cluster is 10 nodes x 32 cores.
+	Nodes        int
+	CoresPerNode int
+	// RowBytes estimates the serialized size of one shuffled row.
+	RowBytes float64
+	// NodeShuffleBandwidth is the per-node shuffle throughput in bytes/sec
+	// (network + serialization). Aggregate bandwidth grows with Nodes.
+	NodeShuffleBandwidth float64
+	// ShuffleLatency is the fixed per-shuffle barrier cost (task launch,
+	// coordination), independent of data volume.
+	ShuffleLatency time.Duration
+}
+
+// PaperCluster returns the evaluation cluster from §6 of the paper:
+// 10 nodes, 32 cores per node. Bandwidth and latency constants are chosen
+// to sit in the regime the paper reports (joins of tens of millions of rows
+// complete in seconds to minutes, and strong scaling flattens but does not
+// invert at 10 nodes).
+func PaperCluster(nodes int) Cluster {
+	return Cluster{
+		Nodes:                nodes,
+		CoresPerNode:         32,
+		RowBytes:             64,
+		NodeShuffleBandwidth: 200e6,
+		ShuffleLatency:       250 * time.Millisecond,
+	}
+}
+
+// Executors returns the simulated executor count.
+func (c Cluster) Executors() int {
+	n := c.Nodes * c.CoresPerNode
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+type execHeap []time.Duration
+
+func (h execHeap) Len() int           { return len(h) }
+func (h execHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h execHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *execHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *execHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// scheduleLPT computes the makespan of scheduling task durations onto m
+// executors using longest-processing-time-first list scheduling, the same
+// greedy placement Spark's scheduler approximates.
+func scheduleLPT(durations []time.Duration, m int) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	if m < 1 {
+		m = 1
+	}
+	sorted := make([]time.Duration, len(durations))
+	copy(sorted, durations)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	h := make(execHeap, m)
+	heap.Init(&h)
+	for _, d := range sorted {
+		least := heap.Pop(&h).(time.Duration)
+		heap.Push(&h, least+d)
+	}
+	var makespan time.Duration
+	for _, load := range h {
+		if load > makespan {
+			makespan = load
+		}
+	}
+	return makespan
+}
+
+// SimulateMakespan replays a recorded task log onto the cluster and returns
+// the simulated wall-clock time. Stages execute in order (shuffles are
+// barriers). Each stage contributes its LPT makespan over the cluster's
+// executors; shuffle stages additionally contribute transfer time
+// rows*RowBytes / (Nodes*NodeShuffleBandwidth) plus the fixed latency.
+func SimulateMakespan(m Metrics, cl Cluster) time.Duration {
+	var total time.Duration
+	for _, stage := range m.Stages {
+		durations := make([]time.Duration, len(stage.Tasks))
+		for i, t := range stage.Tasks {
+			durations[i] = t.Duration
+		}
+		total += scheduleLPT(durations, cl.Executors())
+		if stage.Shuffle {
+			bytes := float64(stage.ShuffleRows) * cl.RowBytes
+			bw := float64(cl.Nodes) * cl.NodeShuffleBandwidth
+			if bw > 0 {
+				total += time.Duration(bytes / bw * float64(time.Second))
+			}
+			total += cl.ShuffleLatency
+		}
+	}
+	return total
+}

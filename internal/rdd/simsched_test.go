@@ -1,0 +1,139 @@
+package rdd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleLPT(t *testing.T) {
+	d := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	// One executor: makespan is the sum.
+	if got := scheduleLPT([]time.Duration{d(3), d(1), d(2)}, 1); got != d(6) {
+		t.Errorf("1 exec: %v", got)
+	}
+	// Enough executors: makespan is the max.
+	if got := scheduleLPT([]time.Duration{d(3), d(1), d(2)}, 3); got != d(3) {
+		t.Errorf("3 exec: %v", got)
+	}
+	// LPT packs 4,3,3 onto 2 executors as {4,3},{3} -> wait: {4},{3,3} = 6.
+	if got := scheduleLPT([]time.Duration{d(4), d(3), d(3)}, 2); got != d(6) {
+		t.Errorf("2 exec: %v", got)
+	}
+	if got := scheduleLPT(nil, 4); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := scheduleLPT([]time.Duration{d(5)}, 0); got != d(5) {
+		t.Errorf("min one executor: %v", got)
+	}
+}
+
+func TestQuickLPTBounds(t *testing.T) {
+	prop := func(raw []uint16, m uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		exec := int(m%16) + 1
+		ds := make([]time.Duration, len(raw))
+		var sum, max time.Duration
+		for i, r := range raw {
+			ds[i] = time.Duration(r) * time.Microsecond
+			sum += ds[i]
+			if ds[i] > max {
+				max = ds[i]
+			}
+		}
+		got := scheduleLPT(ds, exec)
+		// Makespan is at least max task and perfect-split lower bound, and
+		// at most the serial sum.
+		lower := sum / time.Duration(exec)
+		if max > lower {
+			lower = max
+		}
+		return got >= lower && got <= sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateMakespanMonotoneInNodes(t *testing.T) {
+	// Build a synthetic metrics log: one compute stage with 320 tasks, one
+	// shuffle stage.
+	tasks := make([]TaskMetrics, 320)
+	for i := range tasks {
+		tasks[i] = TaskMetrics{Partition: i, Duration: 10 * time.Millisecond}
+	}
+	m := Metrics{Stages: []StageMetrics{
+		{Name: "compute", Tasks: tasks},
+		{Name: "exchange", Shuffle: true, ShuffleRows: 1_000_000, Tasks: tasks},
+	}}
+	prev := time.Duration(1<<62 - 1)
+	for nodes := 1; nodes <= 10; nodes++ {
+		got := SimulateMakespan(m, PaperCluster(nodes))
+		if got <= 0 {
+			t.Fatalf("nodes=%d: non-positive makespan", nodes)
+		}
+		if got > prev {
+			t.Errorf("makespan increased from %v to %v at %d nodes", prev, got, nodes)
+		}
+		prev = got
+	}
+	// Diminishing returns: speedup 1->2 nodes exceeds 9->10 nodes.
+	t1 := SimulateMakespan(m, PaperCluster(1))
+	t2 := SimulateMakespan(m, PaperCluster(2))
+	t9 := SimulateMakespan(m, PaperCluster(9))
+	t10 := SimulateMakespan(m, PaperCluster(10))
+	if (t1 - t2) < (t9 - t10) {
+		t.Errorf("expected diminishing returns: 1->2 gain %v, 9->10 gain %v", t1-t2, t9-t10)
+	}
+}
+
+func TestSimulateMakespanLinearInRows(t *testing.T) {
+	mk := func(n int) Metrics {
+		tasks := make([]TaskMetrics, 32)
+		for i := range tasks {
+			tasks[i] = TaskMetrics{Duration: time.Duration(n) * time.Microsecond}
+		}
+		return Metrics{Stages: []StageMetrics{
+			{Name: "c", Tasks: tasks},
+			{Name: "x", Shuffle: true, ShuffleRows: int64(n) * 1000, Tasks: tasks},
+		}}
+	}
+	cl := PaperCluster(10)
+	t1 := SimulateMakespan(mk(100), cl)
+	t2 := SimulateMakespan(mk(200), cl)
+	t4 := SimulateMakespan(mk(400), cl)
+	// Subtract fixed latency before checking proportionality.
+	fixed := 2 * cl.ShuffleLatency / 2 // one shuffle stage
+	g1 := t2 - t1
+	g2 := t4 - t2
+	if g2 < g1 {
+		t.Errorf("expected non-decreasing growth, got %v then %v (fixed %v)", g1, g2, fixed)
+	}
+}
+
+func TestClusterExecutors(t *testing.T) {
+	if PaperCluster(10).Executors() != 320 {
+		t.Errorf("executors = %d", PaperCluster(10).Executors())
+	}
+	if (Cluster{}).Executors() != 1 {
+		t.Error("zero cluster should have 1 executor")
+	}
+}
+
+func TestSimulatedEndToEnd(t *testing.T) {
+	// Run a real shuffle job and replay it on 1 vs 10 nodes.
+	ctx := NewContext(2)
+	ctx.ResetMetrics()
+	r := Generate(ctx, 20000, 64, func(i int) int { return i })
+	GroupByKey(r, func(x int) string {
+		return string(rune('a' + x%26))
+	}).Collect()
+	m := ctx.SnapshotMetrics()
+	t1 := SimulateMakespan(m, PaperCluster(1))
+	t10 := SimulateMakespan(m, PaperCluster(10))
+	if t10 >= t1 {
+		t.Errorf("10-node simulated makespan %v should beat 1-node %v", t10, t1)
+	}
+}

@@ -1,0 +1,87 @@
+package semantics
+
+import "scrubjay/internal/units"
+
+// DefaultDictionary returns the dictionary of dimensions and units that ship
+// with ScrubJay, covering the paper's case-study data sources: scheduler
+// logs, facility sensors, node/CPU counters, and static layout tables.
+func DefaultDictionary() *Dictionary {
+	d := NewDictionary(units.Default())
+	for _, dim := range []Dimension{
+		// Physical, ordered, continuous dimensions.
+		{Name: "time", Ordered: true, Continuous: true},
+		{Name: "time_duration", Ordered: true, Continuous: true},
+		{Name: "time_interval", Ordered: true, Continuous: true},
+		{Name: "temperature", Ordered: true, Continuous: true},
+		{Name: "temperature_difference", Ordered: true, Continuous: true},
+		{Name: "power", Ordered: true, Continuous: true},
+		{Name: "energy", Ordered: true, Continuous: true},
+		{Name: "current", Ordered: true, Continuous: true},
+		{Name: "fan_speed", Ordered: true, Continuous: true},
+		{Name: "frequency", Ordered: true, Continuous: true},
+		// The measured (throttled) CPU frequency derived from APERF/MPERF
+		// is semantically distinct from the static base frequency, so a
+		// query can name it directly (§7.3).
+		{Name: "active_frequency", Ordered: true, Continuous: true},
+		{Name: "humidity", Ordered: true, Continuous: true},
+		{Name: "fraction", Ordered: true, Continuous: true},
+
+		// Ordered, discrete dimensions (event counts). APERF/MPERF get their
+		// own dimensions so the active-frequency derivation (§7.3) can
+		// identify them semantically rather than by column name.
+		{Name: "count", Ordered: true, Continuous: false},
+		{Name: "instructions", Ordered: true, Continuous: false},
+		{Name: "cycles", Ordered: true, Continuous: false},
+		{Name: "aperf_cycles", Ordered: true, Continuous: false},
+		{Name: "mperf_cycles", Ordered: true, Continuous: false},
+		{Name: "operations", Ordered: true, Continuous: false},
+		{Name: "memory_reads", Ordered: true, Continuous: false},
+		{Name: "memory_writes", Ordered: true, Continuous: false},
+		{Name: "information", Ordered: true, Continuous: false},
+
+		// Unordered, discrete identity dimensions — the HPC resources from
+		// Figure 1 of the paper.
+		{Name: "identity", Ordered: false, Continuous: false},
+		{Name: "compute_node", Ordered: false, Continuous: false},
+		{Name: "rack", Ordered: false, Continuous: false},
+		{Name: "rack_location", Ordered: false, Continuous: false},
+		{Name: "rack_aisle", Ordered: false, Continuous: false},
+		{Name: "cpu", Ordered: false, Continuous: false},
+		{Name: "cpu_socket", Ordered: false, Continuous: false},
+		{Name: "job", Ordered: false, Continuous: false},
+		{Name: "application", Ordered: false, Continuous: false},
+		{Name: "user", Ordered: false, Continuous: false},
+		{Name: "cluster", Ordered: false, Continuous: false},
+		{Name: "filesystem", Ordered: false, Continuous: false},
+		{Name: "network_link", Ordered: false, Continuous: false},
+	} {
+		d.MustRegisterDimension(dim)
+	}
+	return d
+}
+
+// Convenience constructors for the most common entry shapes.
+
+// DomainEntry builds a domain entry.
+func DomainEntry(dim, units string) Entry {
+	return Entry{Relation: Domain, Dimension: dim, Units: units}
+}
+
+// ValueEntry builds a value entry.
+func ValueEntry(dim, units string) Entry {
+	return Entry{Relation: Value, Dimension: dim, Units: units}
+}
+
+// TimeDomain is the standard entry for a timestamp domain column.
+func TimeDomain() Entry { return DomainEntry("time", "datetime") }
+
+// SpanDomain is the standard entry for a timespan domain column.
+func SpanDomain() Entry { return DomainEntry("time", "timespan") }
+
+// IDDomain is the standard entry for an identifier domain column on dim.
+func IDDomain(dim string) Entry { return DomainEntry(dim, "identifier") }
+
+// IDListDomain is the standard entry for a list-of-identifiers domain column.
+func IDListDomain(dim string) Entry {
+	return DomainEntry(dim, units.ListOf("identifier"))
+}

@@ -1,0 +1,238 @@
+// Package semantics implements ScrubJay's data-semantics layer (§4.2 of the
+// paper). Every column of a dataset is annotated with a semantic Entry: a
+// relation type (domain or value), a dimension, and units. A Dictionary
+// holds the vocabulary of dimensions and units, forbidding synonyms and
+// homonyms, and the derivation engine reasons over Schemas (column→Entry
+// maps) without touching data.
+package semantics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"scrubjay/internal/units"
+)
+
+// RelationType says whether a column describes the resource being measured
+// (a domain: node id, rack, point in time) or the measurement itself
+// (a value: temperature, instruction rate).
+type RelationType uint8
+
+// The two relation types.
+const (
+	Domain RelationType = iota
+	Value
+)
+
+// String returns the annotation keyword for the relation type.
+func (r RelationType) String() string {
+	if r == Domain {
+		return "domain"
+	}
+	return "value"
+}
+
+// RelationFromString parses "domain" or "value".
+func RelationFromString(s string) (RelationType, error) {
+	switch s {
+	case "domain":
+		return Domain, nil
+	case "value":
+		return Value, nil
+	default:
+		return Domain, fmt.Errorf("semantics: unknown relation type %q", s)
+	}
+}
+
+// MarshalJSON encodes the relation type as its keyword.
+func (r RelationType) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON decodes the keyword form.
+func (r *RelationType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := RelationFromString(s)
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// Dimension describes an aspect along which data may be defined: physical
+// (time, temperature) or conceptual (the identity of a compute node).
+type Dimension struct {
+	// Name is the canonical dimension name; unique within a dictionary.
+	Name string `json:"name"`
+	// Ordered dimensions admit comparison and distance (time, temperature);
+	// unordered dimensions admit only equality (node ids).
+	Ordered bool `json:"ordered"`
+	// Continuous dimensions may be halved indefinitely (time, temperature);
+	// discrete dimensions may not (event counts, identifiers).
+	Continuous bool `json:"continuous"`
+}
+
+// Entry is the semantic annotation of one dataset column.
+type Entry struct {
+	Relation  RelationType `json:"relation"`
+	Dimension string       `json:"dimension"`
+	Units     string       `json:"units"`
+	// CadenceSeconds, when positive on a datetime domain column, records
+	// the sampling interval of the recordings (the paper stresses that
+	// every tool collects at its own frequency). The derivation engine
+	// uses it to size interpolation-join correspondence windows.
+	CadenceSeconds float64 `json:"cadence_seconds,omitempty"`
+}
+
+// String renders the entry compactly for plans and error messages.
+func (e Entry) String() string {
+	if e.CadenceSeconds > 0 {
+		return fmt.Sprintf("%s:%s(%s)@%gs", e.Relation, e.Dimension, e.Units, e.CadenceSeconds)
+	}
+	return fmt.Sprintf("%s:%s(%s)", e.Relation, e.Dimension, e.Units)
+}
+
+// WithCadence returns a copy of the entry annotated with a sampling cadence.
+func (e Entry) WithCadence(seconds float64) Entry {
+	e.CadenceSeconds = seconds
+	return e
+}
+
+// Dictionary is the semantic dictionary: the vocabulary of dimensions plus
+// the unit dictionary. No synonyms or homonyms may exist (§4.2).
+type Dictionary struct {
+	dims  map[string]Dimension
+	Units *units.Dict
+}
+
+// NewDictionary returns an empty dictionary backed by the given unit
+// dictionary (nil means an empty unit dictionary).
+func NewDictionary(u *units.Dict) *Dictionary {
+	if u == nil {
+		u = units.NewDict()
+	}
+	return &Dictionary{dims: make(map[string]Dimension), Units: u}
+}
+
+// RegisterDimension adds a dimension. Re-registering an identical definition
+// is a no-op; a conflicting redefinition (homonym) is an error.
+func (d *Dictionary) RegisterDimension(dim Dimension) error {
+	if dim.Name == "" {
+		return fmt.Errorf("semantics: dimension name must be non-empty")
+	}
+	if strings.ContainsAny(dim.Name, "/<>") {
+		return fmt.Errorf("semantics: dimension name %q may not contain composite syntax", dim.Name)
+	}
+	if prev, ok := d.dims[dim.Name]; ok {
+		if prev != dim {
+			return fmt.Errorf("semantics: homonym: dimension %q already registered with different properties", dim.Name)
+		}
+		return nil
+	}
+	d.dims[dim.Name] = dim
+	return nil
+}
+
+// MustRegisterDimension is RegisterDimension but panics on error.
+func (d *Dictionary) MustRegisterDimension(dim Dimension) {
+	if err := d.RegisterDimension(dim); err != nil {
+		panic(err)
+	}
+}
+
+// LookupDimension resolves a dimension name, including the structural
+// composites "num/den" (rates: ordered iff the numerator is ordered,
+// continuous) and "list<elem>" (unordered, discrete).
+func (d *Dictionary) LookupDimension(name string) (Dimension, bool) {
+	if dim, ok := d.dims[name]; ok {
+		return dim, true
+	}
+	if elem, ok := units.IsList(name); ok {
+		if _, ok := d.LookupDimension(elem); !ok {
+			return Dimension{}, false
+		}
+		return Dimension{Name: name, Ordered: false, Continuous: false}, true
+	}
+	if i := strings.LastIndex(name, "/"); i > 0 {
+		num, ok1 := d.LookupDimension(name[:i])
+		_, ok2 := d.LookupDimension(name[i+1:])
+		if ok1 && ok2 {
+			return Dimension{Name: name, Ordered: num.Ordered, Continuous: true}, true
+		}
+	}
+	return Dimension{}, false
+}
+
+// DimensionNames returns the registered (non-composite) dimension names,
+// sorted.
+func (d *Dictionary) DimensionNames() []string {
+	names := make([]string, 0, len(d.dims))
+	for n := range d.dims {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ValidateEntry checks that an entry's dimension and units exist in the
+// dictionary and that the units are usable on the dimension: the unit's own
+// dimension must equal the entry's dimension, or be the "identity" wildcard
+// (identifiers label any discrete dimension), or belong to the time family
+// (datetime/timespan units annotate the "time" dimension).
+func (d *Dictionary) ValidateEntry(col string, e Entry) error {
+	if col == "" {
+		return fmt.Errorf("semantics: empty column name")
+	}
+	if _, ok := d.LookupDimension(e.Dimension); !ok {
+		return fmt.Errorf("semantics: column %q: unknown dimension %q", col, e.Dimension)
+	}
+	udim, err := d.Units.Dimension(e.Units)
+	if err != nil {
+		return fmt.Errorf("semantics: column %q: %w", col, err)
+	}
+	if compatibleDims(e.Dimension, udim) {
+		return nil
+	}
+	return fmt.Errorf("semantics: column %q: units %q (dimension %s) are not valid on dimension %q",
+		col, e.Units, udim, e.Dimension)
+}
+
+// compatibleDims reports whether units of dimension udim may annotate a
+// column of dimension dim.
+func compatibleDims(dim, udim string) bool {
+	if dim == udim {
+		return true
+	}
+	// Identifier units label any dimension (conceptual identities), and
+	// plain counts count events on any dimension (instruction counts,
+	// memory reads, APERF cycles, ...).
+	if udim == "identity" || udim == "list<identity>" || udim == "count" {
+		return true
+	}
+	// Time instants and intervals both live on the "time" dimension.
+	if dim == "time" && (udim == "time" || udim == "time_interval") {
+		return true
+	}
+	// Active frequency is measured in frequency units.
+	if dim == "active_frequency" && udim == "frequency" {
+		return true
+	}
+	// Composite dimensions match componentwise (e.g. instructions/time
+	// units on an instructions/time_duration dimension when the numerator
+	// matches and denominators are the duration of the same family).
+	if i := strings.LastIndex(dim, "/"); i > 0 {
+		if j := strings.LastIndex(udim, "/"); j > 0 {
+			return compatibleDims(dim[:i], udim[:j]) && compatibleDims(dim[i+1:], udim[j+1:])
+		}
+	}
+	if de, ok := units.IsList(dim); ok {
+		if ue, ok := units.IsList(udim); ok {
+			return compatibleDims(de, ue)
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package units
+
+// Default returns the dictionary of units that ship with ScrubJay. It covers
+// the sources in the paper's case studies: facility sensors (temperature,
+// power, humidity), scheduler logs (times, spans, node identifiers), and
+// node/CPU counters (counts, frequencies, bytes). Users extend it with
+// Register; entries here follow the paper's "t_seconds vs d_seconds"
+// synonym/homonym discipline by using one canonical name per unit.
+func Default() *Dict {
+	d := NewDict()
+	for _, u := range []Unit{
+		// Time. Base: seconds.
+		{Name: "seconds", Dimension: "time_duration", Scale: 1},
+		{Name: "milliseconds", Dimension: "time_duration", Scale: 1e-3},
+		{Name: "microseconds", Dimension: "time_duration", Scale: 1e-6},
+		{Name: "nanoseconds", Dimension: "time_duration", Scale: 1e-9},
+		{Name: "minutes", Dimension: "time_duration", Scale: 60},
+		{Name: "hours", Dimension: "time_duration", Scale: 3600},
+
+		// Instants and spans on the time dimension. These are structural:
+		// the value kind (time / span) carries the representation, and the
+		// unit records it for the derivation engine.
+		{Name: "datetime", Dimension: "time", Scale: 1},
+		{Name: "timespan", Dimension: "time_interval", Scale: 1},
+
+		// Temperature. Base: kelvin.
+		{Name: "kelvin", Dimension: "temperature", Scale: 1},
+		{Name: "degrees_celsius", Dimension: "temperature", Scale: 1, Offset: 273.15},
+		{Name: "degrees_fahrenheit", Dimension: "temperature", Scale: 5.0 / 9.0, Offset: 255.3722222222222},
+		// Temperature differences (heat proxy in §7.2) have no offset.
+		{Name: "delta_celsius", Dimension: "temperature_difference", Scale: 1},
+
+		// Power. Base: watts.
+		{Name: "watts", Dimension: "power", Scale: 1},
+		{Name: "kilowatts", Dimension: "power", Scale: 1e3},
+		{Name: "megawatts", Dimension: "power", Scale: 1e6},
+
+		// Energy. Base: joules.
+		{Name: "joules", Dimension: "energy", Scale: 1},
+		{Name: "kilojoules", Dimension: "energy", Scale: 1e3},
+		{Name: "watt_hours", Dimension: "energy", Scale: 3600},
+		{Name: "kilowatt_hours", Dimension: "energy", Scale: 3.6e6},
+
+		// Electrical current and cooling (Figure 1: power draw, cooling
+		// usage). Base: amperes; fan speed in revolutions per minute.
+		{Name: "amperes", Dimension: "current", Scale: 1},
+		{Name: "milliamperes", Dimension: "current", Scale: 1e-3},
+		{Name: "rpm", Dimension: "fan_speed", Scale: 1},
+
+		// Frequency. Base: hertz.
+		{Name: "hertz", Dimension: "frequency", Scale: 1},
+		{Name: "kilohertz", Dimension: "frequency", Scale: 1e3},
+		{Name: "megahertz", Dimension: "frequency", Scale: 1e6},
+		{Name: "gigahertz", Dimension: "frequency", Scale: 1e9},
+
+		// Information. Base: bytes.
+		{Name: "bytes", Dimension: "information", Scale: 1},
+		{Name: "kilobytes", Dimension: "information", Scale: 1e3},
+		{Name: "megabytes", Dimension: "information", Scale: 1e6},
+		{Name: "gigabytes", Dimension: "information", Scale: 1e9},
+
+		// Dimensionless counts and fractions.
+		{Name: "count", Dimension: "count", Scale: 1},
+		{Name: "instructions", Dimension: "instructions", Scale: 1},
+		{Name: "cycles", Dimension: "cycles", Scale: 1},
+		{Name: "operations", Dimension: "operations", Scale: 1},
+		{Name: "percent", Dimension: "fraction", Scale: 0.01},
+		{Name: "fraction", Dimension: "fraction", Scale: 1},
+		{Name: "relative_humidity_percent", Dimension: "humidity", Scale: 0.01},
+
+		// Identifiers: discrete, unordered labels. One identifier unit per
+		// identified resource keeps dimensions distinct (a node id is not a
+		// rack id).
+		{Name: "identifier", Dimension: "identity", Scale: 1},
+	} {
+		d.MustRegister(u)
+	}
+	return d
+}

@@ -1,0 +1,107 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBinaryValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(true), Bool(false), Int(-5), Int(1 << 40), Float(1.5),
+		Str(""), Str("rack17"),
+		Time(time.Date(2017, 11, 12, 0, 0, 0, 123, time.UTC)),
+		Span(-100, 200),
+		List(), List(Int(1), Str("a"), List(Bool(true))),
+	}
+	for _, v := range vals {
+		data := v.AppendBinary(nil)
+		got, n, err := DecodeValue(data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(data) {
+			t.Errorf("%v: consumed %d of %d bytes", v, n, len(data))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestBinaryRowRoundTrip(t *testing.T) {
+	r := NewRow(
+		"node", Str("cab17"),
+		"t", TimeNanos(1490000000e9),
+		"span", Span(0, 1e9),
+		"vals", List(Int(1), Int(2)),
+		"temp", Float(67.4),
+		"nothing", Null(),
+	)
+	data := r.AppendBinary(nil)
+	got, n, err := DecodeRow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Errorf("consumed %d of %d", n, len(data))
+	}
+	if !got.Equal(r) {
+		t.Errorf("round trip %v -> %v", r, got)
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},                      // empty
+		{99},                    // unknown kind
+		{byte(KindInt)},         // missing varint
+		{byte(KindFloat), 1, 2}, // truncated float
+		{byte(KindString), 10},  // truncated string
+		{byte(KindSpan), 2},     // truncated span
+		{byte(KindList), 200},   // implausible list length varint(100)
+	}
+	for _, b := range bad {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("DecodeValue(%v) should fail", b)
+		}
+	}
+	if _, _, err := DecodeRow(nil); err == nil {
+		t.Error("DecodeRow(nil) should fail")
+	}
+	if _, _, err := DecodeRow([]byte{1, 5}); err == nil {
+		t.Error("truncated row name should fail")
+	}
+	if _, _, err := DecodeRow([]byte{1, 1, 'a', 99}); err == nil {
+		t.Error("bad row value should fail")
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	prop := func(g genValue) bool {
+		data := g.V.AppendBinary(nil)
+		got, n, err := DecodeValue(data)
+		return err == nil && n == len(data) && got.Equal(g.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRowRoundTrip(t *testing.T) {
+	prop := func(a, b genValue, n1, n2 string) bool {
+		if n1 == "" {
+			n1 = "x"
+		}
+		if n2 == "" || n2 == n1 {
+			n2 = n1 + "y"
+		}
+		r := Row{n1: a.V, n2: b.V}
+		data := r.AppendBinary(nil)
+		got, n, err := DecodeRow(data)
+		return err == nil && n == len(data) && got.Equal(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package value
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue generates an arbitrary Value for property tests, with bounded
+// recursion for lists.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(8)
+	if depth <= 0 && k == 7 {
+		k = r.Intn(7)
+	}
+	switch k {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		// Avoid NaN here; NaN equality-by-bits is covered by unit tests.
+		return Float(r.NormFloat64() * 1e6)
+	case 4:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return Str(string(b))
+	case 5:
+		// Keep times within a range representable in RFC3339.
+		return TimeNanos(r.Int63n(4e18))
+	case 6:
+		a, b := r.Int63n(4e18), r.Int63n(4e18)
+		return Span(a, b)
+	default:
+		n := r.Intn(4)
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i] = randomValue(r, depth-1)
+		}
+		return List(vs...)
+	}
+}
+
+// genValue adapts randomValue to testing/quick.
+type genValue struct{ V Value }
+
+func (genValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genValue{V: randomValue(r, 2)})
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	prop := func(g genValue) bool {
+		data, err := json.Marshal(g.V)
+		if err != nil {
+			return false
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		return got.Equal(g.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualImpliesHashEqual(t *testing.T) {
+	prop := func(g genValue) bool {
+		cp := g.V // Values are immutable; a copy is equal.
+		return !cp.Equal(g.V) || cp.Hash() == g.V.Hash()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	prop := func(a, b genValue) bool {
+		c1 := a.V.Compare(b.V)
+		c2 := b.V.Compare(a.V)
+		return (c1 == 0) == (c2 == 0) && (c1 > 0) == (c2 < 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareReflexive(t *testing.T) {
+	prop := func(a genValue) bool {
+		if f := a.V.FloatVal(); a.V.Kind() == KindFloat && math.IsNaN(f) {
+			return true
+		}
+		return a.V.Compare(a.V) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpanNormalized(t *testing.T) {
+	prop := func(a, b int64) bool {
+		s := Span(a, b)
+		st, en := s.SpanBounds()
+		return st <= en
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLerpEndpoints(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		va, vb := Float(a), Float(b)
+		return Lerp(va, vb, 0).Equal(va) && Lerp(va, vb, 1).Equal(vb)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRowCloneIndependent(t *testing.T) {
+	prop := func(g genValue, name string) bool {
+		if name == "" {
+			name = "c"
+		}
+		r := Row{name: g.V}
+		c := r.Clone()
+		c[name+"_x"] = Int(1)
+		_, leaked := r[name+"_x"]
+		return !leaked && c.Get(name).Equal(g.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRowKeyDeterministic(t *testing.T) {
+	prop := func(a, b genValue) bool {
+		r1 := Row{"x": a.V, "y": b.V}
+		r2 := Row{"y": b.V, "x": a.V}
+		cols := []string{"x", "y"}
+		return r1.KeyOn(cols) == r2.KeyOn(cols) &&
+			r1.KeyStringOn(cols) == r2.KeyStringOn(cols)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

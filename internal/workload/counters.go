@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// hashNoise is a deterministic hash-noise in [-1, 1).
+func hashNoise(seed int64, a, b int64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(a)*0xBF58476D1CE4E5B9 ^ uint64(b)*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	return float64(x%2000000)/1000000 - 1
+}
+
+// CounterConfig tunes the counter simulations of the second DAT (§7.3).
+type CounterConfig struct {
+	// CPUsPerNode and SocketsPerNode size the hardware.
+	CPUsPerNode    int
+	SocketsPerNode int
+	// BaseGHz is the base (MPERF) frequency of every CPU.
+	BaseGHz float64
+	// PAPIPeriodSec and IPMIPeriodSec are the sampling cadences; the paper
+	// collected node data on one- to three-second intervals.
+	PAPIPeriodSec int64
+	IPMIPeriodSec int64
+	// ResetEvery forces each cumulative counter to wrap after roughly this
+	// many samples (the "arbitrary interval" resets of §7.3); 0 disables.
+	ResetEvery int64
+	// Seed drives deterministic noise.
+	Seed int64
+}
+
+// DefaultCounterConfig matches the paper's cadences.
+func DefaultCounterConfig() CounterConfig {
+	return CounterConfig{
+		CPUsPerNode:    8,
+		SocketsPerNode: 2,
+		BaseGHz:        3.2,
+		PAPIPeriodSec:  1,
+		IPMIPeriodSec:  3,
+		ResetEvery:     97,
+		Seed:           7,
+	}
+}
+
+// CPUName renders the canonical per-node CPU identifier.
+func CPUName(cpu int) string { return fmt.Sprintf("cpu%02d", cpu) }
+
+// SocketName renders the canonical per-node socket identifier.
+func SocketName(s int) string { return fmt.Sprintf("socket%d", s) }
+
+// PAPISchema is the semantics of the PAPI CPU counter dataset.
+func PAPISchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(1),
+		"node", semantics.IDDomain("compute_node"),
+		"cpu_id", semantics.IDDomain("cpu"),
+		"aperf", semantics.ValueEntry("aperf_cycles", "count"),
+		"mperf", semantics.ValueEntry("mperf_cycles", "count"),
+		"instructions", semantics.ValueEntry("instructions", "count"),
+	)
+}
+
+// IPMISchema is the semantics of the IPMI motherboard dataset.
+func IPMISchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(3),
+		"node", semantics.IDDomain("compute_node"),
+		"socket", semantics.IDDomain("cpu_socket"),
+		"mem_reads", semantics.ValueEntry("memory_reads", "count"),
+		"mem_writes", semantics.ValueEntry("memory_writes", "count"),
+		"socket_power", semantics.ValueEntry("power", "watts"),
+		"thermal_margin", semantics.ValueEntry("temperature_difference", "delta_celsius"),
+	)
+}
+
+// CPUSpecsSchema is the semantics of the static CPU specification table
+// (from /proc/cpuinfo in the paper).
+func CPUSpecsSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"cpu_id", semantics.IDDomain("cpu"),
+		"base_frequency", semantics.ValueEntry("frequency", "gigahertz"),
+		"model", semantics.ValueEntry("identity", "identifier"),
+	)
+}
+
+// CPUSpecs materializes the static CPU specification dataset.
+func CPUSpecs(ctx *rdd.Context, nodes []string, cc CounterConfig, parts int) *dataset.Dataset {
+	var rows []value.Row
+	for _, n := range nodes {
+		for c := 0; c < cc.CPUsPerNode; c++ {
+			rows = append(rows, value.NewRow(
+				"node", value.Str(n),
+				"cpu_id", value.Str(CPUName(c)),
+				"base_frequency", value.Float(cc.BaseGHz),
+				"model", value.Str("Intel Xeon E5-2667 v3"),
+			))
+		}
+	}
+	return dataset.FromRows(ctx, "cpu_specs", rows, CPUSpecsSchema(), parts)
+}
+
+// throttleAt returns the instantaneous active/base frequency ratio for a
+// profile: prime95 oscillates around its aggressive throttle floor, others
+// hold near their fraction.
+func throttleAt(p Profile, level float64, seed, key, t int64) float64 {
+	if level <= 0 {
+		return 1 // idle CPUs are unthrottled (and barely counting)
+	}
+	f := p.ThrottleFraction
+	if f < 1 {
+		// Throttling oscillates as the CPU bounces off its thermal limit.
+		f += 0.08*math.Sin(float64(t)/7) + 0.02*hashNoise(seed, key, t)
+	}
+	if f > 1 {
+		f = 1
+	}
+	if f < 0.1 {
+		f = 0.1
+	}
+	return f
+}
+
+// SimulatePAPI produces the cumulative PAPI counter dataset over
+// [startSec, endSec) for the given nodes under the schedule.
+func SimulatePAPI(ctx *rdd.Context, s *Schedule, nodes []string, startSec, endSec int64, cc CounterConfig, parts int) *dataset.Dataset {
+	var rows []value.Row
+	for ni, n := range nodes {
+		for c := 0; c < cc.CPUsPerNode; c++ {
+			key := int64(ni*1024 + c)
+			var aperf, mperf, instr float64
+			sample := int64(0)
+			for t := startSec; t < endSec; t += cc.PAPIPeriodSec {
+				p, level := s.activity(n, t)
+				util := 0.05 + 0.95*level
+				baseHz := cc.BaseGHz * 1e9
+				ratio := throttleAt(p, level, cc.Seed, key, t)
+				dm := baseHz * util * float64(cc.PAPIPeriodSec)
+				da := dm * ratio
+				di := da * p.InstructionsPerCycle * (1 + 0.05*hashNoise(cc.Seed+2, key, t))
+				mperf += dm
+				aperf += da
+				instr += di
+				sample++
+				// Arbitrary-interval counter resets (§7.3): stagger the
+				// reset phase per CPU.
+				if cc.ResetEvery > 0 && (sample+key)%cc.ResetEvery == 0 {
+					aperf, mperf, instr = 0, 0, 0
+				}
+				rows = append(rows, value.NewRow(
+					"time", value.TimeNanos(t*1e9),
+					"node", value.Str(n),
+					"cpu_id", value.Str(CPUName(c)),
+					"aperf", value.Float(math.Floor(aperf)),
+					"mperf", value.Float(math.Floor(mperf)),
+					"instructions", value.Float(math.Floor(instr)),
+				))
+			}
+		}
+	}
+	return dataset.FromRows(ctx, "papi", rows, PAPISchema(), parts)
+}
+
+// SimulateIPMI produces the IPMI motherboard dataset: cumulative memory
+// read/write counters plus instantaneous socket power and thermal margin.
+func SimulateIPMI(ctx *rdd.Context, s *Schedule, nodes []string, startSec, endSec int64, cc CounterConfig, parts int) *dataset.Dataset {
+	var rows []value.Row
+	for ni, n := range nodes {
+		for so := 0; so < cc.SocketsPerNode; so++ {
+			key := int64(ni*64 + so)
+			var reads, writes float64
+			sample := int64(0)
+			for t := startSec; t < endSec; t += cc.IPMIPeriodSec {
+				p, level := s.activity(n, t)
+				memRate := p.MemOpsPerSecond * (0.05 + 0.95*level) * (1 + 0.05*hashNoise(cc.Seed+3, key, t))
+				reads += memRate * float64(cc.IPMIPeriodSec)
+				writes += 0.6 * memRate * float64(cc.IPMIPeriodSec)
+				sample++
+				if cc.ResetEvery > 0 && (sample+key)%cc.ResetEvery == 0 {
+					reads, writes = 0, 0
+				}
+				powerW := (p.IdlePowerW + (p.ActivePowerW-p.IdlePowerW)*level) / float64(cc.SocketsPerNode)
+				// Thermal margin shrinks as power rises; prime95 pushes
+				// sockets near their limit.
+				margin := 45 - 0.18*powerW + 0.8*hashNoise(cc.Seed+4, key, t)
+				if margin < 0 {
+					margin = 0
+				}
+				rows = append(rows, value.NewRow(
+					"time", value.TimeNanos(t*1e9),
+					"node", value.Str(n),
+					"socket", value.Str(SocketName(so)),
+					"mem_reads", value.Float(math.Floor(reads)),
+					"mem_writes", value.Float(math.Floor(writes)),
+					"socket_power", value.Float(powerW),
+					"thermal_margin", value.Float(margin),
+				))
+			}
+		}
+	}
+	return dataset.FromRows(ctx, "ipmi", rows, IPMISchema(), parts)
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// Filesystem simulation: the paper's opening example (§1) — CPU instruction
+// samples annotated with latency, periodic read/write counts on the
+// parallel filesystem servers, and the question of whether instruction
+// performance is affected by filesystem utilization. The simulator produces
+// the three datasets that question needs: instruction samples, per-server
+// filesystem counters, and the static node→server attachment table; during
+// periodic checkpoint windows the attached servers saturate and instruction
+// latency on their client nodes rises.
+
+// FSConfig tunes the filesystem-contention simulation.
+type FSConfig struct {
+	// Servers is the number of parallel-filesystem servers.
+	Servers int
+	// CheckpointPeriodSec and CheckpointLenSec shape the periodic
+	// checkpoint phases that saturate the filesystem.
+	CheckpointPeriodSec int64
+	CheckpointLenSec    int64
+	// SamplePeriodSec is the instruction-sample cadence per CPU.
+	SamplePeriodSec int64
+	// FSPeriodSec is the filesystem-counter cadence.
+	FSPeriodSec int64
+	// BaseLatencyUs is the uncontended mean instruction-sample latency.
+	BaseLatencyUs float64
+	// ContendedFactor multiplies latency during checkpoints (>1).
+	ContendedFactor float64
+	// BaseOpsPerSec and CheckpointOpsPerSec are per-server op rates.
+	BaseOpsPerSec       float64
+	CheckpointOpsPerSec float64
+	// Seed drives deterministic noise.
+	Seed int64
+}
+
+// DefaultFSConfig checkpoints for 60 s out of every 300 s.
+func DefaultFSConfig() FSConfig {
+	return FSConfig{
+		Servers:             2,
+		CheckpointPeriodSec: 300,
+		CheckpointLenSec:    60,
+		SamplePeriodSec:     2,
+		FSPeriodSec:         5,
+		BaseLatencyUs:       1.2,
+		ContendedFactor:     4,
+		BaseOpsPerSec:       2e3,
+		CheckpointOpsPerSec: 9e4,
+		Seed:                21,
+	}
+}
+
+// FSServerName renders the canonical filesystem-server identifier.
+func FSServerName(i int) string { return fmt.Sprintf("lustre-oss%02d", i) }
+
+// inCheckpoint reports whether instant t falls in a checkpoint window for
+// the given server (servers checkpoint in phase: all clients hit them at
+// once — the paper's "multiple applications entering their checkpoint
+// phases simultaneously").
+func (fc FSConfig) inCheckpoint(t int64) bool {
+	if fc.CheckpointPeriodSec <= 0 {
+		return false
+	}
+	return t%fc.CheckpointPeriodSec < fc.CheckpointLenSec
+}
+
+// FSMapSchema is the semantics of the static node→filesystem-server
+// attachment table.
+func FSMapSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"fs_server", semantics.IDDomain("filesystem"),
+	)
+}
+
+// FSMap materializes the attachment table: node i attaches to server
+// i mod Servers.
+func FSMap(ctx *rdd.Context, nodes []string, fc FSConfig, parts int) *dataset.Dataset {
+	rows := make([]value.Row, len(nodes))
+	for i, n := range nodes {
+		rows[i] = value.NewRow(
+			"node", value.Str(n),
+			"fs_server", value.Str(FSServerName(i%max(1, fc.Servers))),
+		)
+	}
+	return dataset.FromRows(ctx, "fs_map", rows, FSMapSchema(), parts)
+}
+
+// FSCountersSchema is the semantics of the per-server filesystem counters:
+// cumulative read/write operation counts plus an instantaneous pending-ops
+// gauge.
+func FSCountersSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(5),
+		"fs_server", semantics.IDDomain("filesystem"),
+		"read_ops", semantics.ValueEntry("operations", "count"),
+		"write_ops", semantics.ValueEntry("operations", "count"),
+		"pending_ops", semantics.ValueEntry("count", "count"),
+	)
+}
+
+// SimulateFSCounters produces the filesystem-counter dataset over
+// [startSec, endSec).
+func SimulateFSCounters(ctx *rdd.Context, fc FSConfig, startSec, endSec int64, parts int) *dataset.Dataset {
+	var rows []value.Row
+	for s := 0; s < max(1, fc.Servers); s++ {
+		var reads, writes float64
+		for t := startSec; t < endSec; t += fc.FSPeriodSec {
+			rate := fc.BaseOpsPerSec
+			if fc.inCheckpoint(t) {
+				rate = fc.CheckpointOpsPerSec
+			}
+			rate *= 1 + 0.1*hashNoise(fc.Seed, int64(s), t)
+			reads += 0.3 * rate * float64(fc.FSPeriodSec)
+			writes += 0.7 * rate * float64(fc.FSPeriodSec)
+			pending := rate / 100 * (1 + 0.2*hashNoise(fc.Seed+1, int64(s), t))
+			rows = append(rows, value.NewRow(
+				"time", value.TimeNanos(t*1e9),
+				"fs_server", value.Str(FSServerName(s)),
+				"read_ops", value.Float(math.Floor(reads)),
+				"write_ops", value.Float(math.Floor(writes)),
+				"pending_ops", value.Float(math.Floor(pending)),
+			))
+		}
+	}
+	return dataset.FromRows(ctx, "fs_counters", rows, FSCountersSchema(), parts)
+}
+
+// InstructionSamplesSchema is the semantics of the per-CPU instruction
+// samples: each sample carries the instruction's observed latency — the
+// §1 "set of CPU instruction samples, each annotated with latency and CPU
+// id".
+func InstructionSamplesSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(2),
+		"node", semantics.IDDomain("compute_node"),
+		"cpu_id", semantics.IDDomain("cpu"),
+		"latency", semantics.ValueEntry("time_duration", "microseconds"),
+	)
+}
+
+// SimulateInstructionSamples produces instruction samples for the given
+// nodes over [startSec, endSec): latency rises by ContendedFactor whenever
+// the node's filesystem server is in a checkpoint window.
+func SimulateInstructionSamples(ctx *rdd.Context, fc FSConfig, nodes []string, cpusPerNode int, startSec, endSec int64, parts int) *dataset.Dataset {
+	var rows []value.Row
+	for ni, n := range nodes {
+		for c := 0; c < cpusPerNode; c++ {
+			key := int64(ni*256 + c)
+			for t := startSec; t < endSec; t += fc.SamplePeriodSec {
+				lat := fc.BaseLatencyUs
+				if fc.inCheckpoint(t) {
+					lat *= fc.ContendedFactor
+				}
+				lat *= 1 + 0.15*hashNoise(fc.Seed+2, key, t)
+				rows = append(rows, value.NewRow(
+					"time", value.TimeNanos(t*1e9),
+					"node", value.Str(n),
+					"cpu_id", value.Str(CPUName(c)),
+					"latency", value.Float(lat),
+				))
+			}
+		}
+	}
+	return dataset.FromRows(ctx, "instruction_samples", rows, InstructionSamplesSchema(), parts)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

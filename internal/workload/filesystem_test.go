@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+)
+
+func TestFSMap(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	fc := DefaultFSConfig()
+	ds := FSMap(ctx, []string{"n0", "n1", "n2"}, fc, 1)
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Fatalf("fs map invalid: %v", err)
+	}
+	rows := ds.SortedBy("node")
+	if rows[0].Get("fs_server").StrVal() != FSServerName(0) ||
+		rows[1].Get("fs_server").StrVal() != FSServerName(1) ||
+		rows[2].Get("fs_server").StrVal() != FSServerName(0) {
+		t.Errorf("attachment wrong: %v", rows)
+	}
+	// Zero servers clamps to one.
+	fc.Servers = 0
+	ds0 := FSMap(ctx, []string{"a"}, fc, 1)
+	if ds0.Collect()[0].Get("fs_server").StrVal() != FSServerName(0) {
+		t.Error("zero servers should clamp")
+	}
+}
+
+func TestSimulateFSCountersCheckpointSpikes(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	fc := DefaultFSConfig()
+	ds := SimulateFSCounters(ctx, fc, 0, 600, 2)
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Fatalf("fs counters invalid: %v", err)
+	}
+	rows := ds.SortedBy("fs_server", "time")
+	// Op rate during checkpoints dwarfs the quiet rate.
+	var ckSum, quietSum float64
+	var ckN, quietN int
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Get("fs_server").StrVal() != rows[i-1].Get("fs_server").StrVal() {
+			continue
+		}
+		d := rows[i].Get("write_ops").FloatVal() - rows[i-1].Get("write_ops").FloatVal()
+		ts := rows[i].Get("time").TimeNanosVal() / 1e9
+		if fc.inCheckpoint(ts) && fc.inCheckpoint(ts-fc.FSPeriodSec) {
+			ckSum += d
+			ckN++
+		} else if !fc.inCheckpoint(ts) && !fc.inCheckpoint(ts-fc.FSPeriodSec) {
+			quietSum += d
+			quietN++
+		}
+	}
+	if ckN == 0 || quietN == 0 {
+		t.Fatal("both phases should be sampled")
+	}
+	if ckSum/float64(ckN) < 10*quietSum/float64(quietN) {
+		t.Errorf("checkpoint write rate %v should dwarf quiet %v",
+			ckSum/float64(ckN), quietSum/float64(quietN))
+	}
+}
+
+func TestSimulateInstructionSamplesLatencyContention(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	fc := DefaultFSConfig()
+	ds := SimulateInstructionSamples(ctx, fc, []string{"n0"}, 2, 0, 600, 2)
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Fatalf("samples invalid: %v", err)
+	}
+	var ckSum, quietSum float64
+	var ckN, quietN int
+	for _, r := range ds.Collect() {
+		ts := r.Get("time").TimeNanosVal() / 1e9
+		lat := r.Get("latency").FloatVal()
+		if fc.inCheckpoint(ts) {
+			ckSum += lat
+			ckN++
+		} else {
+			quietSum += lat
+			quietN++
+		}
+	}
+	ckMean := ckSum / float64(ckN)
+	quietMean := quietSum / float64(quietN)
+	if ckMean < 2*quietMean {
+		t.Errorf("checkpoint latency %v should far exceed quiet latency %v", ckMean, quietMean)
+	}
+}
+
+func TestInCheckpointDisabled(t *testing.T) {
+	fc := DefaultFSConfig()
+	fc.CheckpointPeriodSec = 0
+	if fc.inCheckpoint(0) || fc.inCheckpoint(100) {
+		t.Error("disabled checkpoints should never trigger")
+	}
+}

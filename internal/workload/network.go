@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// Network simulation: the paper's conclusion names relating application
+// behaviour to network utilization as the next ScrubJay target ("an area of
+// increased nondeterministic behavior due to interference"). This file
+// implements that extension's substrate: a static link-layout table mapping
+// each node's uplink into the interconnect, and a cumulative per-link
+// byte/packet counter stream shaped by the running applications'
+// communication intensity.
+
+// LinkName renders the canonical uplink identifier for a node.
+func LinkName(node string) string { return "link-" + node }
+
+// LinkLayoutSchema is the semantics of the static link-layout table: which
+// network link serves which compute node. Like the node/rack layout, it is
+// a bridging dataset — it carries no measurements, only relations.
+func LinkLayoutSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"link", semantics.IDDomain("network_link"),
+		"node", semantics.IDDomain("compute_node"),
+	)
+}
+
+// LinkLayout materializes the link-layout table for the given nodes.
+func LinkLayout(ctx *rdd.Context, nodes []string, parts int) *dataset.Dataset {
+	rows := make([]value.Row, len(nodes))
+	for i, n := range nodes {
+		rows[i] = value.NewRow(
+			"link", value.Str(LinkName(n)),
+			"node", value.Str(n),
+		)
+	}
+	return dataset.FromRows(ctx, "link_layout", rows, LinkLayoutSchema(), parts)
+}
+
+// NetworkSchema is the semantics of the per-link counter dataset: cumulative
+// transmitted bytes and packets, sampled periodically, with the resets that
+// make derive_rate necessary.
+func NetworkSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(5),
+		"link", semantics.IDDomain("network_link"),
+		"tx_bytes", semantics.ValueEntry("information", "bytes"),
+		"tx_packets", semantics.ValueEntry("count", "count"),
+	)
+}
+
+// NetworkConfig tunes the link-counter simulation.
+type NetworkConfig struct {
+	// PeriodSec is the counter sampling cadence.
+	PeriodSec int64
+	// PacketBytes is the mean packet size used to derive packet counts.
+	PacketBytes float64
+	// ResetEvery wraps each counter after roughly this many samples; 0
+	// disables.
+	ResetEvery int64
+	// Seed drives deterministic noise.
+	Seed int64
+}
+
+// DefaultNetworkConfig matches typical switch-counter polling.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{PeriodSec: 5, PacketBytes: 4096, ResetEvery: 211, Seed: 13}
+}
+
+// SimulateNetwork produces the cumulative link-counter dataset over
+// [startSec, endSec) for the given nodes' uplinks under the schedule.
+func SimulateNetwork(ctx *rdd.Context, s *Schedule, nodes []string, startSec, endSec int64, nc NetworkConfig, parts int) *dataset.Dataset {
+	if nc.PeriodSec <= 0 {
+		nc.PeriodSec = 5
+	}
+	if nc.PacketBytes <= 0 {
+		nc.PacketBytes = 4096
+	}
+	var rows []value.Row
+	for ni, n := range nodes {
+		key := int64(ni)
+		var txBytes, txPkts float64
+		sample := int64(0)
+		for t := startSec; t < endSec; t += nc.PeriodSec {
+			p, level := s.activity(n, t)
+			rate := p.NetBytesPerSecond * (0.02 + 0.98*level) * (1 + 0.1*hashNoise(nc.Seed, key, t))
+			if rate < 0 {
+				rate = 0
+			}
+			txBytes += rate * float64(nc.PeriodSec)
+			txPkts += rate * float64(nc.PeriodSec) / nc.PacketBytes
+			sample++
+			if nc.ResetEvery > 0 && (sample+key)%nc.ResetEvery == 0 {
+				txBytes, txPkts = 0, 0
+			}
+			rows = append(rows, value.NewRow(
+				"time", value.TimeNanos(t*1e9),
+				"link", value.Str(LinkName(n)),
+				"tx_bytes", value.Float(math.Floor(txBytes)),
+				"tx_packets", value.Float(math.Floor(txPkts)),
+			))
+		}
+	}
+	return dataset.FromRows(ctx, "network_counters", rows, NetworkSchema(), parts)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+)
+
+func TestLinkLayout(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	ds := LinkLayout(ctx, []string{"n1", "n2"}, 1)
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Fatalf("layout invalid: %v", err)
+	}
+	rows := ds.SortedBy("node")
+	if len(rows) != 2 || rows[0].Get("link").StrVal() != "link-n1" {
+		t.Errorf("layout rows = %v", rows)
+	}
+}
+
+func TestSimulateNetworkShapes(t *testing.T) {
+	ctx := rdd.NewContext(2)
+	f := smallFacility()
+	nodes := f.RackNodes(0)[:2]
+	// One communication-heavy job (AMG) on n0, idle n1.
+	s := NewSchedule(f, []Job{{
+		ID: "j1", App: AMG, Nodes: nodes[:1], StartSec: 0, EndSec: 600,
+	}})
+	nc := DefaultNetworkConfig()
+	nc.ResetEvery = 50 // force several resets within the window
+	ds := SimulateNetwork(ctx, s, nodes, 0, 600, nc, 2)
+	if err := ds.Validate(semantics.DefaultDictionary()); err != nil {
+		t.Fatalf("network invalid: %v", err)
+	}
+	wantRows := int64(2) * (600 / nc.PeriodSec)
+	if ds.Count() != wantRows {
+		t.Fatalf("rows = %d, want %d", ds.Count(), wantRows)
+	}
+	// The busy node's link accumulates far more traffic than the idle one.
+	rows := ds.SortedBy("link", "time")
+	maxFor := func(link string) float64 {
+		var max float64
+		for _, r := range rows {
+			if r.Get("link").StrVal() == link {
+				if v := r.Get("tx_bytes").FloatVal(); v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	}
+	busy := maxFor("link-" + nodes[0])
+	idle := maxFor("link-" + nodes[1])
+	if busy < 100*idle {
+		t.Errorf("busy link %v should dwarf idle link %v", busy, idle)
+	}
+	// Counters are cumulative with occasional resets.
+	increases, resets := 0, 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Get("link").StrVal() != rows[i-1].Get("link").StrVal() {
+			continue
+		}
+		if rows[i].Get("tx_bytes").FloatVal() >= rows[i-1].Get("tx_bytes").FloatVal() {
+			increases++
+		} else {
+			resets++
+		}
+	}
+	if increases == 0 || resets == 0 {
+		t.Errorf("expected cumulative counters with resets: %d incr, %d resets", increases, resets)
+	}
+}
+
+func TestSimulateNetworkDefaultsClamped(t *testing.T) {
+	ctx := rdd.NewContext(1)
+	f := smallFacility()
+	s := NewSchedule(f, nil)
+	ds := SimulateNetwork(ctx, s, f.RackNodes(0)[:1], 0, 50, NetworkConfig{}, 1)
+	if ds.Count() != 10 { // default 5s period
+		t.Errorf("rows = %d, want 10", ds.Count())
+	}
+}

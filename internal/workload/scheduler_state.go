@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// Scheduler state data: Figure 1's resource-scheduler *state* column
+// ("job/node status, active queue, job throughput"). Where the job queue
+// log records events (submissions, completions), this dataset samples the
+// scheduler's instantaneous state: how many jobs run, how many nodes are
+// busy — state data in the paper's event/state taxonomy (§2.1).
+
+// SchedulerStateSchema is the semantics of the periodic scheduler snapshot.
+func SchedulerStateSchema() semantics.Schema {
+	return semantics.NewSchema(
+		"time", semantics.TimeDomain().WithCadence(30),
+		"cluster", semantics.IDDomain("cluster"),
+		"running_jobs", semantics.ValueEntry("count", "count"),
+		"busy_nodes", semantics.ValueEntry("count", "count"),
+		"utilization", semantics.ValueEntry("fraction", "fraction"),
+	)
+}
+
+// SchedulerState samples the schedule every periodSec over
+// [startSec, endSec): running job count, busy node count, and node
+// utilization of the whole cluster.
+func (s *Schedule) SchedulerState(ctx *rdd.Context, clusterName string, startSec, endSec, periodSec int64, parts int) *dataset.Dataset {
+	if periodSec <= 0 {
+		periodSec = 30
+	}
+	total := len(s.Facility.Nodes())
+	var rows []value.Row
+	for t := startSec; t < endSec; t += periodSec {
+		running := 0
+		busy := 0
+		for _, j := range s.Jobs {
+			if t >= j.StartSec && t < j.EndSec {
+				running++
+				busy += len(j.Nodes)
+			}
+		}
+		util := 0.0
+		if total > 0 {
+			util = float64(busy) / float64(total)
+		}
+		rows = append(rows, value.NewRow(
+			"time", value.TimeNanos(t*1e9),
+			"cluster", value.Str(clusterName),
+			"running_jobs", value.Int(int64(running)),
+			"busy_nodes", value.Int(int64(busy)),
+			"utilization", value.Float(util),
+		))
+	}
+	return dataset.FromRows(ctx, "scheduler_state", rows, SchedulerStateSchema(), parts)
+}
