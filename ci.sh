@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# ci.sh — the tier-1+ verification gate for this repository.
+#
+# Tier 1 (ROADMAP.md) is build + tests. This gate extends it with the
+# checks that protect the paper's §5.3/§5.4 guarantees:
+#   * go vet           — stock static analysis
+#   * go test -race    — the dynamic half of the purity/lock story: every
+#                        test runs under the race detector, module-wide
+#   * sjvet            — ScrubJay-specific invariants (purity, determinism,
+#                        lockdiscipline, unitsafety; see DESIGN.md
+#                        "Enforced invariants"), over library code AND tests
+#
+# Any nonzero exit fails the gate.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> sjvet ./..."
+go run ./cmd/sjvet ./...
+
+echo "==> sjvet -tests ./..."
+go run ./cmd/sjvet -tests ./...
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,155 @@
+// Command sjvet is ScrubJay's static-analysis gate: it loads the module,
+// type-checks every package, and runs the internal/lint analyzer suite
+// (purity, determinism, lockdiscipline, unitsafety). Any finding is printed
+// as file:line:col: [analyzer] message and the process exits nonzero, so
+// sjvet slots directly into CI next to go vet.
+//
+// Usage:
+//
+//	sjvet [-json] [-tests] [-list] [-C dir] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/rdd",
+// "scrubjay/internal/derive/..."); the default and "./..." analyze the whole
+// module. Findings are suppressed with
+//
+//	//sjvet:ignore <analyzer> -- reason
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"scrubjay/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sjvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	withTests := fs.Bool("tests", false, "also analyze _test.go files")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	chdir := fs.String("C", "", "directory to resolve the module from (default: cwd)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root, lint.LoadOptions{IncludeTests: *withTests})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	selected, err := selectPackages(mod, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	scoped := &lint.Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: selected}
+
+	findings := lint.Run(scoped, analyzers)
+	relativize(findings, root)
+
+	if *jsonOut {
+		data, err := lint.EncodeJSON(findings)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "sjvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites finding filenames relative to the module root for
+// stable, readable output.
+func relativize(fs []lint.Finding, root string) {
+	for i := range fs {
+		if rel, err := filepath.Rel(root, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// selectPackages filters the module's packages by the command-line patterns.
+func selectPackages(mod *lint.Module, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return mod.Pkgs, nil
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range mod.Pkgs {
+			if matchPattern(mod.Path, pat, pkg.Path) {
+				keep[pkg.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sjvet: pattern %q matches no packages", pat)
+		}
+	}
+	var out []*lint.Package
+	for _, pkg := range mod.Pkgs {
+		if keep[pkg.Path] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern reports whether a go-style package pattern selects the import
+// path. "./x" anchors at the module root; a trailing "/..." matches the
+// subtree; "./..." and "all" match everything.
+func matchPattern(modPath, pat, importPath string) bool {
+	if pat == "all" || pat == "./..." || pat == "..." {
+		return true
+	}
+	pat = strings.TrimSuffix(pat, "/")
+	if strings.HasPrefix(pat, "./") {
+		pat = path.Join(modPath, strings.TrimPrefix(pat, "./"))
+	} else if pat == "." {
+		pat = modPath
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return importPath == sub || strings.HasPrefix(importPath, sub+"/")
+	}
+	return importPath == pat
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scrubjay/internal/lint"
+)
+
+// fixture returns the path to the internal/lint per-analyzer fixture module.
+func fixture(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture(t), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings); stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, analyzer := range []string{"[purity]", "[determinism]", "[lockdiscipline]", "[unitsafety]"} {
+		if !strings.Contains(out, analyzer) {
+			t.Errorf("output missing %s findings:\n%s", analyzer, out)
+		}
+	}
+	if !strings.Contains(out, "purity/purity.go:") {
+		t.Errorf("findings should use module-relative paths:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture(t), "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	findings, err := lint.DecodeJSON(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("output is not valid findings JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}
+
+func TestRunPackageSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fixture(t), "./rdd"}, &stdout, &stderr); code != 0 {
+		t.Errorf("clean fixture package: exit = %d, want 0; out: %s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-C", fixture(t), "./purity"}, &stdout, &stderr); code != 1 {
+		t.Errorf("dirty fixture package: exit = %d, want 1", code)
+	}
+	if out := stdout.String(); strings.Contains(out, "locks/locks.go") {
+		t.Errorf("selection leaked other packages' findings:\n%s", out)
+	}
+	stdout.Reset()
+	if code := run([]string{"-C", fixture(t), "./nosuchpkg"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown pattern: exit = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"purity:", "determinism:", "lockdiscipline:", "unitsafety:"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pat, path string
+		want      bool
+	}{
+		{"./...", "scrubjay/internal/rdd", true},
+		{"all", "scrubjay/internal/rdd", true},
+		{".", "scrubjay", true},
+		{"./internal/rdd", "scrubjay/internal/rdd", true},
+		{"./internal/rdd", "scrubjay/internal/rddx", false},
+		{"./internal/...", "scrubjay/internal/derive", true},
+		{"./internal/...", "scrubjay/cmd/scrubjay", false},
+		{"scrubjay/internal/rdd", "scrubjay/internal/rdd", true},
+		{"scrubjay/internal/...", "scrubjay/internal/lint", true},
+	}
+	for _, c := range cases {
+		if got := matchPattern("scrubjay", c.pat, c.path); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pat, c.path, got, c.want)
+		}
+	}
+}

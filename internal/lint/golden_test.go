@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one of the testdata modules.
+func loadFixture(t *testing.T, rel string) *Module {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root, LoadOptions{})
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", rel, err)
+	}
+	return m
+}
+
+// formatFindings renders findings with module-root-relative paths, one per
+// line — the golden-file format.
+func formatFindings(m *Module, findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(m.Root, name); err == nil {
+			name = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return b.String()
+}
+
+// checkGolden compares got against the golden file, rewriting it when
+// SJVET_UPDATE=1 is set.
+func checkGolden(t *testing.T, goldenName, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", goldenName)
+	if os.Getenv("SJVET_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with SJVET_UPDATE=1 to create): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSrc runs the full suite over the per-analyzer fixture module and
+// compares against the golden findings. Every analyzer must demonstrate at
+// least one finding and every fixture package contributes a clean case.
+func TestGoldenSrc(t *testing.T) {
+	m := loadFixture(t, "src")
+	findings := Run(m, Analyzers())
+	checkGolden(t, "src.txt", formatFindings(m, findings))
+
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if byAnalyzer[a.Name] == 0 {
+			t.Errorf("analyzer %q produced no findings on the fixture module", a.Name)
+		}
+	}
+}
+
+// TestGoldenMulti runs the suite over the two-package fixture module: the
+// engine package carries exactly one finding per analyzer, the pipeline
+// package is clean.
+func TestGoldenMulti(t *testing.T) {
+	m := loadFixture(t, "multi")
+	findings := Run(m, Analyzers())
+	checkGolden(t, "multi.txt", formatFindings(m, findings))
+
+	perPkg := map[string]map[string]int{}
+	for _, f := range findings {
+		rel, err := filepath.Rel(m.Root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := filepath.ToSlash(filepath.Dir(rel))
+		if perPkg[pkg] == nil {
+			perPkg[pkg] = map[string]int{}
+		}
+		perPkg[pkg][f.Analyzer]++
+	}
+	if len(perPkg["pipeline"]) != 0 {
+		t.Errorf("clean package pipeline has findings: %v", perPkg["pipeline"])
+	}
+	for _, a := range Analyzers() {
+		if n := perPkg["engine"][a.Name]; n != 1 {
+			t.Errorf("dirty package engine: analyzer %q reported %d findings, want exactly 1", a.Name, n)
+		}
+	}
+}
+
+// TestSuppression verifies directive handling end to end: the suppress
+// fixture package must report exactly one finding — the one whose directive
+// names the wrong analyzer.
+func TestSuppression(t *testing.T) {
+	m := loadFixture(t, "src")
+	scoped := &Module{Root: m.Root, Path: m.Path, Fset: m.Fset}
+	for _, p := range m.Pkgs {
+		if p.Name == "suppress" {
+			scoped.Pkgs = append(scoped.Pkgs, p)
+		}
+	}
+	if len(scoped.Pkgs) != 1 {
+		t.Fatalf("suppress fixture package not loaded")
+	}
+	findings := Run(scoped, Analyzers())
+	if len(findings) != 1 {
+		t.Fatalf("suppress package: got %d findings, want 1 (the wrong-analyzer directive): %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "purity" || !strings.Contains(filepath.ToSlash(f.Pos.Filename), "suppress/suppress.go") {
+		t.Errorf("surviving finding should be the purity one in suppress.go, got %v", f)
+	}
+}
+
+// TestSelfClean enforces the acceptance criterion that sjvet runs clean on
+// the ScrubJay module itself: every true positive has been fixed and every
+// justified exception carries a //sjvet:ignore directive.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pkgs) < 20 {
+		t.Fatalf("expected the full module to load, got %d packages", len(m.Pkgs))
+	}
+	findings := Run(m, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", formatFindings(m, []Finding{f}))
+	}
+}

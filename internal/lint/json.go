@@ -1,0 +1,44 @@
+package lint
+
+import "encoding/json"
+
+// JSONFinding is the machine-readable form of a Finding, the schema behind
+// sjvet -json. The field set is stable: tools downstream (CI annotators,
+// dashboards) key on it.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts findings to their wire form. The slice is non-nil even
+// when empty so the encoded output is always a JSON array.
+func ToJSON(fs []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, JSONFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// EncodeJSON renders findings as indented JSON.
+func EncodeJSON(fs []Finding) ([]byte, error) {
+	return json.MarshalIndent(ToJSON(fs), "", "  ")
+}
+
+// DecodeJSON parses sjvet -json output back into wire findings.
+func DecodeJSON(data []byte) ([]JSONFinding, error) {
+	var out []JSONFinding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+// Package lint is ScrubJay's static-analysis framework: a from-scratch
+// analyzer harness on the standard library's go/ast, go/parser and go/types
+// (no golang.org/x/tools dependency). It exists because the engine's core
+// guarantees — data-parallel execution of derivation sequences and
+// bit-for-bit reproducible query results (paper §5.3–§5.4) — rest on
+// invariants the Go compiler does not check. Each Analyzer encodes one such
+// invariant; cmd/sjvet runs them all over the module and fails the build on
+// any finding.
+//
+// Findings are suppressible with a directive comment on the offending line
+// or the line above it:
+//
+//	//sjvet:ignore <analyzer>[,<analyzer>...] -- reason the code is safe
+//
+// A bare "//sjvet:ignore" (no analyzer names) suppresses every analyzer on
+// that line. The reason text after "--" is optional but encouraged: it
+// should state the invariant that makes the flagged code correct.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// AppliesTo restricts the analyzer to certain packages; nil means all.
+	AppliesTo func(pkg *Package) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full ScrubJay analyzer suite, sorted by name.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		PurityAnalyzer(),
+		DeterminismAnalyzer(),
+		LockDisciplineAnalyzer(),
+		UnitSafetyAnalyzer(),
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// AnalyzerNames lists the names of the given analyzers.
+func AnalyzerNames(as []*Analyzer) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Run executes every analyzer over every package of the module, applies
+// suppression directives, and returns the surviving findings sorted by
+// position.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range m.Pkgs {
+		sup := collectSuppressions(m.Fset, pkg)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg) {
+				continue
+			}
+			var raw []Finding
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, findings: &raw}
+			a.Run(pass)
+			for _, f := range raw {
+				if !sup.suppressed(f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// ---- Suppression directives ----
+
+const ignoreDirective = "sjvet:ignore"
+
+// suppressions indexes //sjvet:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps filename -> comment line -> analyzer names ("*" = all).
+	byLine map[string]map[int][]string
+}
+
+// collectSuppressions scans the package's comments for ignore directives.
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = names
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore parses a comment's text as an ignore directive. It returns the
+// suppressed analyzer names (["*"] when none were named) and whether the
+// comment is a directive at all.
+func parseIgnore(text string) ([]string, bool) {
+	// Like all Go directives, "//sjvet:ignore" must follow the comment
+	// marker immediately — "// sjvet:ignore" is prose, not a directive.
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+	// Strip the trailing "-- reason" clause.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return []string{"*"}, true
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	return fields, true
+}
+
+// suppressed reports whether a finding is covered by a directive on its own
+// line or the line directly above it.
+func (s *suppressions) suppressed(f Finding) bool {
+	lines, ok := s.byLine[f.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "*" || name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathBase returns the last segment of an import path.
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in file that encloses pos, preferring declarations so searches
+// (e.g. "is this slice sorted later?") see the whole surrounding function.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return true
+		}
+		if fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			best = fd.Body
+		}
+		return true
+	})
+	return best
+}

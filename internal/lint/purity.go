@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// computeContract is the rdd.RDD compute contract the purity analyzer
+// enforces, quoted so findings cite the rule (see internal/rdd/rdd.go).
+const computeContract = "rdd compute closures must be safe to call concurrently for distinct partitions and pure with respect to their input lineage (rdd.RDD compute contract)"
+
+// rddClosureFuncs are the rdd entry points whose function-literal arguments
+// execute data-parallel across partitions. Closures handed to any of these
+// are "compute" bodies in the sense of the contract.
+var rddClosureFuncs = map[string]bool{
+	"Map": true, "FlatMap": true, "Filter": true, "MapPartitions": true,
+	"Generate": true, "GroupByKey": true, "ReduceByKey": true,
+	"CoGroup": true, "JoinHash": true, "BroadcastJoin": true,
+	"Distinct": true, "CountByKey": true, "SortBy": true,
+	"Reduce": true, "Aggregate": true, "Repartition": true,
+}
+
+// PurityAnalyzer flags RDD compute closures that write captured variables or
+// package-level state. Such writes race across partitions: the worker pool
+// runs one closure invocation per partition concurrently (§5.3), so the only
+// safe side channel is the closure's return value.
+func PurityAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "purity",
+		Doc: "RDD compute/Map/Filter/FlatMap closures and derive transform funcs " +
+			"must not write captured variables or package-level state; " +
+			computeContract + ".",
+		Run: runPurity,
+	}
+}
+
+func runPurity(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				name, ok := rddCallee(info, node)
+				if !ok || !rddClosureFuncs[name] {
+					return true
+				}
+				for _, arg := range node.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkParallelClosure(pass, lit, "closure passed to rdd."+name)
+					}
+				}
+			case *ast.CompositeLit:
+				// Inside package rdd itself, compute bodies are assigned
+				// directly to the RDD literal's compute field.
+				if !isRDDType(info.Types[ast.Expr(node)].Type) {
+					return true
+				}
+				for _, elt := range node.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || key.Name != "compute" {
+						continue
+					}
+					if lit, ok := kv.Value.(*ast.FuncLit); ok {
+						checkParallelClosure(pass, lit, "RDD compute closure")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rddCallee resolves a call's callee and reports its name when it is a
+// function (or method) defined in a package named "rdd".
+func rddCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	case *ast.IndexExpr: // explicit generic instantiation rdd.Map[A, B](...)
+		return rddCallee(info, &ast.CallExpr{Fun: fn.X})
+	case *ast.IndexListExpr:
+		return rddCallee(info, &ast.CallExpr{Fun: fn.X})
+	default:
+		return "", false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "rdd" {
+		return "", false
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isRDDType reports whether t is (a pointer to) a named type from a package
+// named "rdd".
+func isRDDType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "rdd"
+}
+
+// checkParallelClosure reports writes inside lit that escape the closure.
+func checkParallelClosure(pass *Pass, lit *ast.FuncLit, what string) {
+	info := pass.Pkg.Info
+	captured := func(id *ast.Ident) (*types.Var, bool) {
+		obj := info.ObjectOf(id)
+		v, ok := obj.(*types.Var)
+		if !ok || id.Name == "_" {
+			return nil, false
+		}
+		// Declared outside the literal (including package level) = captured.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil, false
+		}
+		return v, true
+	}
+	report := func(pos token.Pos, form string, v *types.Var) {
+		where := "captured variable"
+		if v.Parent() == v.Pkg().Scope() {
+			where = "package-level variable"
+		}
+		pass.Reportf(pos, "%s %s %s %q — this races across partitions: %s",
+			what, form, where, v.Name(), computeContract)
+	}
+	checkWrite := func(target ast.Expr, define bool) {
+		switch t := ast.Unparen(target).(type) {
+		case *ast.Ident:
+			if define {
+				return
+			}
+			if v, ok := captured(t); ok {
+				report(t.Pos(), "assigns to", v)
+			}
+		case *ast.IndexExpr:
+			if root := rootIdent(t.X); root != nil {
+				if v, ok := captured(root); ok {
+					report(t.Pos(), "writes an element of", v)
+				}
+			}
+		case *ast.StarExpr:
+			if root := rootIdent(t.X); root != nil {
+				if v, ok := captured(root); ok {
+					report(t.Pos(), "writes through", v)
+				}
+			}
+		case *ast.SelectorExpr:
+			// Field write on a captured struct variable. Selections through
+			// a package name are package-level writes caught via the root.
+			if root := rootIdent(t.X); root != nil {
+				if v, ok := captured(root); ok {
+					report(t.Pos(), "writes a field of", v)
+				}
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(lhs, s.Tok == token.DEFINE)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X, false)
+		case *ast.SendStmt:
+			if root := rootIdent(s.Chan); root != nil {
+				if v, ok := captured(root); ok {
+					report(s.Arrow, "sends on", v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent walks selector/index/star/paren chains to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module sjvetmulti
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package rdd is the multi-module fixture's miniature data-parallel substrate.
+package rdd
+
+// RDD is a partitioned collection of ints.
+type RDD struct {
+	compute func(part int) []int
+}
+
+// Parallelize wraps a slice as a single-partition RDD.
+func Parallelize(data []int) *RDD {
+	return &RDD{compute: func(part int) []int { return data }}
+}
+
+// Map applies f elementwise.
+func Map(r *RDD, f func(int) int) *RDD {
+	return &RDD{compute: func(part int) []int {
+		in := r.compute(part)
+		out := make([]int, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	}}
+}
+
+// Collect materializes the RDD.
+func (r *RDD) Collect() []int { return r.compute(0) }

@@ -1,0 +1,60 @@
+// Package derive exercises the determinism analyzer (the package name puts
+// it in the reproducible-derivation-core scope).
+package derive
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock inside derivation code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// SeededJitter is clean: draws come from an explicitly seeded generator.
+func SeededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Keys leaks map iteration order into its output.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is clean: the output is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is clean: the accumulation is order-independent and nothing ordered
+// escapes the loop.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LoggedStamp is clean by suppression: the timestamp feeds a log line, not
+// a derivation result.
+func LoggedStamp() int64 {
+	return time.Now().UnixNano() //sjvet:ignore determinism -- log timestamp only, never stored in a derivation result
+}

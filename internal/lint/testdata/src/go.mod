@@ -1,0 +1,3 @@
+module sjvettest
+
+go 1.22

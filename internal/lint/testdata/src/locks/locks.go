@@ -1,0 +1,45 @@
+// Package locks exercises the lockdiscipline analyzer: mutexes held across
+// channel operations or rdd actions.
+package locks
+
+import (
+	"sync"
+
+	"sjvettest/rdd"
+)
+
+// Box guards a channel with a mutex (badly).
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// DirtySend sends on a channel while holding the mutex.
+func (b *Box) DirtySend(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+// DirtyRecvDefer holds the mutex (via defer) across a receive.
+func (b *Box) DirtyRecvDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch
+}
+
+// DirtyAction runs an rdd action while holding the mutex.
+func (b *Box) DirtyAction(r *rdd.RDD) []int {
+	b.mu.Lock()
+	out := r.Collect()
+	b.mu.Unlock()
+	return out
+}
+
+// Clean releases the mutex before blocking operations.
+func (b *Box) Clean(r *rdd.RDD, v int) []int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v
+	return r.Collect()
+}

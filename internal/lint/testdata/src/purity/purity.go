@@ -1,0 +1,38 @@
+// Package purity exercises the purity analyzer: compute closures that write
+// captured or package-level state race across partitions.
+package purity
+
+import "sjvettest/rdd"
+
+var hits int
+
+// Dirty closures write state that outlives one partition invocation.
+func Dirty() int {
+	r := rdd.Parallelize([]int{1, 2, 3})
+	sum := 0
+	_ = rdd.Map(r, func(v int) int {
+		sum += v // assigns to captured variable
+		return v
+	})
+	_ = rdd.Filter(r, func(v int) bool {
+		hits++ // writes package-level state
+		return v > 0
+	})
+	seen := map[int]bool{}
+	_ = rdd.FlatMap(r, func(v int) []int {
+		seen[v] = true // writes an element of a captured map
+		return []int{v}
+	})
+	return sum
+}
+
+// Clean closures communicate only through their return values.
+func Clean() []int {
+	r := rdd.Parallelize([]int{1, 2, 3})
+	offset := 10
+	doubled := rdd.Map(r, func(v int) int {
+		local := v * 2 // locals are fine
+		return local + offset
+	})
+	return doubled.Collect()
+}

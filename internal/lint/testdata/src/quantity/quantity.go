@@ -1,0 +1,43 @@
+// Package quantity exercises the unitsafety analyzer: raw arithmetic mixing
+// quantities obtained in different units.
+package quantity
+
+import "sjvettest/units"
+
+// DirtyDelta differences a celsius quantity against a kelvin quantity.
+func DirtyDelta(d *units.Dict, hot, cold float64) float64 {
+	h, _ := d.Convert(hot, "fahrenheit", "celsius")
+	c, _ := d.Convert(cold, "fahrenheit", "kelvin")
+	return h - c
+}
+
+// DirtyCompare compares quantities in different units.
+func DirtyCompare(d *units.Dict, a, b float64) bool {
+	x, _ := d.Convert(a, "bytes", "megabytes")
+	y, _ := d.Convert(b, "bytes", "gigabytes")
+	return x > y
+}
+
+// DirtyAccum accumulates minutes into a seconds total.
+func DirtyAccum(d *units.Dict, total float64, vals []float64) float64 {
+	sum, _ := d.Convert(total, "seconds", "seconds")
+	for _, v := range vals {
+		m, _ := d.Convert(v, "seconds", "minutes")
+		sum += m
+	}
+	return sum
+}
+
+// CleanDelta converts both sides to a common unit before differencing.
+func CleanDelta(d *units.Dict, hot, cold float64) float64 {
+	h, _ := d.Convert(hot, "fahrenheit", "kelvin")
+	c, _ := d.Convert(cold, "fahrenheit", "kelvin")
+	return h - c
+}
+
+// CleanScale is clean: scaling a tagged quantity by a bare factor keeps its
+// unit; only mixing two differently-tagged quantities is unsafe.
+func CleanScale(d *units.Dict, v float64) float64 {
+	k, _ := d.Convert(v, "celsius", "kelvin")
+	return k * 2
+}

@@ -1,0 +1,56 @@
+// Package rdd is a miniature stand-in for the real data-parallel substrate:
+// just enough API surface (compute field, Map/Filter/FlatMap, one action)
+// for the analyzers to recognize parallel closures.
+package rdd
+
+// RDD is a partitioned collection of ints.
+type RDD struct {
+	compute func(part int) []int
+}
+
+// Parallelize wraps a slice as a single-partition RDD.
+func Parallelize(data []int) *RDD {
+	return &RDD{compute: func(part int) []int { return data }}
+}
+
+// Map applies f elementwise.
+func Map(r *RDD, f func(int) int) *RDD {
+	return &RDD{compute: func(part int) []int {
+		in := r.compute(part)
+		out := make([]int, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	}}
+}
+
+// Filter keeps elements satisfying pred.
+func Filter(r *RDD, pred func(int) bool) *RDD {
+	return &RDD{compute: func(part int) []int {
+		var out []int
+		for _, v := range r.compute(part) {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}}
+}
+
+// FlatMap applies f elementwise and concatenates the results.
+func FlatMap(r *RDD, f func(int) []int) *RDD {
+	return &RDD{compute: func(part int) []int {
+		var out []int
+		for _, v := range r.compute(part) {
+			out = append(out, f(v)...)
+		}
+		return out
+	}}
+}
+
+// Collect materializes the RDD.
+func (r *RDD) Collect() []int { return r.compute(0) }
+
+// Count returns the number of elements.
+func (r *RDD) Count() int { return len(r.compute(0)) }

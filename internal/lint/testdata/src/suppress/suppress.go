@@ -1,0 +1,33 @@
+// Package suppress exercises the //sjvet:ignore directive: same-line and
+// line-above placement, bare (all-analyzer) form, and the case where the
+// named analyzer does not match the finding (which must still be reported).
+package suppress
+
+import "sjvettest/rdd"
+
+// Suppressed findings: none of these may be reported.
+func Suppressed() int {
+	r := rdd.Parallelize([]int{1})
+	n := 0
+	_ = rdd.Map(r, func(v int) int {
+		n += v //sjvet:ignore purity -- single-partition fixture, provably no concurrent callers
+		return v
+	})
+	_ = rdd.Map(r, func(v int) int {
+		//sjvet:ignore -- bare form suppresses every analyzer on the next line
+		n += v
+		return v
+	})
+	return n
+}
+
+// WrongAnalyzer names determinism, so the purity finding still fires.
+func WrongAnalyzer() int {
+	r := rdd.Parallelize([]int{1})
+	n := 0
+	_ = rdd.Map(r, func(v int) int {
+		n += v //sjvet:ignore determinism -- names the wrong analyzer on purpose
+		return v
+	})
+	return n
+}

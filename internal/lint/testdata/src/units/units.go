@@ -1,0 +1,13 @@
+// Package units is a miniature stand-in for the real unit dictionary: the
+// unitsafety analyzer recognizes Convert calls on any Dict from a package
+// named units.
+package units
+
+// Dict converts scalars between named units.
+type Dict struct{}
+
+// Convert converts v from one unit expression to another.
+func (d *Dict) Convert(v float64, from, to string) (float64, error) {
+	_, _ = from, to
+	return v, nil
+}

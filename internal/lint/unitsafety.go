@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// UnitSafetyAnalyzer flags raw float64 arithmetic that mixes quantities
+// expressed in different units. A quantity's unit is established where it is
+// produced by units.Dict.Convert with a constant target unit; the tag then
+// flows through local assignments and accumulations. Combining two
+// quantities tagged with different units (celsius + kelvin, bytes - seconds)
+// without converting them to a common unit first is exactly the silent
+// corruption the paper's unit dictionary exists to prevent (§4.2).
+func UnitSafetyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unitsafety",
+		Doc: "float64 quantities obtained in distinct units (via units.Dict.Convert " +
+			"with different target units) must not be combined with raw arithmetic " +
+			"or comparisons; convert both to a common unit first (§4.2).",
+		Run: runUnitSafety,
+	}
+}
+
+// mixableOps are the binary operators whose operands must share a unit.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnitSafety(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnitFlow(pass, fd.Body)
+		}
+	}
+}
+
+// checkUnitFlow runs the local unit-tag dataflow over one function body
+// (including its nested closures — tags flow into closures naturally since
+// the variable objects are shared).
+func checkUnitFlow(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	tags := map[*types.Var]string{}
+
+	// exprTag resolves the unit tag of an expression, if any.
+	var exprTag func(e ast.Expr) string
+	exprTag = func(e ast.Expr) string {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.ObjectOf(x).(*types.Var); ok {
+				return tags[v]
+			}
+		case *ast.CallExpr:
+			if to, ok := convertTarget(info, x); ok {
+				return to
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				return exprTag(x.X)
+			}
+		case *ast.BinaryExpr:
+			// A scaled or accumulated quantity keeps its unit; mixing is
+			// reported where it happens, so a mixed expression yields no tag.
+			lt, rt := exprTag(x.X), exprTag(x.Y)
+			switch {
+			case lt != "" && (rt == "" || rt == lt):
+				return lt
+			case rt != "" && lt == "":
+				return rt
+			}
+		}
+		return ""
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN, token.DEFINE:
+				// Tag flows through x := expr and x = expr. The tuple form
+				// k, err := dict.Convert(...) tags the first variable.
+				if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+					if to, ok := convertTarget(info, s.Rhs[0]); ok {
+						setTag(info, tags, s.Lhs[0], to)
+					}
+					return true
+				}
+				for i := range s.Lhs {
+					if i < len(s.Rhs) {
+						setTag(info, tags, s.Lhs[i], exprTag(s.Rhs[i]))
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				// x += expr both mixes and propagates.
+				lt := exprTag(s.Lhs[0])
+				rt := exprTag(s.Rhs[0])
+				if lt != "" && rt != "" && lt != rt {
+					pass.Reportf(s.TokPos, "accumulates a quantity in %q into a quantity in %q without units.Convert: convert both to a common unit before combining (§4.2 unit safety)", rt, lt)
+				} else if lt == "" && rt != "" {
+					setTag(info, tags, s.Lhs[0], rt)
+				}
+			}
+		case *ast.BinaryExpr:
+			if !mixableOps[s.Op] {
+				return true
+			}
+			lt, rt := exprTag(s.X), exprTag(s.Y)
+			if lt != "" && rt != "" && lt != rt {
+				pass.Reportf(s.OpPos, "mixes a quantity in %q with a quantity in %q without units.Convert: quantities must share a unit before arithmetic or comparison (§4.2 unit safety)", lt, rt)
+			}
+		}
+		return true
+	})
+}
+
+// setTag records (or clears) the unit tag of an assignment target.
+func setTag(info *types.Info, tags map[*types.Var]string, lhs ast.Expr, tag string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v == nil {
+		return
+	}
+	if tag == "" {
+		delete(tags, v)
+		return
+	}
+	tags[v] = tag
+}
+
+// convertTarget recognizes a units.Dict.Convert(v, from, to) call with a
+// constant `to` argument, returning the target unit. The receiver must be a
+// named type from a package named "units" so testdata fixtures and the real
+// internal/units package both match.
+func convertTarget(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 3 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Convert" {
+		return "", false
+	}
+	obj, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[2]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

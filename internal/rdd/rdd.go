@@ -16,7 +16,11 @@ type RDD[T any] struct {
 	name     string
 	numParts int
 	// compute produces one partition. It must be safe to call concurrently
-	// for distinct partitions and is pure with respect to its input lineage.
+	// for distinct partitions and pure with respect to its input lineage:
+	// no writes to captured variables or package-level state. This contract
+	// is enforced statically — cmd/sjvet's purity analyzer flags compute
+	// bodies (and closures passed to Map/Filter/FlatMap and friends) that
+	// write state outliving one invocation.
 	compute func(part int) []T
 
 	// Caching: once materialized, partitions are served from memory.
