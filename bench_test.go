@@ -10,6 +10,7 @@
 package scrubjay_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -205,13 +206,13 @@ func BenchmarkPipelineCache(b *testing.B) {
 	cfg.DAT1DurationSec = 7200
 	cat, schemas, _ := bench.DAT1Catalog(ctx, cfg)
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(bench.Fig5Query())
+	plan, err := e.Solve(context.Background(), bench.Fig5Query())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("cache=off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{}); err != nil {
+			if _, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -221,12 +222,12 @@ func BenchmarkPipelineCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c}); err != nil {
+		if _, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c}); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c}); err != nil {
+			if _, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -28,4 +28,74 @@ go run ./cmd/sjvet ./...
 echo "==> sjvet -tests ./..."
 go run ./cmd/sjvet -tests ./...
 
+# Server smoke: boot sjserved on a random port over a generated catalog,
+# then prove the three serving guarantees end to end:
+#   1. correctness + plan cache: a concurrent sjload burst completes with
+#      zero drops, and a plan-only burst shows cold search vs cached hits;
+#   2. admission control: an oversized burst against a 1-slot/no-queue
+#      server is shed with 429s (sjload -expect-rejections);
+#   3. graceful shutdown: SIGTERM while a burst is in flight — the daemon
+#      must exit 0 with every accepted stream finished (sjload exits 1 on
+#      any dropped in-flight query).
+echo "==> server smoke (sjserved + sjload)"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE" ./cmd/sjserved ./cmd/sjload ./cmd/sjgen
+"$SMOKE/sjgen" -out "$SMOKE/cat" -dat 1 -format jsonl \
+  -racks 4 -nodes-per-rack 6 -amg-rack 2 -duration 1200 -seed 1 >/dev/null
+
+wait_addr() {
+  i=0
+  while [ ! -f "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "ci.sh: sjserved never wrote $1" >&2; exit 1; }
+    sleep 0.1
+  done
+  cat "$1"
+}
+
+QUERY_ARGS="-domains job,rack -values application,temperature_difference"
+
+echo "  -> correctness burst + plan-cache demonstration"
+"$SMOKE/sjserved" -catalog "$SMOKE/cat" -addr 127.0.0.1:0 \
+  -addr-file "$SMOKE/addr1" -cache "$SMOKE/cache" \
+  -max-concurrent 2 -max-queue 32 2>"$SMOKE/served1.log" &
+SRV=$!
+ADDR=$(wait_addr "$SMOKE/addr1")
+# Plan-only burst first, against a cold plan cache: request 0 pays the CSP
+# search, requests 1..5 hit the cache — the driver's "plan search:" line is
+# the cold-vs-warm comparison. Then the mixed concurrent burst.
+"$SMOKE/sjload" -server "http://$ADDR" -clients 1 -requests 6 -plan-every 1 $QUERY_ARGS
+"$SMOKE/sjload" -server "http://$ADDR" -clients 4 -requests 6 $QUERY_ARGS
+kill -TERM "$SRV"
+wait "$SRV"
+
+echo "  -> overload burst must be shed with 429/503"
+rm -f "$SMOKE/addr2"
+"$SMOKE/sjserved" -catalog "$SMOKE/cat" -addr 127.0.0.1:0 \
+  -addr-file "$SMOKE/addr2" -max-concurrent 1 -max-queue -1 \
+  2>"$SMOKE/served2.log" &
+SRV=$!
+ADDR=$(wait_addr "$SMOKE/addr2")
+"$SMOKE/sjload" -server "http://$ADDR" -clients 16 -requests 3 \
+  -plan-every 0 -expect-rejections $QUERY_ARGS
+kill -TERM "$SRV"
+wait "$SRV"
+
+echo "  -> graceful shutdown under load: zero dropped in-flight queries"
+rm -f "$SMOKE/addr3"
+"$SMOKE/sjserved" -catalog "$SMOKE/cat" -addr 127.0.0.1:0 \
+  -addr-file "$SMOKE/addr3" -max-concurrent 2 -max-queue 64 \
+  2>"$SMOKE/served3.log" &
+SRV=$!
+ADDR=$(wait_addr "$SMOKE/addr3")
+"$SMOKE/sjload" -server "http://$ADDR" -clients 6 -requests 60 \
+  -plan-every 0 $QUERY_ARGS >"$SMOKE/shutdown-load.log" 2>&1 &
+LOAD=$!
+sleep 1
+kill -TERM "$SRV"
+wait "$SRV" || { echo "ci.sh: sjserved did not drain cleanly" >&2; cat "$SMOKE/served3.log" >&2; exit 1; }
+wait "$LOAD" || { echo "ci.sh: sjload saw dropped queries" >&2; cat "$SMOKE/shutdown-load.log" >&2; exit 1; }
+grep -E "^(completed|dropped):" "$SMOKE/shutdown-load.log" | sed 's/^/     /'
+
 echo "ci.sh: all gates passed"

@@ -5,29 +5,34 @@
 //
 // Subcommands:
 //
-//	scrubjay query  -catalog DIR -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
-//	scrubjay run    -catalog DIR -plan plan.json [-out FMT:PATH] [-cache DIR]
+//	scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+//	scrubjay run    -catalog DIR|-server URL -plan plan.json [-out FMT:PATH] [-cache DIR]
 //	scrubjay show   -in FMT:PATH [-n 20]
 //	scrubjay dict
 //	scrubjay formats
 //	scrubjay derivations
+//
+// With -server, query and run become thin clients of a running sjserved:
+// the same request/response structs ride HTTP instead of calling the
+// library in-process.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"scrubjay/internal/cache"
+	"scrubjay/internal/catalog"
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/derive"
 	"scrubjay/internal/engine"
-	"scrubjay/internal/kvstore"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/server"
 	"scrubjay/internal/wrappers"
 )
 
@@ -72,78 +77,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  scrubjay query  -catalog DIR -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
-  scrubjay run    -catalog DIR -plan plan.json [-out FMT:PATH] [-cache DIR]
+  scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+  scrubjay run    -catalog DIR|-server URL -plan plan.json [-out FMT:PATH] [-cache DIR]
   scrubjay show   -in FMT:PATH [-n 20]
   scrubjay dict
   scrubjay formats
   scrubjay derivations`)
 }
 
-// loadCatalog reads every *.jsonl, *.csv, and *.bin file (with schema
-// sidecars where applicable) in dir, plus every table of any kv-store .log
-// files present; dataset names are file basenames / table names.
+// loadCatalog delegates to the shared catalog loader (internal/catalog),
+// which sjserved uses too.
 func loadCatalog(ctx *rdd.Context, dir string) (pipeline.Catalog, map[string]semantics.Schema, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	cat := pipeline.Catalog{}
-	schemas := map[string]semantics.Schema{}
-	add := func(name string, src wrappers.Source) error {
-		ds, err := wrappers.Read(ctx, src)
-		if err != nil {
-			return fmt.Errorf("loading %s: %w", name, err)
-		}
-		cat[name] = ds
-		schemas[name] = ds.Schema()
-		return nil
-	}
-	hasKV := false
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		name := e.Name()
-		var format string
-		switch {
-		case strings.HasSuffix(name, ".jsonl"):
-			format = "jsonl"
-		case strings.HasSuffix(name, ".csv"):
-			format = "csv"
-		case strings.HasSuffix(name, ".bin"):
-			format = "bin"
-		case strings.HasSuffix(name, ".log"):
-			hasKV = true
-			continue
-		default:
-			continue
-		}
-		base := name[:len(name)-len(filepath.Ext(name))]
-		if err := add(base, wrappers.Source{Format: format, Path: filepath.Join(dir, name), Name: base}); err != nil {
-			return nil, nil, err
-		}
-	}
-	if hasKV {
-		store, err := kvstore.Open(dir)
-		if err != nil {
-			return nil, nil, err
-		}
-		names, err := store.TableNames()
-		store.Close()
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, table := range names {
-			if err := add(table, wrappers.Source{Format: "kv", Path: dir, Table: table, Name: table}); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	if len(cat) == 0 {
-		return nil, nil, fmt.Errorf("catalog %s contains no datasets", dir)
-	}
-	return cat, schemas, nil
+	return catalog.Load(ctx, dir)
 }
 
 // parseSink parses "FMT:PATH" (or "kv:DIR:TABLE") into a wrappers.Source.
@@ -181,16 +126,10 @@ func cmdQuery(args []string) error {
 	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
 	show := fs.Int("show", 10, "print up to this many result rows")
 	explain := fs.Bool("explain", false, "print the engine's search trace")
+	serverURL := fs.String("server", "", "query a running sjserved instead of the local library")
 	fs.Parse(args)
-	if *catalogDir == "" {
-		return fmt.Errorf("query: -catalog is required")
-	}
-
-	ctx := rdd.NewContext(0)
-	dict := semantics.DefaultDictionary()
-	cat, schemas, err := loadCatalog(ctx, *catalogDir)
-	if err != nil {
-		return err
+	if *catalogDir == "" && *serverURL == "" {
+		return fmt.Errorf("query: -catalog (or -server) is required")
 	}
 
 	q := engine.Query{}
@@ -209,10 +148,27 @@ func cmdQuery(args []string) error {
 		}
 	}
 
+	if *serverURL != "" {
+		if *explain {
+			fmt.Fprintln(os.Stderr, "scrubjay: -explain is unavailable in -server mode (search runs remotely)")
+		}
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "scrubjay: ignoring -cache in -server mode (the server owns the result cache)")
+		}
+		return serverQuery(*serverURL, q, *window, *planOut, *out, *show)
+	}
+
+	ctx := rdd.NewContext(0)
+	dict := semantics.DefaultDictionary()
+	cat, schemas, err := loadCatalog(ctx, *catalogDir)
+	if err != nil {
+		return err
+	}
+
 	opts := engine.DefaultOptions()
 	opts.WindowSeconds = *window
 	e := engine.New(dict, schemas, opts)
-	plan, trace, err := e.SolveTraced(q)
+	plan, trace, err := e.SolveTraced(context.Background(), q)
 	if *explain && trace != nil {
 		fmt.Printf("search trace:\n%s", trace)
 	}
@@ -236,11 +192,47 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	result, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		return err
 	}
 	return emit(result, *out, *show)
+}
+
+// serverQuery answers a query through a running sjserved: one /v1/plan
+// call for the derivation sequence (so -plan still works), then a
+// /v1/execute of that exact plan, streamed back as rows.
+func serverQuery(serverURL string, q engine.Query, window float64, planOut, out string, show int) error {
+	cl := &server.Client{BaseURL: serverURL}
+	pr, err := cl.Plan(server.QueryRequest{Query: q, WindowSeconds: window})
+	if err != nil {
+		return err
+	}
+	plan, err := pipeline.Decode(pr.Plan)
+	if err != nil {
+		return fmt.Errorf("server returned an undecodable plan: %w", err)
+	}
+	fmt.Printf("query: %s\nplan cache: hit=%v search=%dµs\nderivation sequence:\n%s",
+		q, pr.CacheHit, pr.SearchMicros, plan)
+	if planOut != "" {
+		if err := os.WriteFile(planOut, pr.Plan, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", planOut)
+	}
+	return serverExecute(cl, pr.Plan, out, show)
+}
+
+// serverExecute runs a serialized plan remotely and renders the streamed
+// result like the library path does.
+func serverExecute(cl *server.Client, plan []byte, out string, show int) error {
+	header, rows, _, err := cl.Execute(server.ExecuteRequest{Plan: plan})
+	if err != nil {
+		return err
+	}
+	ctx := rdd.NewContext(0)
+	result := dataset.FromRows(ctx, "result", rows, header.Schema, 0)
+	return emit(result, out, show)
 }
 
 func cmdRun(args []string) error {
@@ -250,9 +242,10 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "unwrap the result to FMT:PATH")
 	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
 	show := fs.Int("show", 10, "print up to this many result rows")
+	serverURL := fs.String("server", "", "execute on a running sjserved instead of the local library")
 	fs.Parse(args)
-	if *catalogDir == "" || *planPath == "" {
-		return fmt.Errorf("run: -catalog and -plan are required")
+	if (*catalogDir == "" && *serverURL == "") || *planPath == "" {
+		return fmt.Errorf("run: -plan and -catalog (or -server) are required")
 	}
 	data, err := os.ReadFile(*planPath)
 	if err != nil {
@@ -261,6 +254,9 @@ func cmdRun(args []string) error {
 	plan, err := pipeline.Decode(data)
 	if err != nil {
 		return err
+	}
+	if *serverURL != "" {
+		return serverExecute(&server.Client{BaseURL: *serverURL}, data, *out, *show)
 	}
 	ctx := rdd.NewContext(0)
 	dict := semantics.DefaultDictionary()
@@ -272,7 +268,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	result, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		return err
 	}

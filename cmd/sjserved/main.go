@@ -1,0 +1,150 @@
+// Command sjserved is ScrubJay's query-serving daemon: it loads a catalog
+// directory once and serves derivation queries to many concurrent clients
+// over HTTP (see internal/server for the API). Load is shed with
+// 429/503 + Retry-After when the bounded executor and its wait queue fill,
+// and SIGINT/SIGTERM triggers a graceful drain: the listener closes,
+// every accepted query runs to completion, the result-cache index is
+// flushed, and the process exits 0. A drain that cannot finish inside
+// -drain-ms exits 1 — dropped in-flight queries are a reportable failure,
+// not business as usual.
+//
+//	sjserved -catalog DIR [-addr HOST:PORT] [-addr-file PATH]
+//	         [-workers N] [-max-concurrent N] [-max-queue N]
+//	         [-cache DIR] [-cache-bytes N] [-plan-cache N]
+//	         [-window SEC] [-default-timeout-ms N] [-max-timeout-ms N]
+//	         [-drain-ms N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"scrubjay/internal/cache"
+	"scrubjay/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving")
+	catalogDir := flag.String("catalog", "", "catalog directory to serve (required)")
+	workers := flag.Int("workers", 0, "rdd workers per request (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 4, "executor slots")
+	maxQueue := flag.Int("max-queue", 64, "bounded wait queue (negative = none)")
+	cacheDir := flag.String("cache", "", "derivation-result cache directory (optional)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache budget in bytes")
+	planCacheSize := flag.Int("plan-cache", 256, "plan-cache LRU capacity")
+	window := flag.Float64("window", 120, "default interpolation-join window in seconds")
+	defaultTimeoutMS := flag.Int64("default-timeout-ms", 30_000, "per-request deadline when the client sends none")
+	maxTimeoutMS := flag.Int64("max-timeout-ms", 300_000, "upper clamp on client-supplied deadlines")
+	drainMS := flag.Int64("drain-ms", 30_000, "graceful-shutdown drain budget")
+	flag.Parse()
+	if *catalogDir == "" {
+		fmt.Fprintln(os.Stderr, "sjserved: -catalog is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log.SetPrefix("sjserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	if err := run(*addr, *addrFile, *catalogDir, *workers, *maxConcurrent, *maxQueue,
+		*cacheDir, *cacheBytes, *planCacheSize, *window,
+		time.Duration(*defaultTimeoutMS)*time.Millisecond,
+		time.Duration(*maxTimeoutMS)*time.Millisecond,
+		time.Duration(*drainMS)*time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, addrFile, catalogDir string, workers, maxConcurrent, maxQueue int,
+	cacheDir string, cacheBytes int64, planCacheSize int, window float64,
+	defaultTimeout, maxTimeout, drainBudget time.Duration) error {
+
+	store := server.NewStore()
+	t0 := time.Now()
+	if err := store.LoadDir(catalogDir, workers); err != nil {
+		return err
+	}
+	log.Printf("catalog %s: %d datasets loaded in %v", catalogDir, store.Len(), time.Since(t0).Round(time.Millisecond))
+
+	var resultCache *cache.Cache
+	if cacheDir != "" {
+		var err error
+		resultCache, err = cache.Open(cacheDir, cacheBytes)
+		if err != nil {
+			return err
+		}
+		log.Printf("result cache %s: %d entries, budget %d bytes", cacheDir, resultCache.Len(), cacheBytes)
+	}
+
+	s := server.New(store, server.Config{
+		Workers:        workers,
+		MaxConcurrent:  maxConcurrent,
+		MaxQueue:       maxQueue,
+		DefaultTimeout: defaultTimeout,
+		MaxTimeout:     maxTimeout,
+		PlanCacheSize:  planCacheSize,
+		WindowSeconds:  window,
+		Cache:          resultCache,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("serving on http://%s (executors=%d queue=%d)", ln.Addr(), maxConcurrent, maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("received %v, draining", got)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Graceful shutdown: stop admitting (503 + Retry-After for stragglers
+	// on kept-alive connections), close the listener, wait for every
+	// accepted query to finish, then flush the result cache.
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete after %v: %w", drainBudget, err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := s.Flush(); err != nil {
+		return fmt.Errorf("flushing result cache: %w", err)
+	}
+	log.Printf("drained cleanly, bye")
+	return nil
+}
+
+// writeAddrFile lands the address via temp + rename so a watcher never
+// reads a partial line.
+func writeAddrFile(path, addr string) error {
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

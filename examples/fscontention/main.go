@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,13 +56,13 @@ func main() {
 		},
 	}
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(q)
+	plan, err := e.Solve(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query: %s\n\nderivation sequence:\n%s\n", q, plan)
 
-	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	result, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,13 +61,13 @@ func main() {
 		"node_temps": tempSchema,
 		"layout":     layoutSchema,
 	}, engine.DefaultOptions())
-	plan, err := e.Solve(q)
+	plan, err := e.Solve(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query: %s\n\nderivation sequence:\n%s\n", q, plan)
 
-	result, err := pipeline.Execute(ctx, plan,
+	result, err := pipeline.Execute(context.Background(), ctx, plan,
 		pipeline.Catalog{"node_temps": temps, "layout": layout}, dict, pipeline.ExecOptions{})
 	if err != nil {
 		log.Fatal(err)

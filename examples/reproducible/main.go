@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -49,7 +50,7 @@ func main() {
 
 	// Solve the §7.2 query and store the derivation sequence.
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(bench.Fig5Query())
+	plan, err := e.Solve(context.Background(), bench.Fig5Query())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,13 +91,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	first, err := pipeline.Execute(ctx, replayPlan, replayCat, dict, pipeline.ExecOptions{Cache: c})
+	first, err := pipeline.Execute(context.Background(), ctx, replayPlan, replayCat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("replayed: %d rows; cache now holds %d entries (%d bytes)\n",
 		first.Count(), c.Len(), c.TotalBytes())
-	second, err := pipeline.Execute(ctx, replayPlan, replayCat, dict, pipeline.ExecOptions{Cache: c})
+	second, err := pipeline.Execute(context.Background(), ctx, replayPlan, replayCat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func main() {
 
 	// Reproducibility check: original in-memory execution matches the
 	// stored-and-replayed execution row for row.
-	orig, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	orig, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

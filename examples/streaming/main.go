@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -106,7 +107,7 @@ func main() {
 		"ldms_node_power": metrics.Schema(),
 		"node_layout":     layout.Schema(),
 	}, engine.DefaultOptions())
-	plan, err := e.Solve(engine.Query{
+	plan, err := e.Solve(context.Background(), engine.Query{
 		Domains: []string{"rack"},
 		Values:  []engine.QueryValue{{Dimension: "power", Units: "kilowatts"}},
 	})
@@ -114,7 +115,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nderivation sequence:\n%s\n", plan)
-	result, err := pipeline.Execute(ctx, plan, pipeline.Catalog{
+	result, err := pipeline.Execute(context.Background(), ctx, plan, pipeline.Catalog{
 		"ldms_node_power": metrics,
 		"node_layout":     layout,
 	}, dict, pipeline.ExecOptions{})

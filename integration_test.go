@@ -1,6 +1,7 @@
 package scrubjay_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -81,7 +82,7 @@ func TestFullDeploymentRoundTrip(t *testing.T) {
 
 	// --- Solve the §7.2 query and execute with the cache. ---
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, trace, err := e.SolveTraced(bench.Fig5Query())
+	plan, trace, err := e.SolveTraced(context.Background(), bench.Fig5Query())
 	if err != nil {
 		t.Fatalf("%v\ntrace:\n%s", err, trace)
 	}
@@ -89,7 +90,7 @@ func TestFullDeploymentRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	result, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
+	result, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFullDeploymentRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	result2, err := pipeline.Execute(ctx2, replay, cat, dict, pipeline.ExecOptions{Cache: c2})
+	result2, err := pipeline.Execute(context.Background(), ctx2, replay, cat, dict, pipeline.ExecOptions{Cache: c2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestPlanDeterminism(t *testing.T) {
 			"rack_temperatures": facility.TemperatureSchema(),
 		}
 		e := engine.New(semantics.DefaultDictionary(), schemas, engine.DefaultOptions())
-		plan, err := e.Solve(bench.Fig5Query())
+		plan, err := e.Solve(context.Background(), bench.Fig5Query())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,11 +245,11 @@ func TestHeterogeneousFormatsOneQuery(t *testing.T) {
 		cat[name] = ds
 	}
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(bench.Fig5Query())
+	plan, err := e.Solve(context.Background(), bench.Fig5Query())
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

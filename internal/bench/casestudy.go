@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -184,7 +185,7 @@ func RunFig7Plan() (PlanResult, error) {
 func runPlan(schemas map[string]semantics.Schema, q engine.Query, want []string) (PlanResult, error) {
 	e := engine.New(semantics.DefaultDictionary(), schemas, engine.DefaultOptions())
 	start := time.Now()
-	plan, err := e.Solve(q)
+	plan, err := e.Solve(context.Background(), q)
 	if err != nil {
 		return PlanResult{}, err
 	}
@@ -216,11 +217,11 @@ func RunFig4(cfg CaseStudyConfig) (Fig4Result, error) {
 	dict := semantics.DefaultDictionary()
 	cat, schemas, _ := DAT1Catalog(ctx, cfg)
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(Fig5Query())
+	plan, err := e.Solve(context.Background(), Fig5Query())
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		return Fig4Result{}, err
 	}
@@ -314,11 +315,11 @@ func RunFig6(cfg CaseStudyConfig) (Fig6Result, error) {
 	dict := semantics.DefaultDictionary()
 	cat, schemas, sched := DAT2Catalog(ctx, cfg)
 	e := engine.New(dict, schemas, engine.DefaultOptions())
-	plan, err := e.Solve(Fig7Query())
+	plan, err := e.Solve(context.Background(), Fig7Query())
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		return Fig6Result{}, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,7 @@ func EngineLatency(sizes []int) (Series, error) {
 		dict, schemas, q := chainCatalog(k)
 		e := engine.New(dict, schemas, engine.DefaultOptions())
 		start := time.Now()
-		plan, err := e.Solve(q)
+		plan, err := e.Solve(context.Background(), q)
 		if err != nil {
 			return Series{}, fmt.Errorf("chain size %d: %w", k, err)
 		}
@@ -77,7 +78,7 @@ func RunMemoAblation(catalogSize, solves int) (MemoAblationResult, error) {
 	eWith := engine.New(dict, schemas, withOpts)
 	start := time.Now()
 	for i := 0; i < solves; i++ {
-		if _, err := eWith.Solve(q); err != nil {
+		if _, err := eWith.Solve(context.Background(), q); err != nil {
 			return MemoAblationResult{}, err
 		}
 	}
@@ -88,7 +89,7 @@ func RunMemoAblation(catalogSize, solves int) (MemoAblationResult, error) {
 	eWithout := engine.New(dict, schemas, withoutOpts)
 	start = time.Now()
 	for i := 0; i < solves; i++ {
-		if _, err := eWithout.Solve(q); err != nil {
+		if _, err := eWithout.Solve(context.Background(), q); err != nil {
 			return MemoAblationResult{}, err
 		}
 	}

@@ -3,6 +3,13 @@
 // keyed by a content hash of the derivation subtree that produced them. Two
 // derivation sequences sharing an expensive prefix compute it once; entries
 // evict least-recently-used when the cache exceeds its budget.
+//
+// The cache is safe for concurrent readers and writers (the serving layer
+// shares one cache across all in-flight queries). The locking discipline:
+// c.mu guards only the in-memory index — all file IO (data files, cold-tier
+// compression, index persistence) happens outside the lock, and every file
+// write lands via create-temp-then-rename so concurrent operations on the
+// same key never expose a torn file.
 package cache
 
 import (
@@ -12,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scrubjay/internal/dataset"
@@ -23,6 +31,8 @@ import (
 type Cache struct {
 	dir      string
 	maxBytes int64
+	// tmpSeq numbers temp files so concurrent writers never collide.
+	tmpSeq atomic.Int64
 
 	mu    sync.Mutex
 	index map[string]*entry
@@ -85,7 +95,15 @@ func (c *Cache) dataPath(key string) string {
 	return filepath.Join(c.dir, key+".bin")
 }
 
-// Get loads the cached dataset for key, marking it recently used.
+// tmpPath returns a unique temp path in dir for staging a write that will
+// be renamed into place.
+func (c *Cache) tmpPath(dir, key string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%d.tmp", key, c.tmpSeq.Add(1)))
+}
+
+// Get loads the cached dataset for key, marking it recently used. Recency
+// updates are persisted lazily (on the next Put, Delete, or Flush), so hits
+// never pay an index write.
 func (c *Cache) Get(ctx *rdd.Context, key string) (*dataset.Dataset, bool) {
 	c.mu.Lock()
 	e, ok := c.index[key]
@@ -102,28 +120,37 @@ func (c *Cache) Get(ctx *rdd.Context, key string) (*dataset.Dataset, bool) {
 	}
 	ds, err := wrappers.Read(ctx, wrappers.Source{Format: "bin", Path: c.dataPath(key), Name: "cache:" + key})
 	if err != nil {
-		// A damaged entry is dropped rather than surfaced.
+		// A damaged (or concurrently evicted) entry is dropped rather
+		// than surfaced.
 		c.Delete(key)
 		return nil, false
 	}
-	c.saveIndex()
 	return ds, true
 }
 
 // Put stores a dataset under key and evicts LRU entries beyond the budget.
+// The data file is staged to a temp path and renamed into place, so a
+// concurrent Get of the same key sees either the old or the new complete
+// file, never a partial write.
 func (c *Cache) Put(key string, ds *dataset.Dataset) error {
 	path := c.dataPath(key)
-	if err := wrappers.Write(ds, wrappers.Source{Format: "bin", Path: path}); err != nil {
+	tmp := c.tmpPath(c.dir, key)
+	if err := wrappers.Write(ds, wrappers.Source{Format: "bin", Path: tmp}); err != nil {
 		return err
 	}
 	var size int64
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := os.Stat(tmp); err == nil {
 		size = fi.Size()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: %w", err)
 	}
 	c.mu.Lock()
 	c.index[key] = &entry{Key: key, Bytes: size, LastUsed: c.now()}
-	c.evictLocked()
+	victims := c.evictVictimsLocked()
 	c.mu.Unlock()
+	c.dropFiles(victims)
 	return c.saveIndex()
 }
 
@@ -136,6 +163,10 @@ func (c *Cache) Delete(key string) {
 	c.saveIndex()
 }
 
+// Flush persists the LRU index (recency updates from Get are otherwise
+// written lazily). The serving layer calls this during graceful shutdown.
+func (c *Cache) Flush() error { return c.saveIndex() }
+
 // Contains reports whether key is cached (without touching recency).
 func (c *Cache) Contains(key string) bool {
 	c.mu.Lock()
@@ -144,11 +175,15 @@ func (c *Cache) Contains(key string) bool {
 	return ok
 }
 
-// evictLocked removes least-recently-used entries until within budget.
-func (c *Cache) evictLocked() {
+// evictVictimsLocked removes least-recently-used entries from the index
+// until within budget and returns their keys. Callers drop the data files
+// (and demote to the cold tier) after releasing c.mu — no IO under the
+// lock.
+func (c *Cache) evictVictimsLocked() []string {
 	if c.maxBytes <= 0 {
-		return
+		return nil
 	}
+	var victims []string
 	for c.totalLocked() > c.maxBytes && len(c.index) > 1 {
 		var oldest *entry
 		for _, e := range c.index {
@@ -157,17 +192,29 @@ func (c *Cache) evictLocked() {
 			}
 		}
 		delete(c.index, oldest.Key)
-		c.demoteLocked(oldest.Key)
-		os.Remove(c.dataPath(oldest.Key))
+		victims = append(victims, oldest.Key)
+	}
+	return victims
+}
+
+// dropFiles demotes evicted entries to the cold tier (when enabled) and
+// removes their hot data files. Must be called without c.mu held.
+func (c *Cache) dropFiles(keys []string) {
+	for _, k := range keys {
+		c.demote(k)
+		os.Remove(c.dataPath(k))
 	}
 }
 
-// saveIndex persists the LRU index.
+// saveIndex persists the LRU index. The entries are snapshotted by value
+// under the lock (other goroutines keep mutating LastUsed), marshaled
+// outside it, and the file lands via rename so readers never see a torn
+// index.
 func (c *Cache) saveIndex() error {
 	c.mu.Lock()
-	entries := make([]*entry, 0, len(c.index))
+	entries := make([]entry, 0, len(c.index))
 	for _, e := range c.index {
-		entries = append(entries, e)
+		entries = append(entries, *e)
 	}
 	c.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
@@ -175,7 +222,15 @@ func (c *Cache) saveIndex() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(c.dir, indexFile), data, 0o644)
+	tmp := c.tmpPath(c.dir, "index")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, indexFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // SetClock overrides the cache's clock; for tests.

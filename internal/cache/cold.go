@@ -11,7 +11,10 @@ import (
 // The cold tier implements the paper's envisioned storage-cache hierarchy
 // (§9): instead of discarding LRU-evicted derivation results, the cache can
 // compress them into a long-term directory. Hits in the cold tier
-// decompress and promote the entry back to the hot tier.
+// decompress and promote the entry back to the hot tier. Like the hot tier,
+// all cold-tier IO happens outside c.mu and lands via temp-file + rename,
+// so concurrent demotions and promotions of the same key never expose a
+// torn file.
 
 // EnableColdTier turns on the compressed long-term tier rooted at dir.
 func (c *Cache) EnableColdTier(dir string) error {
@@ -24,11 +27,16 @@ func (c *Cache) EnableColdTier(dir string) error {
 	return nil
 }
 
+// coldTierDir reads the configured cold directory ("" when disabled).
+func (c *Cache) coldTierDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coldDir
+}
+
 // ColdLen reports the number of entries in the cold tier.
 func (c *Cache) ColdLen() int {
-	c.mu.Lock()
-	dir := c.coldDir
-	c.mu.Unlock()
+	dir := c.coldTierDir()
 	if dir == "" {
 		return 0
 	}
@@ -45,15 +53,16 @@ func (c *Cache) ColdLen() int {
 	return n
 }
 
-func (c *Cache) coldPath(key string) string {
-	return filepath.Join(c.coldDir, key+".bin.gz")
+func coldPathIn(dir, key string) string {
+	return filepath.Join(dir, key+".bin.gz")
 }
 
-// demoteLocked compresses a hot entry's data file into the cold tier.
-// Called with c.mu held; returns silently on failure (eviction proceeds
-// either way).
-func (c *Cache) demoteLocked(key string) {
-	if c.coldDir == "" {
+// demote compresses a hot entry's data file into the cold tier. Called
+// without c.mu held; returns silently on failure (eviction proceeds either
+// way).
+func (c *Cache) demote(key string) {
+	dir := c.coldTierDir()
+	if dir == "" {
 		return
 	}
 	src, err := os.Open(c.dataPath(key))
@@ -61,7 +70,8 @@ func (c *Cache) demoteLocked(key string) {
 		return
 	}
 	defer src.Close()
-	dst, err := os.Create(c.coldPath(key))
+	tmp := c.tmpPath(dir, key)
+	dst, err := os.Create(tmp)
 	if err != nil {
 		return
 	}
@@ -69,20 +79,23 @@ func (c *Cache) demoteLocked(key string) {
 	_, copyErr := io.Copy(zw, src)
 	closeErr := zw.Close()
 	if err := dst.Close(); copyErr != nil || closeErr != nil || err != nil {
-		os.Remove(c.coldPath(key))
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, coldPathIn(dir, key)); err != nil {
+		os.Remove(tmp)
 	}
 }
 
 // promote decompresses a cold entry back into the hot tier, returning
-// whether it succeeded.
+// whether it succeeded. Concurrent promotions of the same key are safe:
+// each stages its own temp file and the rename is atomic.
 func (c *Cache) promote(key string) bool {
-	c.mu.Lock()
-	dir := c.coldDir
-	c.mu.Unlock()
+	dir := c.coldTierDir()
 	if dir == "" {
 		return false
 	}
-	src, err := os.Open(c.coldPath(key))
+	src, err := os.Open(coldPathIn(dir, key))
 	if err != nil {
 		return false
 	}
@@ -92,28 +105,34 @@ func (c *Cache) promote(key string) bool {
 		return false
 	}
 	defer zr.Close()
-	dst, err := os.Create(c.dataPath(key))
+	tmp := c.tmpPath(c.dir, key)
+	dst, err := os.Create(tmp)
 	if err != nil {
 		return false
 	}
 	if _, err := io.Copy(dst, zr); err != nil {
 		dst.Close()
-		os.Remove(c.dataPath(key))
+		os.Remove(tmp)
 		return false
 	}
 	if err := dst.Close(); err != nil {
-		os.Remove(c.dataPath(key))
+		os.Remove(tmp)
 		return false
 	}
 	var size int64
-	if fi, err := os.Stat(c.dataPath(key)); err == nil {
+	if fi, err := os.Stat(tmp); err == nil {
 		size = fi.Size()
+	}
+	if err := os.Rename(tmp, c.dataPath(key)); err != nil {
+		os.Remove(tmp)
+		return false
 	}
 	c.mu.Lock()
 	c.index[key] = &entry{Key: key, Bytes: size, LastUsed: c.now()}
-	c.evictLocked()
+	victims := c.evictVictimsLocked()
 	c.mu.Unlock()
-	os.Remove(c.coldPath(key))
+	c.dropFiles(victims)
+	os.Remove(coldPathIn(dir, key))
 	c.saveIndex()
 	return true
 }

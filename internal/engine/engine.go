@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -414,19 +415,22 @@ func (e *Engine) finalize(g *group, q Query) (*pipeline.Plan, error) {
 }
 
 // Solve finds a derivation plan answering the query, or an error when no
-// sequence of known derivations can relate the requested dimensions.
-func (e *Engine) Solve(q Query) (*pipeline.Plan, error) {
-	return e.solve(q, nil)
+// sequence of known derivations can relate the requested dimensions. ctx
+// bounds the search: a cancellation or expired deadline aborts between
+// closure expansions and combination rounds (serving-layer requests carry
+// per-request deadlines all the way into the search).
+func (e *Engine) Solve(ctx context.Context, q Query) (*pipeline.Plan, error) {
+	return e.solve(ctx, q, nil)
 }
 
 // SolveTraced is Solve plus an explain trace of the search decisions.
-func (e *Engine) SolveTraced(q Query) (*pipeline.Plan, *Trace, error) {
+func (e *Engine) SolveTraced(ctx context.Context, q Query) (*pipeline.Plan, *Trace, error) {
 	tr := &Trace{}
-	plan, err := e.solve(q, tr)
+	plan, err := e.solve(ctx, q, tr)
 	return plan, tr, err
 }
 
-func (e *Engine) solve(q Query, tr *Trace) (*pipeline.Plan, error) {
+func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan, error) {
 	if len(q.Domains) == 0 && len(q.Values) == 0 {
 		return nil, fmt.Errorf("engine: empty query")
 	}
@@ -438,6 +442,9 @@ func (e *Engine) solve(q Query, tr *Trace) (*pipeline.Plan, error) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 		base := variant{node: pipeline.SourceNode(n), schema: e.schemas[n]}
 		g := &group{names: []string{n}, variants: e.closure(base)}
 		groups = append(groups, g)
@@ -504,7 +511,7 @@ func (e *Engine) solve(q Query, tr *Trace) (*pipeline.Plan, error) {
 	// needed to relate the contributing datasets).
 	var lastErr error
 	for {
-		plan, err := e.agglomerate(df, wanted, wantedKey, q, tr)
+		plan, err := e.agglomerate(ctx, df, wanted, wantedKey, q, tr)
 		if err == nil {
 			return plan, nil
 		}
@@ -525,9 +532,12 @@ func (e *Engine) solve(q Query, tr *Trace) (*pipeline.Plan, error) {
 // and stops as soon as a combined group satisfies the query. Pair selection
 // is strictly-better, so ties resolve to the earliest pair in catalog
 // order, keeping plans deterministic.
-func (e *Engine) agglomerate(initial []*group, wanted map[string]bool, wantedKey string, q Query, tr *Trace) (*pipeline.Plan, error) {
+func (e *Engine) agglomerate(ctx context.Context, initial []*group, wanted map[string]bool, wantedKey string, q Query, tr *Trace) (*pipeline.Plan, error) {
 	work := append([]*group(nil), initial...)
 	for len(work) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 		bestI, bestJ := -1, -1
 		var bestRes *combineResult
 		for i := 0; i < len(work); i++ {

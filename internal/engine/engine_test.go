@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestSolveFig5PlanShape(t *testing.T) {
 	// layout, derive heat from the rack temperatures, and relate the two
 	// derived datasets with an interpolation join.
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	plan, err := e.Solve(fig5Query())
+	plan, err := e.Solve(context.Background(), fig5Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSolveFig7PlanShape(t *testing.T) {
 	// invalid under the paper's own §4.3 comparison rules, so the engine
 	// selects an interpolation join with exact node matching.
 	e := New(semantics.DefaultDictionary(), fig7Schemas(), DefaultOptions())
-	plan, err := e.Solve(fig7Query())
+	plan, err := e.Solve(context.Background(), fig7Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSolveFig7PlanShape(t *testing.T) {
 
 func TestSolveSingleDatasetSatisfies(t *testing.T) {
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	plan, err := e.Solve(Query{
+	plan, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "temperature"}},
 	})
@@ -162,7 +163,7 @@ func TestSolveSingleDatasetSatisfies(t *testing.T) {
 func TestSolveSingleDatasetWithTransform(t *testing.T) {
 	// Heat for racks alone needs only rack_temperatures + derive_heat.
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	plan, err := e.Solve(Query{
+	plan, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "temperature_difference"}},
 	})
@@ -174,7 +175,7 @@ func TestSolveSingleDatasetWithTransform(t *testing.T) {
 
 func TestSolveUnitConversionAppended(t *testing.T) {
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	plan, err := e.Solve(Query{
+	plan, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "temperature", Units: "degrees_fahrenheit"}},
 	})
@@ -186,7 +187,7 @@ func TestSolveUnitConversionAppended(t *testing.T) {
 		t.Errorf("expected trailing convert_units, got %v", steps)
 	}
 	// Requesting the units the data already has adds no conversion.
-	plan2, err := e.Solve(Query{
+	plan2, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "temperature", Units: "degrees_celsius"}},
 	})
@@ -203,22 +204,22 @@ func TestSolveUnitConversionAppended(t *testing.T) {
 func TestSolveErrors(t *testing.T) {
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
 	// Empty query.
-	if _, err := e.Solve(Query{}); err == nil {
+	if _, err := e.Solve(context.Background(), Query{}); err == nil {
 		t.Error("empty query should fail")
 	}
 	// Unknown domain dimension: derivations cannot invent domains.
-	if _, err := e.Solve(Query{Domains: []string{"filesystem"}}); err == nil {
+	if _, err := e.Solve(context.Background(), Query{Domains: []string{"filesystem"}}); err == nil {
 		t.Error("absent domain dimension should fail")
 	}
 	// Value dimension that nothing can derive.
-	if _, err := e.Solve(Query{
+	if _, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "power"}},
 	}); err == nil {
 		t.Error("underivable value dimension should fail")
 	}
 	// Units that nothing can convert to.
-	if _, err := e.Solve(Query{
+	if _, err := e.Solve(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "temperature", Units: "watts"}},
 	}); err == nil {
@@ -236,7 +237,7 @@ func TestSolveUnrelatableDatasets(t *testing.T) {
 			"w", semantics.ValueEntry("temperature", "kelvin")),
 	}
 	e := New(semantics.DefaultDictionary(), schemas, DefaultOptions())
-	if _, err := e.Solve(Query{
+	if _, err := e.Solve(context.Background(), Query{
 		Domains: []string{"cpu", "rack"},
 		Values:  []QueryValue{{Dimension: "power"}, {Dimension: "temperature"}},
 	}); err == nil {
@@ -246,11 +247,11 @@ func TestSolveUnrelatableDatasets(t *testing.T) {
 
 func TestSolveMemoization(t *testing.T) {
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	if _, err := e.Solve(fig5Query()); err != nil {
+	if _, err := e.Solve(context.Background(), fig5Query()); err != nil {
 		t.Fatal(err)
 	}
 	first := e.MemoHits()
-	if _, err := e.Solve(fig5Query()); err != nil {
+	if _, err := e.Solve(context.Background(), fig5Query()); err != nil {
 		t.Fatal(err)
 	}
 	if e.MemoHits() <= first {
@@ -260,8 +261,8 @@ func TestSolveMemoization(t *testing.T) {
 	opts := DefaultOptions()
 	opts.DisableMemo = true
 	e2 := New(semantics.DefaultDictionary(), fig5Schemas(), opts)
-	e2.Solve(fig5Query())
-	e2.Solve(fig5Query())
+	e2.Solve(context.Background(), fig5Query())
+	e2.Solve(context.Background(), fig5Query())
 	if e2.MemoHits() != 0 {
 		t.Errorf("disabled memo recorded %d hits", e2.MemoHits())
 	}
@@ -274,7 +275,7 @@ func TestSolvedPlanExecutesEndToEnd(t *testing.T) {
 	dict := semantics.DefaultDictionary()
 	schemas := fig5Schemas()
 	e := New(dict, schemas, DefaultOptions())
-	plan, err := e.Solve(fig5Query())
+	plan, err := e.Solve(context.Background(), fig5Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestSolvedPlanExecutesEndToEnd(t *testing.T) {
 		"node_layout":       dataset.FromRows(ctx, "node_layout", layout, schemas["node_layout"], 1),
 		"rack_temperatures": dataset.FromRows(ctx, "rack_temperatures", temps, schemas["rack_temperatures"], 2),
 	}
-	out, err := pipeline.Execute(ctx, plan, cat, dict, pipeline.ExecOptions{})
+	out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestSolveBridgingDataset(t *testing.T) {
 		),
 	}
 	e := New(semantics.DefaultDictionary(), schemas, DefaultOptions())
-	plan, err := e.Solve(Query{
+	plan, err := e.Solve(context.Background(), Query{
 		Domains: []string{"cpu", "rack"},
 		Values:  []QueryValue{{Dimension: "instructions/time_duration"}, {Dimension: "power"}},
 	})
@@ -394,7 +395,7 @@ func TestSolveBridgingDataset(t *testing.T) {
 	// Without the bridge there is no solution.
 	delete(schemas, "cpu_rack_map")
 	e2 := New(semantics.DefaultDictionary(), schemas, DefaultOptions())
-	if _, err := e2.Solve(Query{
+	if _, err := e2.Solve(context.Background(), Query{
 		Domains: []string{"cpu", "rack"},
 		Values:  []QueryValue{{Dimension: "instructions/time_duration"}, {Dimension: "power"}},
 	}); err == nil {
@@ -410,7 +411,7 @@ func TestInterpWindowFromCadence(t *testing.T) {
 	schemas["papi"]["time"] = schemas["papi"]["time"].WithCadence(1)
 	schemas["ipmi"]["time"] = schemas["ipmi"]["time"].WithCadence(3)
 	e := New(semantics.DefaultDictionary(), schemas, DefaultOptions())
-	plan, err := e.Solve(fig7Query())
+	plan, err := e.Solve(context.Background(), fig7Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestInterpWindowFromCadence(t *testing.T) {
 	}
 	// Without cadence annotations the default window applies.
 	e2 := New(semantics.DefaultDictionary(), fig7Schemas(), DefaultOptions())
-	plan2, err := e2.Solve(fig7Query())
+	plan2, err := e2.Solve(context.Background(), fig7Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ func TestInterpWindowFromCadence(t *testing.T) {
 	// from data, not defaulted.
 	s5 := fig5Schemas()
 	e3 := New(semantics.DefaultDictionary(), s5, DefaultOptions())
-	plan3, err := e3.Solve(fig5Query())
+	plan3, err := e3.Solve(context.Background(), fig5Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestInterpWindowFromCadence(t *testing.T) {
 
 func TestSolveTraced(t *testing.T) {
 	e := New(semantics.DefaultDictionary(), fig5Schemas(), DefaultOptions())
-	plan, trace, err := e.SolveTraced(fig5Query())
+	plan, trace, err := e.SolveTraced(context.Background(), fig5Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func TestSolveTraced(t *testing.T) {
 		}
 	}
 	// Failure traces record the reason.
-	_, trace2, err := e.SolveTraced(Query{
+	_, trace2, err := e.SolveTraced(context.Background(), Query{
 		Domains: []string{"rack"},
 		Values:  []QueryValue{{Dimension: "power"}},
 	})
@@ -497,7 +498,7 @@ func TestSharedValueDimensionDoesNotJoin(t *testing.T) {
 		),
 	}
 	e := New(semantics.DefaultDictionary(), schemas, DefaultOptions())
-	if _, err := e.Solve(Query{
+	if _, err := e.Solve(context.Background(), Query{
 		Domains: []string{"cpu", "rack"},
 		Values:  []QueryValue{{Dimension: "temperature"}},
 	}); err == nil {

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -230,17 +231,36 @@ type ExecOptions struct {
 }
 
 // Execute runs a plan against a catalog, reproducing the derivation
-// sequence.
-func Execute(ctx *rdd.Context, p *Plan, cat Catalog, dict *semantics.Dictionary, opts ExecOptions) (*dataset.Dataset, error) {
+// sequence. ctx bounds the run: execution checks it between derivation
+// steps, and when rc (or the catalog datasets' own rdd Context) is bound to
+// the same Go context via rdd.Context.WithGoContext, a cancellation or
+// deadline also aborts mid-derivation between partitions. A cancelled run
+// returns an error wrapping ctx.Err().
+func Execute(ctx context.Context, rc *rdd.Context, p *Plan, cat Catalog, dict *semantics.Dictionary, opts ExecOptions) (ds *dataset.Dataset, err error) {
 	if err := p.Root.Validate(); err != nil {
 		return nil, err
 	}
-	return execNode(ctx, p.Root, cat, dict, opts)
+	// Derivations abort deep inside rdd actions by panicking with
+	// *rdd.Canceled; surface that as an ordinary error here so callers
+	// (the CLI, the serving layer) never see the panic.
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*rdd.Canceled); ok {
+				ds, err = nil, fmt.Errorf("pipeline: %w", c)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return execNode(ctx, rc, p.Root, cat, dict, opts)
 }
 
-func execNode(ctx *rdd.Context, n *Node, cat Catalog, dict *semantics.Dictionary, opts ExecOptions) (*dataset.Dataset, error) {
+func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *semantics.Dictionary, opts ExecOptions) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
 	if n.Kind != KindSource && opts.Cache != nil {
-		if ds, ok := opts.Cache.Get(ctx, n.Hash()); ok {
+		if ds, ok := opts.Cache.Get(rc, n.Hash()); ok {
 			return ds, nil
 		}
 	}
@@ -248,7 +268,7 @@ func execNode(ctx *rdd.Context, n *Node, cat Catalog, dict *semantics.Dictionary
 	switch n.Kind {
 	case KindSource:
 		if n.Load != nil {
-			ds, err := wrappers.Read(ctx, *n.Load)
+			ds, err := wrappers.Read(rc, *n.Load)
 			if err != nil {
 				return nil, err
 			}
@@ -261,7 +281,7 @@ func execNode(ctx *rdd.Context, n *Node, cat Catalog, dict *semantics.Dictionary
 		}
 		out = ds
 	case KindTransform:
-		in, err := execNode(ctx, n.Inputs[0], cat, dict, opts)
+		in, err := execNode(ctx, rc, n.Inputs[0], cat, dict, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -274,11 +294,11 @@ func execNode(ctx *rdd.Context, n *Node, cat Catalog, dict *semantics.Dictionary
 			return nil, err
 		}
 	case KindCombine:
-		left, err := execNode(ctx, n.Inputs[0], cat, dict, opts)
+		left, err := execNode(ctx, rc, n.Inputs[0], cat, dict, opts)
 		if err != nil {
 			return nil, err
 		}
-		right, err := execNode(ctx, n.Inputs[1], cat, dict, opts)
+		right, err := execNode(ctx, rc, n.Inputs[1], cat, dict, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -47,7 +49,7 @@ func TestExecutePlan(t *testing.T) {
 	ctx := rdd.NewContext(2)
 	dict := semantics.DefaultDictionary()
 	cat, _ := testCatalog(ctx)
-	out, err := Execute(ctx, testPlan(), cat, dict, ExecOptions{})
+	out, err := Execute(context.Background(), ctx, testPlan(), cat, dict, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +79,11 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	ctx := rdd.NewContext(2)
 	dict := semantics.DefaultDictionary()
 	cat, _ := testCatalog(ctx)
-	a, err := Execute(ctx, p, cat, dict, ExecOptions{})
+	a, err := Execute(context.Background(), ctx, p, cat, dict, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Execute(ctx, p2, cat, dict, ExecOptions{})
+	b, err := Execute(context.Background(), ctx, p2, cat, dict, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +95,34 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 		if !ra[i].Equal(rb[i]) {
 			t.Errorf("row %d differs", i)
 		}
+	}
+}
+
+func TestExecuteCanceled(t *testing.T) {
+	dict := semantics.DefaultDictionary()
+	goCtx, cancel := context.WithCancel(context.Background())
+
+	// A pre-cancelled context fails before touching any data.
+	ctx := rdd.NewContext(2).WithGoContext(goCtx)
+	cat, _ := testCatalog(ctx)
+	cancel()
+	if _, err := Execute(goCtx, ctx, testPlan(), cat, dict, ExecOptions{}); err == nil {
+		t.Fatal("cancelled Execute should fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-derivation surfaces as an error, not a panic: the
+	// catalog datasets are bound to the cancelled Go context, so the rdd
+	// actions inside the join abort and Execute recovers them.
+	goCtx2, cancel2 := context.WithCancel(context.Background())
+	ctx2 := rdd.NewContext(2).WithGoContext(goCtx2)
+	cat2, _ := testCatalog(ctx2)
+	cancel2()
+	if _, err := Execute(context.Background(), ctx2, testPlan(), cat2, dict, ExecOptions{}); err == nil {
+		t.Fatal("Execute over cancelled rdd context should fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }
 
@@ -160,7 +190,7 @@ func TestDeriveSchemaMatchesExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Execute(ctx, p, cat, dict, ExecOptions{})
+	out, err := Execute(context.Background(), ctx, p, cat, dict, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,17 +204,17 @@ func TestExecuteErrors(t *testing.T) {
 	dict := semantics.DefaultDictionary()
 	cat, _ := testCatalog(ctx)
 	// Unknown source.
-	if _, err := Execute(ctx, &Plan{Root: SourceNode("nope")}, cat, dict, ExecOptions{}); err == nil {
+	if _, err := Execute(context.Background(), ctx, &Plan{Root: SourceNode("nope")}, cat, dict, ExecOptions{}); err == nil {
 		t.Error("unknown source should fail")
 	}
 	// Unknown derivation.
 	p := &Plan{Root: &Node{Kind: KindTransform, Derivation: "bogus", Inputs: []*Node{SourceNode("jobs")}}}
-	if _, err := Execute(ctx, p, cat, dict, ExecOptions{}); err == nil {
+	if _, err := Execute(context.Background(), ctx, p, cat, dict, ExecOptions{}); err == nil {
 		t.Error("unknown derivation should fail")
 	}
 	// Derivation that does not apply.
 	p2 := &Plan{Root: TransformNode(&derive.ExplodeDiscrete{Column: "rack"}, SourceNode("layout"))}
-	if _, err := Execute(ctx, p2, cat, dict, ExecOptions{}); err == nil {
+	if _, err := Execute(context.Background(), ctx, p2, cat, dict, ExecOptions{}); err == nil {
 		t.Error("inapplicable derivation should fail")
 	}
 }
@@ -198,7 +228,7 @@ func TestExecuteWithCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := testPlan()
-	out1, err := Execute(ctx, p, cat, dict, ExecOptions{Cache: c})
+	out1, err := Execute(context.Background(), ctx, p, cat, dict, ExecOptions{Cache: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +239,7 @@ func TestExecuteWithCache(t *testing.T) {
 	if !c.Contains(p.Root.Hash()) {
 		t.Error("root result should be cached")
 	}
-	out2, err := Execute(ctx, p, cat, dict, ExecOptions{Cache: c})
+	out2, err := Execute(context.Background(), ctx, p, cat, dict, ExecOptions{Cache: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +270,7 @@ func TestLoadNodeExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Plan{Root: LoadNode(wrappers.Source{Format: "csv", Path: path, Name: "layout"})}
-	out, err := Execute(ctx, p, Catalog{}, dict, ExecOptions{})
+	out, err := Execute(context.Background(), ctx, p, Catalog{}, dict, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +283,7 @@ func TestLoadNodeExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, err := Execute(ctx, p2, Catalog{}, dict, ExecOptions{})
+	out2, err := Execute(context.Background(), ctx, p2, Catalog{}, dict, ExecOptions{})
 	if err != nil || out2.Count() != 3 {
 		t.Errorf("decoded load plan failed: %v", err)
 	}

@@ -1,0 +1,92 @@
+package rdd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCollectCancelPrompt proves the satellite requirement: a cancelled
+// Collect returns promptly instead of computing every remaining partition.
+func TestCollectCancelPrompt(t *testing.T) {
+	goCtx, cancel := context.WithCancel(context.Background())
+	ctx := NewContext(2).WithGoContext(goCtx)
+
+	const parts = 64
+	perPartition := 20 * time.Millisecond
+	r := Generate(ctx, parts, parts, func(i int) int {
+		time.Sleep(perPartition)
+		return i
+	})
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	out, err := Guard(func() []int { return r.Collect() })
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatalf("cancelled Collect returned %d rows and no error", len(out))
+	}
+	var c *Canceled
+	if !errors.As(err, &c) {
+		t.Fatalf("error = %v, want *Canceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false, err = %v", err)
+	}
+	// Serial completion would take parts/workers * perPartition = 640ms.
+	// Prompt return means at most the in-flight partitions finish.
+	if limit := 300 * time.Millisecond; elapsed > limit {
+		t.Errorf("cancelled Collect took %v, want < %v", elapsed, limit)
+	}
+}
+
+// TestDeadlineExceededCount checks deadline expiry (not just explicit
+// cancellation) aborts an action with the context error attached.
+func TestDeadlineExceededCount(t *testing.T) {
+	goCtx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	ctx := NewContext(1).WithGoContext(goCtx)
+	r := Generate(ctx, 32, 32, func(i int) int {
+		time.Sleep(10 * time.Millisecond)
+		return i
+	})
+	_, err := Guard(func() int64 { return r.Count() })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestGuardPassesThrough ensures Guard is transparent for uncancelled runs
+// and pre-cancelled contexts abort before any compute happens.
+func TestGuardPassesThrough(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []int{1, 2, 3, 4}, 2)
+	out, err := Guard(func() []int { return r.Collect() })
+	if err != nil || len(out) != 4 {
+		t.Fatalf("Guard(Collect) = %v rows, err %v", len(out), err)
+	}
+
+	goCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bound := NewContext(2).WithGoContext(goCtx)
+	// Each partition would sleep 2s; a pre-cancelled context must abort
+	// before computing any of them.
+	start := time.Now()
+	_, err = Guard(func() int64 {
+		return Generate(bound, 8, 4, func(i int) int {
+			time.Sleep(2 * time.Second)
+			return i
+		}).Count()
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled context: want error")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("pre-cancelled action took %v, want immediate abort", elapsed)
+	}
+}

@@ -15,6 +15,8 @@
 package rdd
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -23,6 +25,10 @@ import (
 // Context owns the worker pool and the task-metric log for a set of RDDs.
 type Context struct {
 	workers int
+	// goCtx, when non-nil, bounds every action run through this Context:
+	// once it is done, workers stop picking up new partitions and the
+	// in-flight action aborts with a *Canceled panic (see Guard).
+	goCtx context.Context
 
 	mu     sync.Mutex
 	stages []StageMetrics
@@ -38,8 +44,63 @@ func NewContext(workers int) *Context {
 	return &Context{workers: workers}
 }
 
+// WithGoContext returns a new execution Context with the same worker count
+// bound to ctx: actions on RDDs built from the returned Context stop
+// dispatching partitions as soon as ctx is cancelled or its deadline
+// expires, and abort with a *Canceled panic once in-flight tasks drain.
+// Recover the panic into an error with Guard (pipeline.Execute does this
+// for plan execution). The returned Context keeps its own metric log.
+func (c *Context) WithGoContext(ctx context.Context) *Context {
+	return &Context{workers: c.workers, goCtx: ctx}
+}
+
 // Workers reports the configured real parallelism.
 func (c *Context) Workers() int { return c.workers }
+
+// Err reports the bound Go context's error: nil while execution may
+// proceed, non-nil once the Context is cancelled or past its deadline.
+func (c *Context) Err() error {
+	if c.goCtx == nil {
+		return nil
+	}
+	return c.goCtx.Err()
+}
+
+// Canceled is the error (and internal panic payload) for an action aborted
+// because the Context's bound Go context ended. Workers check between
+// partitions, so a cancelled Collect/Count returns promptly instead of
+// burning cores for a client that is no longer listening.
+type Canceled struct {
+	// Cause is the Go context error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+func (c *Canceled) Error() string { return fmt.Sprintf("rdd: execution canceled: %v", c.Cause) }
+
+// Unwrap exposes the context error to errors.Is/As.
+func (c *Canceled) Unwrap() error { return c.Cause }
+
+// Guard runs fn, converting the cancellation abort of a bound Context into
+// an ordinary error. Use it around actions (Collect, Count, ...) on RDDs
+// whose Context came from WithGoContext:
+//
+//	rows, err := rdd.Guard(func() []value.Row { return ds.Collect() })
+//
+// Non-cancellation panics propagate unchanged.
+func Guard[T any](fn func() T) (out T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(*Canceled); ok {
+				err = c
+				return
+			}
+			panic(p)
+		}
+	}()
+	out = fn()
+	return out, nil
+}
 
 // TaskMetrics records one executed task (one partition of one stage).
 type TaskMetrics struct {
@@ -116,16 +177,24 @@ func (c *Context) recordStage(s StageMetrics) {
 }
 
 // runTasks executes task(0..n-1) on the worker pool and returns the
-// duration of each task. Panics inside tasks propagate to the caller.
+// duration of each task. Panics inside tasks propagate to the caller. When
+// the Context is bound to a Go context (WithGoContext) and that context
+// ends, dispatch stops, in-flight tasks drain, and runTasks panics with
+// *Canceled — workers therefore check for cancellation between partitions,
+// never mid-partition.
 func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
 	metrics := make([]TaskMetrics, n)
 	if n == 0 {
 		return metrics
 	}
+	if err := c.Err(); err != nil {
+		panic(&Canceled{Cause: err})
+	}
 	workers := c.workers
 	if workers > n {
 		workers = n
 	}
+	bound := c.goCtx != nil
 	var wg sync.WaitGroup
 	next := make(chan int)
 	panics := make(chan any, workers)
@@ -139,14 +208,31 @@ func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
 				}
 			}()
 			for i := range next {
+				if bound && c.Err() != nil {
+					continue // drain the queue without computing
+				}
 				start := time.Now()
 				task(i)
 				metrics[i] = TaskMetrics{Partition: i, Duration: time.Since(start)}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	if !bound {
+		// Unbound contexts keep the plain-send dispatch: this is the hot
+		// path for every CLI/bench run and a select would tax every task.
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+	} else {
+		done := c.goCtx.Done()
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-done:
+				break dispatch
+			}
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -154,6 +240,9 @@ func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
 	case p := <-panics:
 		panic(p)
 	default:
+	}
+	if err := c.Err(); err != nil {
+		panic(&Canceled{Cause: err})
 	}
 	return metrics
 }

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that the executor and its wait queue are both full;
+// the HTTP layer answers 429 with Retry-After.
+var ErrOverloaded = errors.New("server: overloaded: executor queue full")
+
+// admitter is the admission controller: a semaphore bounding concurrent
+// plan searches/executions, fronted by a bounded wait queue. Work beyond
+// both bounds is rejected immediately — under overload the daemon sheds
+// load instead of stacking goroutines until memory or latency collapses.
+// It is built from a channel and atomics only, so no lock is ever held
+// across a channel operation.
+type admitter struct {
+	slots      chan struct{}
+	queueLimit int64
+	waiting    atomic.Int64
+}
+
+func newAdmitter(maxConcurrent, maxQueue int) *admitter {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitter{slots: make(chan struct{}, maxConcurrent), queueLimit: int64(maxQueue)}
+}
+
+// acquire takes an executor slot, waiting in the bounded queue if all are
+// busy. It returns ErrOverloaded when the queue is full, or ctx.Err() if
+// the request's deadline expires while queued.
+func (a *admitter) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueLimit {
+		a.waiting.Add(-1)
+		return ErrOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admitter) release() { <-a.slots }
+
+// inFlight reports the number of held executor slots.
+func (a *admitter) inFlight() int { return len(a.slots) }
+
+// queueDepth reports the number of requests waiting for a slot.
+func (a *admitter) queueDepth() int64 { return a.waiting.Load() }

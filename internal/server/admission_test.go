@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmitterBounds(t *testing.T) {
+	a := newAdmitter(2, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if a.inFlight() != 2 {
+		t.Errorf("inFlight = %d", a.inFlight())
+	}
+
+	// Third caller queues (room for exactly one).
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx) }()
+	for a.queueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth caller overflows the queue and is rejected immediately.
+	if err := a.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+
+	// A release hands the slot to the queued caller.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	if a.inFlight() != 2 || a.queueDepth() != 0 {
+		t.Errorf("inFlight = %d, queueDepth = %d", a.inFlight(), a.queueDepth())
+	}
+	a.release()
+	a.release()
+}
+
+func TestAdmitterDeadlineWhileQueued(t *testing.T) {
+	a := newAdmitter(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := a.acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("queued acquire did not respect the deadline")
+	}
+	if a.queueDepth() != 0 {
+		t.Errorf("queueDepth = %d after timeout", a.queueDepth())
+	}
+}
+
+func TestAdmitterZeroQueue(t *testing.T) {
+	a := newAdmitter(1, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded with zero queue", err)
+	}
+	a.release()
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the daemon's counters plus a latency histogram.
+// Counters are atomics; the histogram takes a short lock around integer
+// bucket math only.
+type metrics struct {
+	queries  atomic.Int64 // /v1/query + /v1/plan + /v1/execute accepted for processing
+	executed atomic.Int64 // requests that ran a pipeline to completion
+	rejected atomic.Int64 // 429 + 503 answers (overload, draining)
+	failed   atomic.Int64 // searches/executions that errored
+	canceled atomic.Int64 // deadline/cancellation aborts
+	rowsOut  atomic.Int64 // rows streamed to clients
+	reloads  atomic.Int64 // catalog registrations
+	lat      latencyHist
+}
+
+// latencyHist is a power-of-two-bucketed latency histogram: observation d
+// lands in bucket bits(len(d in µs)), so quantiles resolve to within a
+// factor of two — plenty for a load-shedding signal, with no allocation
+// and O(1) observe.
+type latencyHist struct {
+	mu      sync.Mutex
+	count   int64
+	buckets [40]int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 {
+		us >>= 1
+		b++
+	}
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.mu.Lock()
+	h.count++
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// quantile returns an upper bound (in microseconds) for the q-quantile,
+// q in (0,1]. Zero observations yield zero.
+func (h *latencyHist) quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			return int64(1) << b
+		}
+	}
+	return int64(1) << (len(h.buckets) - 1)
+}
+
+// render produces the GET /metrics body: sorted key=value lines.
+func (s *Server) renderMetrics() string {
+	planHits, planMisses, planSize := s.plans.stats()
+	kv := map[string]int64{
+		"queries_total":         s.met.queries.Load(),
+		"executed_total":        s.met.executed.Load(),
+		"rejected_total":        s.met.rejected.Load(),
+		"failed_total":          s.met.failed.Load(),
+		"canceled_total":        s.met.canceled.Load(),
+		"rows_streamed_total":   s.met.rowsOut.Load(),
+		"catalog_reloads_total": s.met.reloads.Load(),
+		"plan_cache_hits":       planHits,
+		"plan_cache_misses":     planMisses,
+		"plan_cache_size":       int64(planSize),
+		"executor_in_flight":    int64(s.adm.inFlight()),
+		"executor_queue_depth":  s.adm.queueDepth(),
+		"latency_p50_micros":    s.met.lat.quantile(0.50),
+		"latency_p99_micros":    s.met.lat.quantile(0.99),
+		"catalog_version":       s.store.Version(),
+		"catalog_datasets":      int64(s.store.Len()),
+	}
+	if s.draining.Load() {
+		kv["draining"] = 1
+	} else {
+		kv["draining"] = 0
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, kv[k])
+	}
+	return b.String()
+}

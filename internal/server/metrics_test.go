@@ -1,0 +1,41 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	// 90 fast observations (~1ms) and 10 slow (~1s).
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(time.Second)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	// Buckets are powers of two, so bounds are within 2x of the truth.
+	if p50 < 512 || p50 > 4096 {
+		t.Errorf("p50 = %dµs, want ≈1024", p50)
+	}
+	if p99 < 512*1024 || p99 > 4*1024*1024 {
+		t.Errorf("p99 = %dµs, want ≈1s", p99)
+	}
+	if p50 > p99 {
+		t.Error("quantiles out of order")
+	}
+}
+
+func TestLatencyHistExtremes(t *testing.T) {
+	var h latencyHist
+	h.observe(0)               // sub-microsecond lands in bucket 0
+	h.observe(400 * time.Hour) // beyond the last bucket clamps
+	if h.quantile(1.0) == 0 {
+		t.Error("clamped observation lost")
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"scrubjay/internal/engine"
+	"scrubjay/internal/pipeline"
+)
+
+// planCache is the LRU in front of the engine's CSP search. Keys combine
+// the catalog version, the join window, and the canonical query text, so a
+// hot catalog reload or a different window never serves a stale plan.
+// Failed searches are cached too (negative caching): a query with no
+// derivation path answers instantly instead of re-searching every retry.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type planCacheEntry struct {
+	key string
+	// plan is nil when err is set (negative entry).
+	plan *pipeline.Plan
+	err  error
+	// searchMicros is the cost of the search that produced this entry.
+	searchMicros int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &planCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// planKey canonicalizes a query for cache lookup: domain and value order
+// must not matter (the engine treats them as sets).
+func planKey(version int64, window float64, q engine.Query) string {
+	domains := append([]string(nil), q.Domains...)
+	sort.Strings(domains)
+	values := make([]string, 0, len(q.Values))
+	for _, v := range q.Values {
+		values = append(values, v.Dimension+":"+v.Units)
+	}
+	sort.Strings(values)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%g|%s|%s", version, window, strings.Join(domains, ","), strings.Join(values, ","))
+	return b.String()
+}
+
+func (pc *planCache) get(key string) (planCacheEntry, bool) {
+	return pc.lookup(key, true)
+}
+
+// getQuiet is get without touching the hit/miss counters — for a re-check
+// after a lookup the caller already counted, so one request is one stat.
+func (pc *planCache) getQuiet(key string) (planCacheEntry, bool) {
+	return pc.lookup(key, false)
+}
+
+func (pc *planCache) lookup(key string, count bool) (planCacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[key]
+	if !ok {
+		if count {
+			pc.misses++
+		}
+		return planCacheEntry{}, false
+	}
+	if count {
+		pc.hits++
+	}
+	pc.ll.MoveToFront(el)
+	return el.Value.(planCacheEntry), true
+}
+
+func (pc *planCache) put(e planCacheEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[e.key]; ok {
+		pc.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	pc.items[e.key] = pc.ll.PushFront(e)
+	for pc.ll.Len() > pc.cap {
+		oldest := pc.ll.Back()
+		pc.ll.Remove(oldest)
+		delete(pc.items, oldest.Value.(planCacheEntry).key)
+	}
+}
+
+func (pc *planCache) stats() (hits, misses int64, size int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.ll.Len()
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"scrubjay/internal/engine"
+	"scrubjay/internal/pipeline"
+)
+
+func TestPlanKeyCanonical(t *testing.T) {
+	a := planKey(3, 120, engine.Query{
+		Domains: []string{"job", "rack"},
+		Values:  []engine.QueryValue{{Dimension: "application"}, {Dimension: "temperature", Units: "degrees_celsius"}},
+	})
+	b := planKey(3, 120, engine.Query{
+		Domains: []string{"rack", "job"},
+		Values:  []engine.QueryValue{{Dimension: "temperature", Units: "degrees_celsius"}, {Dimension: "application"}},
+	})
+	if a != b {
+		t.Errorf("order-sensitive keys:\n%s\n%s", a, b)
+	}
+	if planKey(4, 120, engine.Query{Domains: []string{"job"}}) == planKey(3, 120, engine.Query{Domains: []string{"job"}}) {
+		t.Error("catalog version must be part of the key")
+	}
+	if planKey(3, 60, engine.Query{Domains: []string{"job"}}) == planKey(3, 120, engine.Query{Domains: []string{"job"}}) {
+		t.Error("window must be part of the key")
+	}
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	pc := newPlanCache(2)
+	plan := &pipeline.Plan{Root: pipeline.SourceNode("a")}
+	pc.put(planCacheEntry{key: "k1", plan: plan})
+	pc.put(planCacheEntry{key: "k2", plan: plan})
+	if _, ok := pc.get("k1"); !ok { // touch k1 so k2 is LRU
+		t.Fatal("k1 missing")
+	}
+	pc.put(planCacheEntry{key: "k3", plan: plan})
+	if _, ok := pc.get("k2"); ok {
+		t.Error("k2 should have been evicted")
+	}
+	if _, ok := pc.get("k1"); !ok {
+		t.Error("recently used k1 evicted")
+	}
+	if _, ok := pc.get("k3"); !ok {
+		t.Error("k3 missing")
+	}
+
+	// Negative entries round-trip their error.
+	wantErr := errors.New("no path")
+	pc.put(planCacheEntry{key: "bad", err: wantErr})
+	e, ok := pc.get("bad")
+	if !ok || !errors.Is(e.err, wantErr) {
+		t.Errorf("negative entry = %+v, %v", e, ok)
+	}
+
+	hits, misses, size := pc.stats()
+	if hits == 0 || misses == 0 || size != 2 {
+		t.Errorf("stats = %d hits, %d misses, %d size", hits, misses, size)
+	}
+}
+
+func TestPlanCacheUpdateInPlace(t *testing.T) {
+	pc := newPlanCache(4)
+	for i := 0; i < 3; i++ {
+		pc.put(planCacheEntry{key: "same", searchMicros: int64(i)})
+	}
+	e, ok := pc.get("same")
+	if !ok || e.searchMicros != 2 {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, _, size := pc.stats(); size != 1 {
+		t.Errorf("size = %d, want 1", size)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	pc := newPlanCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				pc.put(planCacheEntry{key: k})
+				pc.get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if _, _, size := pc.stats(); size > 8 {
+		t.Errorf("size = %d exceeds capacity", size)
+	}
+}

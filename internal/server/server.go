@@ -1,0 +1,472 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"scrubjay/internal/cache"
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+	"scrubjay/internal/wrappers"
+)
+
+// statusClientClosed is the non-standard (nginx-convention) status for a
+// request whose client went away before the answer was ready.
+const statusClientClosed = 499
+
+// Config tunes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the rdd parallelism per request (0 = GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds simultaneously executing searches/executions
+	// (default 4); MaxQueue bounds requests waiting for a slot (default
+	// 64; negative means no queue at all).
+	MaxConcurrent int
+	MaxQueue      int
+	// DefaultTimeout applies when a request carries no timeout_millis
+	// (default 30s); MaxTimeout clamps client-supplied timeouts (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// PlanCacheSize is the plan-cache LRU capacity (default 256).
+	PlanCacheSize int
+	// WindowSeconds is the default interpolation-join window (default 120).
+	WindowSeconds float64
+	// Cache, when non-nil, is the shared derivation-result cache.
+	Cache *cache.Cache
+	// Dict defaults to semantics.DefaultDictionary().
+	Dict *semantics.Dictionary
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.WindowSeconds <= 0 {
+		c.WindowSeconds = 120
+	}
+	if c.Dict == nil {
+		c.Dict = semantics.DefaultDictionary()
+	}
+	return c
+}
+
+// Server is the sjserved core, independent of the listening socket: it
+// exposes an http.Handler, and the owning process wires it to an
+// http.Server plus signal handling (see cmd/sjserved).
+type Server struct {
+	cfg      Config
+	store    *Store
+	plans    *planCache
+	adm      *admitter
+	met      metrics
+	draining atomic.Bool
+}
+
+// New builds a Server over a loaded catalog store.
+func New(store *Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		store: store,
+		plans: newPlanCache(cfg.PlanCacheSize),
+		adm:   newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+	}
+}
+
+// Store exposes the catalog store (for registration outside HTTP).
+func (s *Server) Store() *Store { return s.store }
+
+// StartDrain flips the server into draining mode: every new query answers
+// 503 with Retry-After and /healthz fails, while requests already admitted
+// run to completion. Call before http.Server.Shutdown so load balancers
+// and clients back off during the drain window.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Flush persists the derivation-result cache index (graceful shutdown).
+func (s *Server) Flush() error {
+	if s.cfg.Cache == nil {
+		return nil
+	}
+	return s.cfg.Cache.Flush()
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/execute", s.serveExecute)
+	mux.HandleFunc("GET /v1/catalog", s.serveCatalog)
+	mux.HandleFunc("POST /v1/catalog/datasets", s.serveRegister)
+	mux.HandleFunc("GET /healthz", s.serveHealth)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.renderMetrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// rejectIfDraining answers 503 + Retry-After for new work during drain.
+func (s *Server) rejectIfDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.met.rejected.Add(1)
+	w.Header().Set("Retry-After", "2")
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+	return true
+}
+
+// rejectAdmission maps an admission failure to 429 (queue full) or 503
+// (deadline expired while queued), both with Retry-After.
+func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
+	s.met.rejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	if errors.Is(err, ErrOverloaded) {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "timed out waiting for an executor slot: %v", err)
+}
+
+// errStatus classifies a search/execution error: deadline → 504, client
+// cancellation → 499, anything else (no derivation path, bad plan) → 422.
+func (s *Server) errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.canceled.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.met.canceled.Add(1)
+		return statusClientClosed
+	default:
+		s.met.failed.Add(1)
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) timeout(millis int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if millis > 0 {
+		d = time.Duration(millis) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// resolvePlan answers q from the plan cache or runs the engine's CSP
+// search and caches the outcome. Callers must hold an executor slot (the
+// search is the expensive part the admitter exists for). Cancellation
+// errors are returned but never cached; genuine search failures are cached
+// negatively so a hopeless query answers instantly on retry. counted says
+// the caller already did a counted cache lookup for this request, so the
+// internal re-check must not inflate the hit/miss stats.
+func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query, counted bool) (planCacheEntry, int64, bool, error) {
+	schemas, version := s.store.Schemas()
+	key := planKey(version, window, q)
+	lookup := s.plans.get
+	if counted {
+		lookup = s.plans.getQuiet
+	}
+	if e, ok := lookup(key); ok {
+		return e, version, true, e.err
+	}
+	opts := engine.DefaultOptions()
+	opts.WindowSeconds = window
+	eng := engine.New(s.cfg.Dict, schemas, opts)
+	t0 := time.Now()
+	plan, err := eng.Solve(ctx, q)
+	e := planCacheEntry{key: key, plan: plan, err: err, searchMicros: time.Since(t0).Microseconds()}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return e, version, false, err
+	}
+	s.plans.put(e)
+	return e, version, false, err
+}
+
+func (s *Server) planResponse(e planCacheEntry, version int64, hit bool) (PlanResponse, error) {
+	data, err := e.plan.Encode()
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	return PlanResponse{
+		PlanHash:       e.plan.Hash(),
+		CacheHit:       hit,
+		SearchMicros:   e.searchMicros,
+		CatalogVersion: version,
+		Steps:          e.plan.Steps(),
+		Plan:           data,
+	}, nil
+}
+
+// serveQuery handles POST /v1/query (planOnly=false) and POST /v1/plan
+// (planOnly=true).
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, planOnly bool) {
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Domains) == 0 && len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, "query needs domains and/or values")
+		return
+	}
+	window := s.cfg.WindowSeconds
+	if req.WindowSeconds > 0 {
+		window = req.WindowSeconds
+	}
+	execute := !planOnly && (req.Execute == nil || *req.Execute)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMillis))
+	defer cancel()
+	start := time.Now()
+	s.met.queries.Add(1)
+
+	if !execute {
+		// Plan-only requests hit the cache before the admitter: a cached
+		// plan costs no CPU worth queueing for.
+		key := planKey(s.store.Version(), window, req.Query)
+		e, hit := s.plans.get(key)
+		if !hit {
+			if err := s.adm.acquire(ctx); err != nil {
+				s.rejectAdmission(w, err)
+				return
+			}
+			var err error
+			var version int64
+			e, version, hit, err = s.resolvePlan(ctx, window, req.Query, true)
+			s.adm.release()
+			if err != nil {
+				writeError(w, s.errStatus(err), "plan search: %v", err)
+				return
+			}
+			s.respondPlan(w, e, version, hit, start)
+			return
+		}
+		if e.err != nil {
+			writeError(w, s.errStatus(e.err), "plan search: %v", e.err)
+			return
+		}
+		s.respondPlan(w, e, s.store.Version(), true, start)
+		return
+	}
+
+	// Execution path: one slot covers search (on a cache miss) and the
+	// pipeline run, so a request never waits in line twice.
+	if err := s.adm.acquire(ctx); err != nil {
+		s.rejectAdmission(w, err)
+		return
+	}
+	defer s.adm.release()
+	e, _, hit, err := s.resolvePlan(ctx, window, req.Query, false)
+	if err != nil {
+		writeError(w, s.errStatus(err), "plan search: %v", err)
+		return
+	}
+	s.execStream(ctx, w, e.plan, hit, e.searchMicros, req.Limit, start)
+}
+
+func (s *Server) respondPlan(w http.ResponseWriter, e planCacheEntry, version int64, hit bool, start time.Time) {
+	resp, err := s.planResponse(e, version, hit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding plan: %v", err)
+		return
+	}
+	s.met.lat.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveExecute handles POST /v1/execute: reproduce a stored derivation
+// sequence against the live catalog.
+func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req ExecuteRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	plan, err := pipeline.Decode(req.Plan)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad plan: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMillis))
+	defer cancel()
+	start := time.Now()
+	s.met.queries.Add(1)
+	if err := s.adm.acquire(ctx); err != nil {
+		s.rejectAdmission(w, err)
+		return
+	}
+	defer s.adm.release()
+	s.execStream(ctx, w, plan, false, 0, req.Limit, start)
+}
+
+// execStream runs a plan on a request-bound rdd context and streams the
+// result as JSON lines: one header, one line per row, one trailer. Rows
+// are fully collected before the header is written, so an error always
+// arrives as a proper JSON status — a stream, once started, only ends
+// early if the connection itself dies.
+func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pipeline.Plan, hit bool, searchMicros int64, limit int, start time.Time) {
+	rc := rdd.NewContext(s.cfg.Workers).WithGoContext(ctx)
+	cat, _, version := s.store.Snapshot(rc)
+	result, err := pipeline.Execute(ctx, rc, plan, cat, s.cfg.Dict, pipeline.ExecOptions{Cache: s.cfg.Cache})
+	if err != nil {
+		writeError(w, s.errStatus(err), "execute: %v", err)
+		return
+	}
+	rows, err := rdd.Guard(func() []value.Row { return result.Collect() })
+	if err != nil {
+		writeError(w, s.errStatus(err), "execute: %v", err)
+		return
+	}
+	truncated := false
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+		truncated = true
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.Encode(StreamLine{Header: &StreamHeader{
+		PlanHash:       plan.Hash(),
+		CacheHit:       hit,
+		SearchMicros:   searchMicros,
+		CatalogVersion: version,
+		Steps:          plan.Steps(),
+		Schema:         result.Schema(),
+	}})
+	for _, row := range rows {
+		enc.Encode(StreamLine{Row: row})
+	}
+	enc.Encode(StreamLine{Trailer: &StreamTrailer{
+		Rows:          int64(len(rows)),
+		Truncated:     truncated,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	}})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	s.met.executed.Add(1)
+	s.met.rowsOut.Add(int64(len(rows)))
+	s.met.lat.observe(time.Since(start))
+}
+
+func (s *Server) serveCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CatalogResponse{Version: s.store.Version(), Datasets: s.store.Info()})
+}
+
+// serveRegister handles POST /v1/catalog/datasets: hot-reload a dataset,
+// either inline (rows + schema) or from server-visible storage (source).
+// The catalog version bump invalidates every cached plan.
+func (s *Server) serveRegister(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req RegisterRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rows, schema, parts := req.Rows, req.Schema, req.Partitions
+	name := req.Name
+	if req.Source != nil {
+		rc := rdd.NewContext(s.cfg.Workers)
+		src := *req.Source
+		if name == "" {
+			name = src.Name
+		}
+		ds, err := wrappers.Read(rc, src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "loading source: %v", err)
+			return
+		}
+		rows, schema = ds.Collect(), ds.Schema()
+		if parts <= 0 {
+			parts = ds.Rows().NumPartitions()
+		}
+	} else if len(schema) == 0 {
+		writeError(w, http.StatusBadRequest, "inline registration needs a schema")
+		return
+	} else {
+		// Validate the inline dataset against the dictionary before it can
+		// poison searches.
+		rc := rdd.NewContext(s.cfg.Workers)
+		probe := dataset.FromRows(rc, name, rows, schema, parts)
+		if err := probe.Validate(s.cfg.Dict); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid dataset: %v", err)
+			return
+		}
+	}
+	if err := s.store.Register(name, rows, schema, parts, req.Replace); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.met.reloads.Add(1)
+	writeJSON(w, http.StatusOK, DatasetInfo{
+		Name:       name,
+		Rows:       int64(len(rows)),
+		Partitions: parts,
+		Schema:     schema,
+	})
+}
+
+func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

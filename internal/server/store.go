@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scrubjay/internal/catalog"
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/value"
+)
+
+// Store holds the served catalog as materialized rows plus schemas. Rows
+// are stored rather than datasets because an RDD is pinned to the
+// rdd.Context that built it: every request gets its own Context bound to
+// the request's Go context (for cancellation), and Snapshot rebuilds cheap
+// lazy datasets on it. Stored row slices and schemas are immutable once
+// registered — registration swaps whole entries, never mutates — so
+// snapshots share them safely across requests.
+type Store struct {
+	mu       sync.Mutex
+	datasets map[string]*storedDataset
+	// version counts catalog mutations; it prefixes every plan-cache key,
+	// so a hot reload naturally invalidates cached plans.
+	version int64
+}
+
+type storedDataset struct {
+	rows   []value.Row
+	schema semantics.Schema
+	parts  int
+}
+
+// NewStore returns an empty catalog store.
+func NewStore() *Store {
+	return &Store{datasets: map[string]*storedDataset{}}
+}
+
+// LoadDir loads every dataset in a catalog directory (see
+// internal/catalog), materializing rows with a throwaway rdd context.
+func (s *Store) LoadDir(dir string, workers int) error {
+	rc := rdd.NewContext(workers)
+	cat, schemas, err := catalog.Load(rc, dir)
+	if err != nil {
+		return err
+	}
+	for name, ds := range cat {
+		rows := ds.Collect()
+		if err := s.Register(name, rows, schemas[name], ds.Rows().NumPartitions(), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Register installs (or, with replace, overwrites) a named dataset. The
+// caller must not mutate rows or schema afterwards.
+func (s *Store) Register(name string, rows []value.Row, schema semantics.Schema, parts int, replace bool) error {
+	if name == "" {
+		return fmt.Errorf("store: dataset name is required")
+	}
+	if len(schema) == 0 {
+		return fmt.Errorf("store: dataset %q needs a schema", name)
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok && !replace {
+		return fmt.Errorf("store: dataset %q already registered (set replace)", name)
+	}
+	s.datasets[name] = &storedDataset{rows: rows, schema: schema, parts: parts}
+	s.version++
+	return nil
+}
+
+// Version reports the catalog mutation counter.
+func (s *Store) Version() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Len reports the number of registered datasets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.datasets)
+}
+
+// Schemas snapshots the dataset schemas plus the version they belong to —
+// all the engine needs for its semantics-only plan search.
+func (s *Store) Schemas() (map[string]semantics.Schema, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]semantics.Schema, len(s.datasets))
+	for name, d := range s.datasets {
+		out[name] = d.schema
+	}
+	return out, s.version
+}
+
+// Snapshot builds an execution catalog on the given (request-bound) rdd
+// context. Dataset construction is lazy — no partition work runs here —
+// and the row slices are shared, so a snapshot is cheap. The entry refs
+// are copied under the lock; datasets are built after it is released.
+func (s *Store) Snapshot(rc *rdd.Context) (pipeline.Catalog, map[string]semantics.Schema, int64) {
+	s.mu.Lock()
+	entries := make(map[string]*storedDataset, len(s.datasets))
+	for name, d := range s.datasets {
+		entries[name] = d
+	}
+	version := s.version
+	s.mu.Unlock()
+	cat := make(pipeline.Catalog, len(entries))
+	schemas := make(map[string]semantics.Schema, len(entries))
+	for name, d := range entries {
+		cat[name] = dataset.FromRows(rc, name, d.rows, d.schema, d.parts)
+		schemas[name] = d.schema
+	}
+	return cat, schemas, version
+}
+
+// Info lists the registered datasets, sorted by name.
+func (s *Store) Info() []DatasetInfo {
+	s.mu.Lock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		out = append(out, DatasetInfo{
+			Name:       name,
+			Rows:       int64(len(d.rows)),
+			Partitions: d.parts,
+			Schema:     d.schema,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
