@@ -28,6 +28,14 @@ go run ./cmd/sjvet ./...
 echo "==> sjvet -tests ./..."
 go run ./cmd/sjvet -tests ./...
 
+# Columnar regression gate: the vectorized join kernels must not be slower
+# than the row-at-a-time reference path (sjbench exits nonzero if they
+# are), and the measured run lands in BENCH_columnar.json so the tracked
+# numbers stay honest. Small row count: this is a floor check, not the
+# reference measurement (see EXPERIMENTS.md for one).
+echo "==> sjbench columnar (row-vs-columnar gate)"
+go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
+
 # Server smoke: boot sjserved on a random port over a generated catalog,
 # then prove the three serving guarantees end to end:
 #   1. correctness + plan cache: a concurrent sjload burst completes with

@@ -91,6 +91,16 @@ func loadCatalog(ctx *rdd.Context, dir string) (pipeline.Catalog, map[string]sem
 	return catalog.Load(ctx, dir)
 }
 
+// columnarCatalog pivots every catalog dataset to the columnar
+// representation, so executed plans run on the vectorized kernels.
+func columnarCatalog(cat pipeline.Catalog) pipeline.Catalog {
+	out := make(pipeline.Catalog, len(cat))
+	for name, ds := range cat {
+		out[name] = ds.Columnar()
+	}
+	return out
+}
+
 // parseSink parses "FMT:PATH" (or "kv:DIR:TABLE") into a wrappers.Source.
 func parseSink(spec string) (wrappers.Source, error) {
 	i := strings.Index(spec, ":")
@@ -127,6 +137,7 @@ func cmdQuery(args []string) error {
 	show := fs.Int("show", 10, "print up to this many result rows")
 	explain := fs.Bool("explain", false, "print the engine's search trace")
 	serverURL := fs.String("server", "", "query a running sjserved instead of the local library")
+	columnar := fs.Bool("columnar", true, "execute on the columnar batch path (false = row-at-a-time reference path)")
 	fs.Parse(args)
 	if *catalogDir == "" && *serverURL == "" {
 		return fmt.Errorf("query: -catalog (or -server) is required")
@@ -163,6 +174,9 @@ func cmdQuery(args []string) error {
 	cat, schemas, err := loadCatalog(ctx, *catalogDir)
 	if err != nil {
 		return err
+	}
+	if *columnar {
+		cat = columnarCatalog(cat)
 	}
 
 	opts := engine.DefaultOptions()
@@ -243,6 +257,7 @@ func cmdRun(args []string) error {
 	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
 	show := fs.Int("show", 10, "print up to this many result rows")
 	serverURL := fs.String("server", "", "execute on a running sjserved instead of the local library")
+	columnar := fs.Bool("columnar", true, "execute on the columnar batch path (false = row-at-a-time reference path)")
 	fs.Parse(args)
 	if (*catalogDir == "" && *serverURL == "") || *planPath == "" {
 		return fmt.Errorf("run: -plan and -catalog (or -server) are required")
@@ -263,6 +278,9 @@ func cmdRun(args []string) error {
 	cat, _, err := loadCatalog(ctx, *catalogDir)
 	if err != nil {
 		return err
+	}
+	if *columnar {
+		cat = columnarCatalog(cat)
 	}
 	c, err := openCache(*cacheDir)
 	if err != nil {

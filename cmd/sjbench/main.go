@@ -11,7 +11,12 @@
 //	engine Derivation-engine query latency      (§5.2 interactive rates)
 //	memo   Memoization ablation                 (§5.2)
 //	naive  Dual-binning vs naive interp join    (§5.3 ablation)
+//	columnar Row-path vs columnar join throughput (this repo's batch engine)
 //	all    Everything above
+//
+// The columnar experiment doubles as a regression gate: with -out it writes
+// the comparison to a JSON file (BENCH_columnar.json in CI) and exits
+// nonzero if the columnar path is slower than the row path on any join.
 //
 // Absolute numbers depend on the host; the harness checks and reports the
 // *shapes* the paper claims (linearity, strong-scaling, outliers,
@@ -38,6 +43,7 @@ func main() {
 		perRack = flag.Int("nodes-per-rack", 32, "case studies: nodes per rack")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		reps    = flag.Int("reps", 1, "repetitions per figure-3 sweep point (min kept)")
+		out     = flag.String("out", "", "columnar: write the comparison report to this JSON file")
 	)
 	flag.Parse()
 
@@ -195,6 +201,29 @@ func main() {
 		fmt.Printf("catalog=%d datasets, %d solves\n", res.CatalogSize, res.Solves)
 		fmt.Printf("with memoization:    %v (%d memo hits)\n", res.WithMemo, res.MemoHits)
 		fmt.Printf("without memoization: %v\n", res.WithoutMemo)
+		return nil
+	})
+	run("columnar", func() error {
+		creps := *reps
+		if creps < 3 {
+			creps = 3 // best-of-3 minimum: one rep is too noisy to gate on
+		}
+		report, err := bench.RunColumnarCompare(w, creps)
+		if err != nil {
+			return err
+		}
+		report.Print(os.Stdout)
+		if *out != "" {
+			if err := report.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", *out)
+		}
+		for _, c := range report.Comparisons {
+			if c.Speedup < 1 {
+				return fmt.Errorf("columnar %s regressed: %.2fx the row path's throughput", c.Name, c.Speedup)
+			}
+		}
 		return nil
 	})
 	run("naive", func() error {

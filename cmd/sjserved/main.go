@@ -44,6 +44,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache budget in bytes")
 	planCacheSize := flag.Int("plan-cache", 256, "plan-cache LRU capacity")
 	window := flag.Float64("window", 120, "default interpolation-join window in seconds")
+	columnar := flag.Bool("columnar", true, "execute queries on the columnar batch path (false = row-at-a-time reference path)")
 	defaultTimeoutMS := flag.Int64("default-timeout-ms", 30_000, "per-request deadline when the client sends none")
 	maxTimeoutMS := flag.Int64("max-timeout-ms", 300_000, "upper clamp on client-supplied deadlines")
 	drainMS := flag.Int64("drain-ms", 30_000, "graceful-shutdown drain budget")
@@ -56,7 +57,7 @@ func main() {
 	log.SetPrefix("sjserved: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	if err := run(*addr, *addrFile, *catalogDir, *workers, *maxConcurrent, *maxQueue,
-		*cacheDir, *cacheBytes, *planCacheSize, *window,
+		*cacheDir, *cacheBytes, *planCacheSize, *window, *columnar,
 		time.Duration(*defaultTimeoutMS)*time.Millisecond,
 		time.Duration(*maxTimeoutMS)*time.Millisecond,
 		time.Duration(*drainMS)*time.Millisecond); err != nil {
@@ -65,7 +66,7 @@ func main() {
 }
 
 func run(addr, addrFile, catalogDir string, workers, maxConcurrent, maxQueue int,
-	cacheDir string, cacheBytes int64, planCacheSize int, window float64,
+	cacheDir string, cacheBytes int64, planCacheSize int, window float64, columnar bool,
 	defaultTimeout, maxTimeout, drainBudget time.Duration) error {
 
 	store := server.NewStore()
@@ -94,6 +95,7 @@ func run(addr, addrFile, catalogDir string, workers, maxConcurrent, maxQueue int
 		PlanCacheSize:  planCacheSize,
 		WindowSeconds:  window,
 		Cache:          resultCache,
+		RowMode:        !columnar,
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/derive"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+)
+
+// The columnar experiment measures the tentpole claim directly: the same
+// join, same inputs, same worker pool, once over boxed rows and once over
+// frame batches. Inputs are materialized (and, for the columnar leg,
+// pivoted to frames) before the timer starts, so the measurement is the
+// join itself, not ingestion. Alloc counts come from runtime.MemStats
+// deltas around the timed region — a process-wide proxy, which is why each
+// leg runs in isolation with a GC barrier in between.
+
+// ColumnarRun is one measured leg (row or columnar) of the comparison.
+type ColumnarRun struct {
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per input row
+	OutputRows  int64   `json:"output_rows"`
+}
+
+// ColumnarComparison is one join benchmarked both ways.
+type ColumnarComparison struct {
+	Name     string      `json:"name"`
+	Rows     int         `json:"rows"`
+	Row      ColumnarRun `json:"row"`
+	Columnar ColumnarRun `json:"columnar"`
+	// Speedup is columnar rows/sec over row rows/sec (>1 means faster).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is columnar allocs/op over row allocs/op (<1 means leaner).
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// ColumnarReport is the BENCH_columnar.json document.
+type ColumnarReport struct {
+	Workers     int                  `json:"workers"`
+	Reps        int                  `json:"reps"`
+	Comparisons []ColumnarComparison `json:"comparisons"`
+}
+
+// materializeRows rebuilds a dataset over its collected rows, so timed
+// reruns start from in-memory slices instead of regenerating inputs.
+func materializeRows(ctx *rdd.Context, d *dataset.Dataset) *dataset.Dataset {
+	return dataset.FromRows(ctx, d.Name(), d.Collect(), d.Schema(), d.Rows().NumPartitions())
+}
+
+// materializeFrames rebuilds a dataset over its pivoted frames, so the
+// columnar leg never pays the row→column pivot inside the timer.
+func materializeFrames(ctx *rdd.Context, d *dataset.Dataset) *dataset.Dataset {
+	return dataset.FromFrames(ctx, d.Name(), d.Columnar().Frames().Collect(), d.Schema())
+}
+
+// timedJoin runs one prepared join thunk and measures wall time plus the
+// process allocation delta across it.
+func timedJoin(inputRows int, join func() (int64, error)) (ColumnarRun, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n, err := join()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ColumnarRun{}, err
+	}
+	allocs := float64(after.Mallocs - before.Mallocs)
+	return ColumnarRun{
+		RowsPerSec:  float64(inputRows) / wall.Seconds(),
+		WallSeconds: wall.Seconds(),
+		AllocsPerOp: allocs / float64(inputRows),
+		OutputRows:  n,
+	}, nil
+}
+
+// bestOf keeps the leg with the highest throughput over reps runs,
+// suppressing single-host GC and scheduler noise.
+func bestOf(reps, inputRows int, join func() (int64, error)) (ColumnarRun, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best ColumnarRun
+	for r := 0; r < reps; r++ {
+		run, err := timedJoin(inputRows, join)
+		if err != nil {
+			return ColumnarRun{}, err
+		}
+		if r == 0 || run.RowsPerSec > best.RowsPerSec {
+			best = run
+		}
+	}
+	return best, nil
+}
+
+// compareNaturalJoin benchmarks the natural join in both representations.
+func compareNaturalJoin(w JoinWorkload, reps int) (ColumnarComparison, error) {
+	dict := semantics.DefaultDictionary()
+	ctx := rdd.NewContext(w.Workers)
+	left, right := naturalJoinInputs(ctx, w.Rows, w.Partitions)
+	left, right = materializeRows(ctx, left), materializeRows(ctx, right)
+	cleft, cright := materializeFrames(ctx, left), materializeFrames(ctx, right)
+
+	rowRun, err := bestOf(reps, w.Rows, func() (int64, error) {
+		out, err := (&derive.NaturalJoin{}).Apply(left, right, dict)
+		if err != nil {
+			return 0, err
+		}
+		return out.Count(), nil
+	})
+	if err != nil {
+		return ColumnarComparison{}, err
+	}
+	colRun, err := bestOf(reps, w.Rows, func() (int64, error) {
+		out, err := (&derive.NaturalJoin{}).Apply(cleft, cright, dict)
+		if err != nil {
+			return 0, err
+		}
+		if !out.IsColumnar() {
+			return 0, fmt.Errorf("natural join left the columnar representation")
+		}
+		return out.Count(), nil
+	})
+	if err != nil {
+		return ColumnarComparison{}, err
+	}
+	return finishComparison("natural_join", w.Rows, rowRun, colRun), nil
+}
+
+// compareInterpJoin benchmarks the interpolation join in both
+// representations.
+func compareInterpJoin(w JoinWorkload, reps int) (ColumnarComparison, error) {
+	dict := semantics.DefaultDictionary()
+	ctx := rdd.NewContext(w.Workers)
+	left, right := interpJoinInputs(ctx, w.Rows, w.Partitions)
+	left, right = materializeRows(ctx, left), materializeRows(ctx, right)
+	cleft, cright := materializeFrames(ctx, left), materializeFrames(ctx, right)
+
+	join := &derive.InterpolationJoin{WindowSeconds: w.WindowSeconds}
+	rowRun, err := bestOf(reps, w.Rows, func() (int64, error) {
+		out, err := join.Apply(left, right, dict)
+		if err != nil {
+			return 0, err
+		}
+		return out.Count(), nil
+	})
+	if err != nil {
+		return ColumnarComparison{}, err
+	}
+	colRun, err := bestOf(reps, w.Rows, func() (int64, error) {
+		out, err := join.Apply(cleft, cright, dict)
+		if err != nil {
+			return 0, err
+		}
+		if !out.IsColumnar() {
+			return 0, fmt.Errorf("interpolation join left the columnar representation")
+		}
+		return out.Count(), nil
+	})
+	if err != nil {
+		return ColumnarComparison{}, err
+	}
+	return finishComparison("interpolation_join", w.Rows, rowRun, colRun), nil
+}
+
+func finishComparison(name string, rows int, rowRun, colRun ColumnarRun) ColumnarComparison {
+	c := ColumnarComparison{Name: name, Rows: rows, Row: rowRun, Columnar: colRun}
+	if rowRun.RowsPerSec > 0 {
+		c.Speedup = colRun.RowsPerSec / rowRun.RowsPerSec
+	}
+	if rowRun.AllocsPerOp > 0 {
+		c.AllocRatio = colRun.AllocsPerOp / rowRun.AllocsPerOp
+	}
+	return c
+}
+
+// RunColumnarCompare benchmarks the hot joins in both representations and
+// returns the report. Output-row counts must agree between legs — a
+// mismatch means the representations diverged and fails the run.
+func RunColumnarCompare(w JoinWorkload, reps int) (ColumnarReport, error) {
+	report := ColumnarReport{Workers: w.Workers, Reps: reps}
+	for _, cmp := range []func(JoinWorkload, int) (ColumnarComparison, error){compareNaturalJoin, compareInterpJoin} {
+		c, err := cmp(w, reps)
+		if err != nil {
+			return ColumnarReport{}, err
+		}
+		if c.Row.OutputRows != c.Columnar.OutputRows {
+			return ColumnarReport{}, fmt.Errorf("%s: row path produced %d rows, columnar %d",
+				c.Name, c.Row.OutputRows, c.Columnar.OutputRows)
+		}
+		report.Comparisons = append(report.Comparisons, c)
+	}
+	return report, nil
+}
+
+// Print renders the report as an aligned table.
+func (r ColumnarReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-20s %14s %14s %8s %12s %12s %8s\n",
+		"join", "row rows/s", "col rows/s", "speedup", "row allocs", "col allocs", "ratio")
+	for _, c := range r.Comparisons {
+		fmt.Fprintf(w, "%-20s %14.0f %14.0f %7.2fx %12.1f %12.1f %8.2f\n",
+			c.Name, c.Row.RowsPerSec, c.Columnar.RowsPerSec, c.Speedup,
+			c.Row.AllocsPerOp, c.Columnar.AllocsPerOp, c.AllocRatio)
+	}
+}
+
+// WriteFile lands the report as indented JSON via temp + rename.
+func (r ColumnarReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+

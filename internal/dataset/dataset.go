@@ -10,16 +10,25 @@ import (
 	"sort"
 	"strings"
 
+	"scrubjay/internal/frame"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
 	"scrubjay/internal/units"
 	"scrubjay/internal/value"
 )
 
-// Dataset is a semantically annotated, partitioned collection of rows.
+// Dataset is a semantically annotated, partitioned collection of rows. It
+// carries one of two physical representations — row-at-a-time partitions
+// ([]value.Row) or columnar batches (one *frame.Frame per partition) — and
+// derives the other lazily on demand. Derivations preserve the input
+// representation (columnar in, columnar out), so a plan executed over a
+// columnar catalog stays columnar end-to-end; either way every observable
+// row is identical, which the derivation property suites assert
+// bit-for-bit.
 type Dataset struct {
 	name   string
-	rows   *rdd.RDD[value.Row]
+	rows   *rdd.RDD[value.Row]    // nil when born columnar
+	frames *rdd.RDD[*frame.Frame] // nil when born row-form
 	schema semantics.Schema
 }
 
@@ -28,37 +37,120 @@ func New(name string, rows *rdd.RDD[value.Row], schema semantics.Schema) *Datase
 	return &Dataset{name: name, rows: rows, schema: schema}
 }
 
+// NewFrames wraps an RDD of columnar batches (one frame per partition
+// element) with its schema.
+func NewFrames(name string, frames *rdd.RDD[*frame.Frame], schema semantics.Schema) *Dataset {
+	return &Dataset{name: name, frames: frames, schema: schema}
+}
+
 // FromRows distributes a row slice over numParts partitions.
 func FromRows(ctx *rdd.Context, name string, rows []value.Row, schema semantics.Schema, numParts int) *Dataset {
 	return New(name, rdd.Parallelize(ctx, rows, numParts).WithName(name), schema)
 }
 
+// FromFrames wraps pre-built columnar batches, one partition per frame.
+// The frames must be treated as immutable from then on; this is how the
+// server shares one set of catalog frames across concurrent requests.
+func FromFrames(ctx *rdd.Context, name string, frames []*frame.Frame, schema semantics.Schema) *Dataset {
+	parts := make([][]*frame.Frame, len(frames))
+	for i, f := range frames {
+		parts[i] = []*frame.Frame{f}
+	}
+	return NewFrames(name, rdd.FromPartitions(ctx, parts).WithName(name), schema)
+}
+
+// FromRowsColumnar distributes a row slice over numParts partitions and
+// converts each partition into one columnar batch.
+func FromRowsColumnar(ctx *rdd.Context, name string, rows []value.Row, schema semantics.Schema, numParts int) *Dataset {
+	src := rdd.Parallelize(ctx, rows, numParts)
+	frames := rdd.MapPartitions(src, func(_ int, in []value.Row) []*frame.Frame {
+		return []*frame.Frame{frame.FromRows(in)}
+	})
+	return NewFrames(name, frames.WithName(name), schema)
+}
+
 // Name returns the dataset's name.
 func (d *Dataset) Name() string { return d.name }
 
-// WithName returns the dataset relabeled (rows and schema shared).
+// WithName returns the dataset relabeled (data and schema shared).
 func (d *Dataset) WithName(name string) *Dataset {
-	return &Dataset{name: name, rows: d.rows, schema: d.schema}
+	return &Dataset{name: name, rows: d.rows, frames: d.frames, schema: d.schema}
 }
 
-// Rows returns the underlying RDD.
-func (d *Dataset) Rows() *rdd.RDD[value.Row] { return d.rows }
+// IsColumnar reports whether the dataset's native representation is
+// columnar batches.
+func (d *Dataset) IsColumnar() bool { return d.frames != nil }
+
+// Rows returns the dataset as an RDD of boundary-format rows. For a
+// columnar dataset the rows are unboxed from the batches lazily, partition
+// by partition, preserving order.
+func (d *Dataset) Rows() *rdd.RDD[value.Row] {
+	if d.rows != nil {
+		return d.rows
+	}
+	out := rdd.FlatMap(d.frames, func(f *frame.Frame) []value.Row { return f.ToRows() })
+	return out.WithName(d.name + "|unbox")
+}
+
+// Frames returns the dataset as an RDD of columnar batches (one per input
+// partition). For a row-form dataset each partition is packed into one
+// frame lazily.
+func (d *Dataset) Frames() *rdd.RDD[*frame.Frame] {
+	if d.frames != nil {
+		return d.frames
+	}
+	out := rdd.MapPartitions(d.rows, func(_ int, in []value.Row) []*frame.Frame {
+		return []*frame.Frame{frame.FromRows(in)}
+	})
+	return out.WithName(d.name + "|box")
+}
+
+// Columnar returns the dataset in columnar representation (itself if it
+// already is). A row-form dataset keeps its row RDD alongside the lazy
+// frame view, so row-level consumers (Count, Collect, streaming in row
+// mode) never pay the row→column pivot just because a derivation marked
+// the result columnar.
+func (d *Dataset) Columnar() *Dataset {
+	if d.frames != nil {
+		return d
+	}
+	return &Dataset{name: d.name, rows: d.rows, frames: d.Frames(), schema: d.schema}
+}
 
 // Schema returns the dataset's schema. Callers must not mutate it.
 func (d *Dataset) Schema() semantics.Schema { return d.schema }
 
 // Context returns the execution context.
-func (d *Dataset) Context() *rdd.Context { return d.rows.Context() }
+func (d *Dataset) Context() *rdd.Context {
+	if d.rows != nil {
+		return d.rows.Context()
+	}
+	return d.frames.Context()
+}
 
 // Collect materializes all rows.
-func (d *Dataset) Collect() []value.Row { return d.rows.Collect() }
+func (d *Dataset) Collect() []value.Row { return d.Rows().Collect() }
 
-// Count returns the number of rows.
-func (d *Dataset) Count() int64 { return d.rows.Count() }
+// Count returns the number of rows. A dataset that carries rows counts
+// them directly; a purely columnar one counts batch lengths without
+// unboxing rows.
+func (d *Dataset) Count() int64 {
+	if d.rows != nil {
+		return d.rows.Count()
+	}
+	n, _ := rdd.Reduce(rdd.Map(d.frames, func(f *frame.Frame) int64 {
+		return int64(f.NumRows())
+	}), func(a, b int64) int64 { return a + b })
+	return n
+}
 
 // Cache marks the underlying RDD for in-memory reuse.
 func (d *Dataset) Cache() *Dataset {
-	d.rows.Cache()
+	if d.frames != nil {
+		d.frames.Cache()
+	} else {
+		d.rows.Cache()
+	}
 	return d
 }
 
@@ -74,14 +166,28 @@ func (d *Dataset) Select(cols ...string) (*Dataset, error) {
 		ns[c] = e
 	}
 	cols = append([]string(nil), cols...)
+	name := d.name + "|select"
+	if d.frames != nil {
+		out := rdd.Map(d.frames, func(f *frame.Frame) *frame.Frame { return f.Select(cols) })
+		return NewFrames(name, out.WithName(name), ns), nil
+	}
 	out := rdd.Map(d.rows, func(r value.Row) value.Row { return r.Project(cols...) })
-	return New(d.name+"|select", out.WithName(d.name+"|select"), ns), nil
+	return New(name, out.WithName(name), ns), nil
 }
 
-// Where filters rows by a predicate; the schema is unchanged.
+// Where filters rows by a predicate; the schema is unchanged. On a
+// columnar dataset the predicate runs over boxed rows (frame.MaskRows) and
+// the kept rows are gathered into new batches.
 func (d *Dataset) Where(pred func(value.Row) bool) *Dataset {
-	out := rdd.Filter(d.rows, pred).WithName(d.name + "|where")
-	return New(d.name+"|where", out, d.schema)
+	name := d.name + "|where"
+	if d.frames != nil {
+		out := rdd.Map(d.frames, func(f *frame.Frame) *frame.Frame {
+			return f.FilterMask(frame.MaskRows(f, pred))
+		})
+		return NewFrames(name, out.WithName(name), d.schema)
+	}
+	out := rdd.Filter(d.rows, pred).WithName(name)
+	return New(name, out, d.schema)
 }
 
 // SortedBy returns rows totally ordered by the given columns (materializes).
@@ -123,7 +229,7 @@ func (d *Dataset) Validate(dict *semantics.Dictionary) error {
 		return fmt.Errorf("dataset %q: %w", d.name, err)
 	}
 	type rowErr struct{ msg string }
-	bad := rdd.FlatMap(d.rows, func(r value.Row) []rowErr {
+	bad := rdd.FlatMap(d.Rows(), func(r value.Row) []rowErr {
 		for col, v := range r {
 			e, ok := d.schema[col]
 			if !ok {
@@ -148,7 +254,7 @@ func (d *Dataset) Validate(dict *semantics.Dictionary) error {
 
 // Show renders up to n rows as an aligned table for terminal output.
 func (d *Dataset) Show(n int) string {
-	rows := d.rows.Take(n)
+	rows := d.Rows().Take(n)
 	cols := d.schema.Columns()
 	width := make([]int, len(cols))
 	for i, c := range cols {

@@ -156,5 +156,5 @@ func (d *DeriveActiveFrequency) Apply(in *dataset.Dataset, dict *semantics.Dicti
 		return r.With(out, value.Float(a/m*b))
 	})
 	name := in.Name() + "|derive_active_frequency"
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

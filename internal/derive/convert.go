@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"scrubjay/internal/dataset"
+	"scrubjay/internal/frame"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/units"
 	"scrubjay/internal/value"
 )
 
@@ -69,6 +71,13 @@ func (c *ConvertUnits) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*
 	from := in.Schema()[c.Column].Units
 	col, to := c.Column, c.To
 	u := dict.Units
+	name := fmt.Sprintf("%s|convert(%s->%s)", in.Name(), col, to)
+	if in.IsColumnar() {
+		frames := rdd.Map(in.Frames(), func(f *frame.Frame) *frame.Frame {
+			return convertFrame(f, u, col, from, to)
+		})
+		return dataset.NewFrames(name, frames.WithName(name), schema), nil
+	}
 	rows := rdd.Map(in.Rows(), func(r value.Row) value.Row {
 		v := r.Get(col)
 		f, ok := v.AsFloat()
@@ -81,8 +90,35 @@ func (c *ConvertUnits) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*
 		}
 		return r.With(col, value.Float(conv))
 	})
-	name := fmt.Sprintf("%s|convert(%s->%s)", in.Name(), col, to)
 	return dataset.New(name, rows.WithName(name), schema), nil
+}
+
+// convertFrame rescales one batch's column. Float-typed columns convert as
+// one dense vector (frame.ConvertColumn); any other storage falls back to
+// the row path's per-cell rules — non-numeric, time, and unconvertible
+// cells pass through unchanged.
+func convertFrame(f *frame.Frame, u *units.Dict, col, from, to string) *frame.Frame {
+	c := f.Col(col)
+	if c == nil {
+		return f
+	}
+	if cc, ok := frame.ConvertColumn(u, c, from, to); ok {
+		return f.With(cc)
+	}
+	b := frame.NewBuilder(c.Name(), f.NumRows())
+	for i := 0; i < f.NumRows(); i++ {
+		if !c.Present(i) {
+			continue
+		}
+		v := c.Value(i)
+		if fv, ok := v.AsFloat(); ok && v.Kind() != value.KindTime {
+			if conv, err := u.Convert(fv, from, to); err == nil {
+				v = value.Float(conv)
+			}
+		}
+		b.Set(i, v)
+	}
+	return f.With(b.Finish())
 }
 
 // DeriveRatio computes a new value column as the quotient of two existing
@@ -164,5 +200,5 @@ func (d *DeriveRatio) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*d
 		return r.With(as, q)
 	})
 	name := fmt.Sprintf("%s|ratio(%s/%s)", in.Name(), num, den)
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

@@ -123,5 +123,5 @@ func (d *DeriveDuration) Apply(in *dataset.Dataset, dict *semantics.Dictionary) 
 		return r.With(outCol, value.Float(float64(v.SpanDurationNanos())/1e9))
 	})
 	name := in.Name() + "|derive_duration"
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scrubjay/internal/dataset"
+	"scrubjay/internal/frame"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
 	"scrubjay/internal/units"
@@ -95,6 +96,13 @@ func (e *ExplodeDiscrete) Apply(in *dataset.Dataset, dict *semantics.Dictionary)
 		return nil, err
 	}
 	col, out := e.Column, e.out()
+	name := in.Name() + "|explode_discrete(" + col + ")"
+	if in.IsColumnar() {
+		frames := rdd.Map(in.Frames(), func(f *frame.Frame) *frame.Frame {
+			return explodeDiscreteFrame(f, col, out)
+		})
+		return dataset.NewFrames(name, frames.WithName(name), schema), nil
+	}
 	rows := rdd.FlatMap(in.Rows(), func(r value.Row) []value.Row {
 		list := r.Get(col).ListVal()
 		if len(list) == 0 {
@@ -108,7 +116,6 @@ func (e *ExplodeDiscrete) Apply(in *dataset.Dataset, dict *semantics.Dictionary)
 		}
 		return res
 	})
-	name := in.Name() + "|explode_discrete(" + col + ")"
 	return dataset.New(name, rows.WithName(name), schema), nil
 }
 
@@ -208,6 +215,13 @@ func (e *ExplodeContinuous) Apply(in *dataset.Dataset, dict *semantics.Dictionar
 	}
 	col, out := e.Column, e.out()
 	periodNanos := int64(e.PeriodSeconds * 1e9)
+	name := in.Name() + "|explode_continuous(" + col + ")"
+	if in.IsColumnar() {
+		frames := rdd.Map(in.Frames(), func(f *frame.Frame) *frame.Frame {
+			return explodeContinuousFrame(f, col, out, periodNanos)
+		})
+		return dataset.NewFrames(name, frames.WithName(name), schema), nil
+	}
 	rows := rdd.FlatMap(in.Rows(), func(r value.Row) []value.Row {
 		v := r.Get(col)
 		if v.Kind() != value.KindSpan {
@@ -229,6 +243,5 @@ func (e *ExplodeContinuous) Apply(in *dataset.Dataset, dict *semantics.Dictionar
 		}
 		return res
 	})
-	name := in.Name() + "|explode_continuous(" + col + ")"
 	return dataset.New(name, rows.WithName(name), schema), nil
 }

@@ -187,5 +187,5 @@ func (d *DeriveHeat) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*da
 		return []value.Row{nr}
 	})
 	name := in.Name() + "|derive_heat"
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

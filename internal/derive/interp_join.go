@@ -173,6 +173,13 @@ func (j *InterpolationJoin) Apply(left, right *dataset.Dataset, dict *semantics.
 	}
 
 	ltCol, rtCol := timePair.LeftCol, timePair.RightCol
+	name := fmt.Sprintf("interpolation_join(%s,%s)", left.Name(), right.Name())
+
+	if left.IsColumnar() && right.IsColumnar() {
+		cands := interpCandidatesColumnar(left, right, ltCol, rtCol, leftExact, rightExact, convs, w)
+		rows := interpAssembleColumnar(cands, rightResidual, lerpCols, nearestCols, dropRight)
+		return dataset.New(name, rows.WithName(name), schema).Columnar(), nil
+	}
 
 	// Tag left rows with unique ids and both bin keys.
 	tagBoth := func(exKey string, t int64) (keyA, keyB string, binA int64) {
@@ -247,31 +254,45 @@ func (j *InterpolationJoin) Apply(left, right *dataset.Dataset, dict *semantics.
 		return out
 	}).WithName("interp-candidates")
 
+	rows := interpAssemble(cands, rightResidual, lerpCols, nearestCols, dropRight)
+	return dataset.New(name, rows.WithName(name), schema), nil
+}
+
+// interpAssemble is the downstream half of the interpolation join on the
+// row path: candidates regroup by their left row's id, split by the right
+// side's residual domain columns, and each residual group interpolates into
+// one output row.
+func interpAssemble(cands *rdd.RDD[interpCand], rightResidual, lerpCols, nearestCols, dropRight []string) *rdd.RDD[value.Row] {
 	perLeft := rdd.GroupByKey(cands, func(c interpCand) string {
 		return strconv.FormatInt(c.id, 10)
 	})
-
-	rows := rdd.FlatMap(perLeft, func(g rdd.Group[interpCand]) []value.Row {
-		byResidual := make(map[string][]interpCand)
-		for _, c := range g.Items {
-			k := joinKey(c.rrow, rightResidual, nil)
-			byResidual[k] = append(byResidual[k], c)
-		}
-		keys := make([]string, 0, len(byResidual))
-		for k := range byResidual {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		out := make([]value.Row, 0, len(keys))
-		for _, k := range keys {
-			cs := byResidual[k]
-			merged := interpolateCandidates(cs, lerpCols, nearestCols, dropRight)
-			out = append(out, merged)
-		}
-		return out
+	return rdd.FlatMap(perLeft, func(g rdd.Group[interpCand]) []value.Row {
+		return assembleLeftGroup(g.Items, rightResidual, lerpCols, nearestCols, dropRight)
 	})
-	name := fmt.Sprintf("interpolation_join(%s,%s)", left.Name(), right.Name())
-	return dataset.New(name, rows.WithName(name), schema), nil
+}
+
+// assembleLeftGroup turns one left row's candidates into output rows: one
+// per right-residual combination, in sorted residual-key order. Shared by
+// the row and columnar assemble stages so both emit identical rows.
+func assembleLeftGroup(cs []interpCand, rightResidual, lerpCols, nearestCols, dropRight []string) []value.Row {
+	if len(rightResidual) == 0 {
+		return []value.Row{interpolateCandidates(cs, lerpCols, nearestCols, dropRight)}
+	}
+	byResidual := make(map[string][]interpCand)
+	for _, c := range cs {
+		k := joinKey(c.rrow, rightResidual, nil)
+		byResidual[k] = append(byResidual[k], c)
+	}
+	keys := make([]string, 0, len(byResidual))
+	for k := range byResidual {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Row, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, interpolateCandidates(byResidual[k], lerpCols, nearestCols, dropRight))
+	}
+	return out
 }
 
 // interpolateCandidates merges one left row with the right rows of one

@@ -87,6 +87,37 @@ func joinKey(r value.Row, cols []string, convert []func(value.Value) value.Value
 	return b.String()
 }
 
+// keyedRow pairs a row with its precomputed composite join key.
+type keyedRow struct {
+	key string
+	row value.Row
+}
+
+// preKeyRows renders each row's composite join key once, per partition,
+// with a partition-local scratch buffer. The shuffle and the co-group both
+// consume the stored key, instead of each rebuilding it row by row (the
+// key used to be computed twice per row, each time through a fresh
+// strings.Builder).
+func preKeyRows(rows *rdd.RDD[value.Row], cols []string, convs []func(value.Value) value.Value) *rdd.RDD[keyedRow] {
+	return rdd.MapPartitions(rows, func(_ int, in []value.Row) []keyedRow {
+		out := make([]keyedRow, len(in))
+		scratch := make([]byte, 0, 64)
+		for i, r := range in {
+			scratch = scratch[:0]
+			for j, c := range cols {
+				v := r.Get(c)
+				if convs != nil && convs[j] != nil {
+					v = convs[j](v)
+				}
+				scratch = append(scratch, v.String()...)
+				scratch = append(scratch, 0)
+			}
+			out[i] = keyedRow{key: string(scratch), row: r}
+		}
+		return out
+	})
+}
+
 // NaturalJoin relates two datasets by exact match on every shared domain
 // dimension (§4.3, §5.3). It is implemented as a hash shuffle join on the
 // data-parallel substrate; with 10 nodes it is the cheaper of the paper's
@@ -168,21 +199,27 @@ func (n *NaturalJoin) Apply(left, right *dataset.Dataset, dict *semantics.Dictio
 		dropRight[i] = p.RightCol
 	}
 	convs := rightConverters(pairs, left.Schema(), right.Schema(), dict)
+	name := fmt.Sprintf("natural_join(%s,%s)", left.Name(), right.Name())
 
-	joined := rdd.JoinHash(left.Rows(), right.Rows(),
-		func(r value.Row) string { return joinKey(r, leftCols, nil) },
-		func(r value.Row) string { return joinKey(r, rightCols, convs) },
+	if left.IsColumnar() && right.IsColumnar() {
+		return joinColumnar(left, right, schema, name, leftCols, rightCols, dropRight, convs), nil
+	}
+
+	joined := rdd.JoinHash(
+		preKeyRows(left.Rows(), leftCols, nil),
+		preKeyRows(right.Rows(), rightCols, convs),
+		func(kr keyedRow) string { return kr.key },
+		func(kr keyedRow) string { return kr.key },
 	)
-	rows := rdd.Map(joined, func(p rdd.Pair[value.Row, value.Row]) value.Row {
-		r := p.Right
+	rows := rdd.Map(joined, func(p rdd.Pair[keyedRow, keyedRow]) value.Row {
+		r := p.Right.row
 		if len(dropRight) > 0 {
 			r = r.Clone()
 			for _, c := range dropRight {
 				delete(r, c)
 			}
 		}
-		return p.Left.Merge(r)
+		return p.Left.row.Merge(r)
 	})
-	name := fmt.Sprintf("natural_join(%s,%s)", left.Name(), right.Name())
 	return dataset.New(name, rows.WithName(name), schema), nil
 }

@@ -188,6 +188,10 @@ func (d *DeriveRate) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*da
 			groupCols = append(groupCols, c)
 		}
 	}
+	name := in.Name() + "|derive_rate"
+	if in.IsColumnar() {
+		return rateColumnar(in, schema, name, timeCol, counters, groupCols), nil
+	}
 	grouped := rdd.GroupByKey(in.Rows(), func(r value.Row) string {
 		return r.KeyStringOn(groupCols)
 	})
@@ -219,6 +223,5 @@ func (d *DeriveRate) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*da
 		}
 		return out
 	})
-	name := in.Name() + "|derive_rate"
 	return dataset.New(name, rows.WithName(name), schema), nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"scrubjay/internal/dataset"
+	"scrubjay/internal/frame"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
 	"scrubjay/internal/value"
@@ -123,11 +124,14 @@ func (f *FilterRows) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*da
 		return nil, err
 	}
 	col := f.Column
+	name := fmt.Sprintf("%s|filter(%s%s%s)", in.Name(), f.Column, f.Op, f.Operand)
+	if in.IsColumnar() {
+		return filterColumnar(in, schema, name, col, f.Op, value.Parse(f.Operand), pred), nil
+	}
 	rows := rdd.Filter(in.Rows(), func(r value.Row) bool {
 		v := r.Get(col)
 		return !v.IsNull() && pred(v)
 	})
-	name := fmt.Sprintf("%s|filter(%s%s%s)", in.Name(), f.Column, f.Op, f.Operand)
 	return dataset.New(name, rows.WithName(name), schema), nil
 }
 
@@ -205,8 +209,12 @@ func (p *ProjectColumns) Apply(in *dataset.Dataset, dict *semantics.Dictionary) 
 		return nil, err
 	}
 	cols := schema.Columns()
-	rows := rdd.Map(in.Rows(), func(r value.Row) value.Row { return r.Project(cols...) })
 	name := in.Name() + "|project"
+	if in.IsColumnar() {
+		frames := rdd.Map(in.Frames(), func(f *frame.Frame) *frame.Frame { return f.Select(cols) })
+		return dataset.NewFrames(name, frames.WithName(name), schema), nil
+	}
+	rows := rdd.Map(in.Rows(), func(r value.Row) value.Row { return r.Project(cols...) })
 	return dataset.New(name, rows.WithName(name), schema), nil
 }
 
@@ -391,5 +399,5 @@ func (a *AggregateBy) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*d
 		return out
 	})
 	name := in.Name() + "|aggregate"
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

@@ -76,5 +76,5 @@ func (r *RenameColumn) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*
 		return nr
 	})
 	name := fmt.Sprintf("%s|rename(%s->%s)", in.Name(), from, to)
-	return dataset.New(name, rows.WithName(name), schema), nil
+	return matchRepr(in, dataset.New(name, rows.WithName(name), schema)), nil
 }

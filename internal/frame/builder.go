@@ -1,0 +1,135 @@
+package frame
+
+import "scrubjay/internal/value"
+
+// Builder accumulates one output column cell-by-cell for kernels whose
+// output types are not statically known (join coalescing, explode
+// payloads). Cells default to absent; Finish picks dense typed storage
+// when the present cells share one scalar kind.
+type Builder struct {
+	name string
+	vals []value.Value
+	set  []bool
+	nset int
+}
+
+// NewBuilder returns a builder for an n-cell column.
+func NewBuilder(name string, n int) *Builder {
+	return &Builder{name: name, vals: make([]value.Value, n), set: make([]bool, n)}
+}
+
+// Set makes cell i present with value v (explicit nulls allowed).
+func (b *Builder) Set(i int, v value.Value) {
+	if !b.set[i] {
+		b.set[i] = true
+		b.nset++
+	}
+	b.vals[i] = v
+}
+
+// Finish freezes the accumulated cells into a Column.
+func (b *Builder) Finish() Column {
+	n := len(b.vals)
+	c := Column{name: b.name, n: n}
+	uniform := value.KindNull
+	boxed := false
+	for i, v := range b.vals {
+		if !b.set[i] {
+			continue
+		}
+		k := v.Kind()
+		switch {
+		case k == value.KindNull || k == value.KindList:
+			boxed = true
+		case uniform == value.KindNull:
+			uniform = k
+		case uniform != k:
+			boxed = true
+		}
+	}
+	if boxed || uniform == value.KindNull {
+		c.kind = value.KindNull
+		c.boxd = make([]value.Value, n)
+		for i, v := range b.vals {
+			if b.set[i] {
+				c.boxd[i] = v
+			}
+		}
+	} else {
+		c.kind = uniform
+		switch uniform {
+		case value.KindFloat:
+			c.flts = make([]float64, n)
+		case value.KindString:
+			c.strs = make([]string, n)
+		case value.KindSpan:
+			c.ints = make([]int64, n)
+			c.ends = make([]int64, n)
+		default:
+			c.ints = make([]int64, n)
+		}
+		for i, v := range b.vals {
+			if !b.set[i] {
+				continue
+			}
+			switch uniform {
+			case value.KindBool:
+				if v.BoolVal() {
+					c.ints[i] = 1
+				}
+			case value.KindInt:
+				c.ints[i] = v.IntVal()
+			case value.KindFloat:
+				c.flts[i] = v.FloatVal()
+			case value.KindString:
+				c.strs[i] = v.StrVal()
+			case value.KindTime:
+				c.ints[i] = v.TimeNanosVal()
+			case value.KindSpan:
+				c.ints[i], c.ends[i] = v.SpanBounds()
+			}
+		}
+	}
+	if b.nset < n {
+		bits := newBits(n)
+		for i, s := range b.set {
+			if s {
+				setBit(bits, i)
+			}
+		}
+		c.pres = bits
+	}
+	return c
+}
+
+// ColumnOf builds a fully present column from boxed values (typed storage
+// when the values share one scalar kind).
+func ColumnOf(name string, vals []value.Value) Column {
+	b := NewBuilder(name, len(vals))
+	for i, v := range vals {
+		b.Set(i, v)
+	}
+	return b.Finish()
+}
+
+// TimeColumn builds a fully present time-kinded column from Unix
+// nanosecond instants.
+func TimeColumn(name string, nanos []int64) Column {
+	vals := make([]int64, len(nanos))
+	copy(vals, nanos)
+	return Column{name: name, kind: value.KindTime, ints: vals, n: len(vals)}
+}
+
+// FloatColumn builds a fully present float-kinded column.
+func FloatColumn(name string, vals []float64) Column {
+	return Column{name: name, kind: value.KindFloat, flts: vals, n: len(vals)}
+}
+
+// withFloats returns a copy of a float-kinded column with its payload
+// vector replaced (presence and name preserved). Used by the vectorized
+// unit-conversion kernel; the input column is not modified.
+func (c *Column) withFloats(vals []float64) Column {
+	out := *c
+	out.flts = vals
+	return out
+}

@@ -1,0 +1,601 @@
+// Package frame implements ScrubJay's columnar batch representation: a
+// Frame is a fixed-length batch of rows stored as dense typed column
+// vectors (int64 / float64 / string / time / span) with presence bitmaps,
+// the Tungsten-style substrate beneath the vectorized derivation kernels
+// (§5.3). value.Row remains the boundary format — FromRows/ToRows convert
+// at ingest and egress — and every cell observable through Value/RowAt is
+// bit-for-bit identical to the row it came from, so the row-at-a-time
+// reference implementations in internal/derive stay directly comparable.
+//
+// Frames are IMMUTABLE after construction: kernels never mutate a frame in
+// place, they build new frames (sharing column storage where the operation
+// is a pure column subset, as Select/Drop do). This is what makes it safe
+// for rdd partitions to carry *Frame batches under the rdd compute
+// contract and for the server to share one set of catalog frames across
+// concurrent requests.
+package frame
+
+import (
+	"sort"
+
+	"scrubjay/internal/value"
+)
+
+// Column is one named column vector of a Frame. Cells of a uniform scalar
+// kind are stored densely in a typed slice; columns holding mixed kinds,
+// lists, or explicit nulls fall back to boxed value.Value storage (kind ==
+// value.KindNull marks the boxed representation). A nil presence bitmap
+// means every cell is present.
+type Column struct {
+	name string
+	kind value.Kind // uniform kind of the cells; KindNull => boxed storage
+	ints []int64    // int / bool (0,1) / time payloads; span starts
+	flts []float64
+	strs []string
+	ends []int64 // span ends
+	boxd []value.Value
+	pres []uint64 // presence bitmap; nil = all cells present
+	n    int
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the uniform kind of the column's cells; value.KindNull
+// reports boxed (mixed/list/null-bearing) storage.
+func (c *Column) Kind() value.Kind { return c.kind }
+
+// Len returns the number of cells (present or absent).
+func (c *Column) Len() int { return c.n }
+
+// Present reports whether cell i holds a value (the source row had the
+// column, even if its value was an explicit null).
+func (c *Column) Present(i int) bool {
+	return c.pres == nil || c.pres[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// AllPresent reports whether every cell is present.
+func (c *Column) AllPresent() bool { return c.pres == nil }
+
+// Ints exposes the typed payload vector of an int-, bool-, or time-kinded
+// column (span starts for span columns). Callers must treat it as
+// read-only; frames are immutable.
+func (c *Column) Ints() []int64 { return c.ints }
+
+// Floats exposes the typed payload vector of a float-kinded column.
+// Read-only.
+func (c *Column) Floats() []float64 { return c.flts }
+
+// Strs exposes the typed payload vector of a string-kinded column.
+// Read-only.
+func (c *Column) Strs() []string { return c.strs }
+
+// SpanEnds exposes the span-end vector of a span-kinded column. Read-only.
+func (c *Column) SpanEnds() []int64 { return c.ends }
+
+// Value boxes cell i back into a value.Value. Absent cells box to Null,
+// exactly like value.Row.Get on a row missing the column.
+func (c *Column) Value(i int) value.Value {
+	if !c.Present(i) {
+		return value.Null()
+	}
+	switch c.kind {
+	case value.KindBool:
+		return value.Bool(c.ints[i] != 0)
+	case value.KindInt:
+		return value.Int(c.ints[i])
+	case value.KindFloat:
+		return value.Float(c.flts[i])
+	case value.KindString:
+		return value.Str(c.strs[i])
+	case value.KindTime:
+		return value.TimeNanos(c.ints[i])
+	case value.KindSpan:
+		return value.Span(c.ints[i], c.ends[i])
+	default:
+		return c.boxd[i]
+	}
+}
+
+// Frame is an immutable batch of n rows stored column-wise. Columns are
+// kept sorted by name so batch layout (and every ordered emission derived
+// from it) is canonical regardless of source-map iteration order.
+type Frame struct {
+	cols  []Column
+	index map[string]int
+	n     int
+}
+
+func newFrame(cols []Column, n int) *Frame {
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	index := make(map[string]int, len(cols))
+	for i := range cols {
+		index[cols[i].name] = i
+	}
+	return &Frame{cols: cols, index: index, n: n}
+}
+
+// Empty returns a frame with no rows and no columns.
+func Empty() *Frame { return newFrame(nil, 0) }
+
+// New builds a frame from fully constructed columns, which must all have
+// equal length. It panics on ragged input — kernel bugs, not data errors.
+func New(cols ...Column) *Frame {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].n
+	}
+	for i := range cols {
+		if cols[i].n != n {
+			panic("frame.New: ragged columns")
+		}
+	}
+	own := make([]Column, len(cols))
+	copy(own, cols)
+	return newFrame(own, n)
+}
+
+// NumRows returns the number of rows in the batch.
+func (f *Frame) NumRows() int { return f.n }
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Columns returns the column names in canonical (sorted) order.
+func (f *Frame) Columns() []string {
+	out := make([]string, len(f.cols))
+	for i := range f.cols {
+		out[i] = f.cols[i].name
+	}
+	return out
+}
+
+// Col returns the named column, or nil if the frame has no such column.
+func (f *Frame) Col(name string) *Column {
+	if i, ok := f.index[name]; ok {
+		return &f.cols[i]
+	}
+	return nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (f *Frame) ColIndex(name string) int {
+	if i, ok := f.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColAt returns the column at position i in canonical order.
+func (f *Frame) ColAt(i int) *Column { return &f.cols[i] }
+
+// RowAt boxes row i back into a value.Row. Absent cells are omitted from
+// the map; present explicit nulls are kept, so FromRows(rows) followed by
+// RowAt reproduces each source row exactly (value.Row.Equal).
+func (f *Frame) RowAt(i int) value.Row {
+	r := make(value.Row, len(f.cols))
+	for j := range f.cols {
+		c := &f.cols[j]
+		if c.Present(i) {
+			r[c.name] = c.Value(i)
+		}
+	}
+	return r
+}
+
+// ToRows converts the whole batch back to boundary-format rows.
+func (f *Frame) ToRows() []value.Row {
+	rows := make([]value.Row, f.n)
+	for i := range rows {
+		rows[i] = f.RowAt(i)
+	}
+	return rows
+}
+
+// FromRows builds a frame from boundary-format rows. Columns whose present
+// cells share one scalar kind get dense typed storage; columns with mixed
+// kinds, list values, or explicit nulls use boxed storage. The rows are
+// not retained.
+func FromRows(rows []value.Row) *Frame {
+	n := len(rows)
+	// Pass 1: discover the column set and each column's storage kind.
+	type colInfo struct {
+		kind  value.Kind
+		seen  bool
+		boxed bool
+	}
+	infos := map[string]*colInfo{}
+	for _, r := range rows {
+		for name, v := range r {
+			ci := infos[name]
+			if ci == nil {
+				ci = &colInfo{}
+				infos[name] = ci
+			}
+			k := v.Kind()
+			switch {
+			case k == value.KindNull || k == value.KindList:
+				ci.boxed = true
+			case !ci.seen:
+				ci.kind, ci.seen = k, true
+			case ci.kind != k:
+				ci.boxed = true
+			}
+		}
+	}
+	names := make([]string, 0, len(infos))
+	for name := range infos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Pass 2: fill the vectors.
+	cols := make([]Column, len(names))
+	for j, name := range names {
+		ci := infos[name]
+		c := Column{name: name, n: n}
+		if ci.boxed || !ci.seen {
+			c.kind = value.KindNull
+			c.boxd = make([]value.Value, n)
+		} else {
+			c.kind = ci.kind
+			switch ci.kind {
+			case value.KindFloat:
+				c.flts = make([]float64, n)
+			case value.KindString:
+				c.strs = make([]string, n)
+			case value.KindSpan:
+				c.ints = make([]int64, n)
+				c.ends = make([]int64, n)
+			default: // bool, int, time
+				c.ints = make([]int64, n)
+			}
+		}
+		absent := false
+		for i, r := range rows {
+			v, ok := r[name]
+			if !ok {
+				if !absent {
+					absent = true
+					c.pres = newBits(n)
+					for k := 0; k < i; k++ {
+						setBit(c.pres, k)
+					}
+				}
+				continue
+			}
+			if absent {
+				setBit(c.pres, i)
+			}
+			switch {
+			case c.kind == value.KindNull:
+				c.boxd[i] = v
+			case c.kind == value.KindBool:
+				if v.BoolVal() {
+					c.ints[i] = 1
+				}
+			case c.kind == value.KindInt:
+				c.ints[i] = v.IntVal()
+			case c.kind == value.KindFloat:
+				c.flts[i] = v.FloatVal()
+			case c.kind == value.KindString:
+				c.strs[i] = v.StrVal()
+			case c.kind == value.KindTime:
+				c.ints[i] = v.TimeNanosVal()
+			case c.kind == value.KindSpan:
+				c.ints[i], c.ends[i] = v.SpanBounds()
+			}
+		}
+		cols[j] = c
+	}
+	return newFrame(cols, n)
+}
+
+// Select returns a frame holding only the named columns (those the frame
+// actually has), sharing their storage. Row count is unchanged.
+func (f *Frame) Select(names []string) *Frame {
+	cols := make([]Column, 0, len(names))
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if i, ok := f.index[name]; ok {
+			cols = append(cols, f.cols[i])
+		}
+	}
+	return newFrame(cols, f.n)
+}
+
+// Drop returns a frame without the named columns, sharing the remaining
+// columns' storage.
+func (f *Frame) Drop(names ...string) *Frame {
+	drop := map[string]bool{}
+	for _, name := range names {
+		drop[name] = true
+	}
+	cols := make([]Column, 0, len(f.cols))
+	for i := range f.cols {
+		if !drop[f.cols[i].name] {
+			cols = append(cols, f.cols[i])
+		}
+	}
+	return newFrame(cols, f.n)
+}
+
+// With returns a frame with col added (or replacing a same-named column).
+// The column length must match the frame's row count.
+func (f *Frame) With(col Column) *Frame {
+	if col.n != f.n {
+		panic("frame.With: column length mismatch")
+	}
+	cols := make([]Column, 0, len(f.cols)+1)
+	replaced := false
+	for i := range f.cols {
+		if f.cols[i].name == col.name {
+			cols = append(cols, col)
+			replaced = true
+			continue
+		}
+		cols = append(cols, f.cols[i])
+	}
+	if !replaced {
+		cols = append(cols, col)
+	}
+	return newFrame(cols, f.n)
+}
+
+// Gather returns a new frame holding the rows idx (in that order). Indices
+// may repeat; each must be in range.
+func (f *Frame) Gather(idx []int32) *Frame {
+	cols := make([]Column, len(f.cols))
+	for j := range f.cols {
+		cols[j] = f.cols[j].gather(idx)
+	}
+	return newFrame(cols, len(idx))
+}
+
+func (c *Column) gather(idx []int32) Column {
+	out := Column{name: c.name, kind: c.kind, n: len(idx)}
+	switch {
+	case c.kind == value.KindNull:
+		out.boxd = make([]value.Value, len(idx))
+		for i, s := range idx {
+			out.boxd[i] = c.boxd[s]
+		}
+	case c.kind == value.KindFloat:
+		out.flts = make([]float64, len(idx))
+		for i, s := range idx {
+			out.flts[i] = c.flts[s]
+		}
+	case c.kind == value.KindString:
+		out.strs = make([]string, len(idx))
+		for i, s := range idx {
+			out.strs[i] = c.strs[s]
+		}
+	case c.kind == value.KindSpan:
+		out.ints = make([]int64, len(idx))
+		out.ends = make([]int64, len(idx))
+		for i, s := range idx {
+			out.ints[i] = c.ints[s]
+			out.ends[i] = c.ends[s]
+		}
+	default: // bool, int, time
+		out.ints = make([]int64, len(idx))
+		for i, s := range idx {
+			out.ints[i] = c.ints[s]
+		}
+	}
+	if c.pres != nil {
+		bits := newBits(len(idx))
+		absent := false
+		for i, s := range idx {
+			if c.Present(int(s)) {
+				setBit(bits, i)
+			} else {
+				absent = true
+			}
+		}
+		if absent {
+			out.pres = bits
+		}
+	}
+	return out
+}
+
+// FilterMask returns a new frame holding the rows where keep[i] is true,
+// in order. len(keep) must equal NumRows.
+func (f *Frame) FilterMask(keep []bool) *Frame {
+	n := 0
+	for _, k := range keep {
+		if k {
+			n++
+		}
+	}
+	idx := make([]int32, 0, n)
+	for i, k := range keep {
+		if k {
+			idx = append(idx, int32(i))
+		}
+	}
+	return f.Gather(idx)
+}
+
+// Concat concatenates frames vertically into one batch. The column set is
+// the union; rows from a frame lacking a column are absent there. Columns
+// typed identically everywhere stay typed; disagreeing columns fall back
+// to boxed storage.
+func Concat(frames []*Frame) *Frame {
+	n := 0
+	type colInfo struct {
+		kind  value.Kind
+		seen  bool
+		boxed bool
+		part  bool // missing from at least one frame
+	}
+	infos := map[string]*colInfo{}
+	for _, f := range frames {
+		n += f.n
+	}
+	for _, f := range frames {
+		if f.n == 0 {
+			continue
+		}
+		for j := range f.cols {
+			c := &f.cols[j]
+			ci := infos[c.name]
+			if ci == nil {
+				ci = &colInfo{}
+				infos[c.name] = ci
+			}
+			switch {
+			case c.kind == value.KindNull:
+				ci.boxed = true
+			case !ci.seen:
+				ci.kind, ci.seen = c.kind, true
+			case ci.kind != c.kind:
+				ci.boxed = true
+			}
+		}
+	}
+	names := make([]string, 0, len(infos))
+	for name := range infos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	cols := make([]Column, len(names))
+	for j, name := range names {
+		ci := infos[name]
+		out := Column{name: name, kind: ci.kind, n: n}
+		if ci.boxed || !ci.seen {
+			out.kind = value.KindNull
+			out.boxd = make([]value.Value, 0, n)
+		} else {
+			switch ci.kind {
+			case value.KindFloat:
+				out.flts = make([]float64, 0, n)
+			case value.KindString:
+				out.strs = make([]string, 0, n)
+			case value.KindSpan:
+				out.ints = make([]int64, 0, n)
+				out.ends = make([]int64, 0, n)
+			default:
+				out.ints = make([]int64, 0, n)
+			}
+		}
+		bits := newBits(n)
+		absent := false
+		pos := 0
+		for _, f := range frames {
+			if f.n == 0 {
+				continue
+			}
+			c := f.Col(name)
+			if c == nil {
+				absent = true
+				out = appendZeros(out, f.n)
+				pos += f.n
+				continue
+			}
+			for i := 0; i < f.n; i++ {
+				if c.Present(i) {
+					setBit(bits, pos)
+				} else {
+					absent = true
+				}
+				if out.kind == value.KindNull {
+					if c.Present(i) {
+						out.boxd = append(out.boxd, c.Value(i))
+					} else {
+						out.boxd = append(out.boxd, value.Value{})
+					}
+					pos++
+					continue
+				}
+				switch out.kind {
+				case value.KindFloat:
+					out.flts = append(out.flts, c.flts[i])
+				case value.KindString:
+					out.strs = append(out.strs, c.strs[i])
+				case value.KindSpan:
+					out.ints = append(out.ints, c.ints[i])
+					out.ends = append(out.ends, c.ends[i])
+				default:
+					out.ints = append(out.ints, c.ints[i])
+				}
+				pos++
+			}
+		}
+		if absent {
+			out.pres = bits
+		}
+		cols[j] = out
+	}
+	return newFrame(cols, n)
+}
+
+// appendZeros extends a column's storage by m absent cells.
+func appendZeros(out Column, m int) Column {
+	if out.kind == value.KindNull {
+		for k := 0; k < m; k++ {
+			out.boxd = append(out.boxd, value.Value{})
+		}
+		return out
+	}
+	switch out.kind {
+	case value.KindFloat:
+		out.flts = append(out.flts, make([]float64, m)...)
+	case value.KindString:
+		out.strs = append(out.strs, make([]string, m)...)
+	case value.KindSpan:
+		out.ints = append(out.ints, make([]int64, m)...)
+		out.ends = append(out.ends, make([]int64, m)...)
+	default:
+		out.ints = append(out.ints, make([]int64, m)...)
+	}
+	return out
+}
+
+// Merge combines two equal-length frames column-wise, exactly as
+// value.Row.Merge combines maps: the result has the union of the columns,
+// and where both frames have a column, b's cell wins wherever b has the
+// cell at all (explicit nulls included), falling back to a's. Disjoint
+// columns share storage.
+func Merge(a, b *Frame) *Frame {
+	if a.n != b.n {
+		panic("frame.Merge: row count mismatch")
+	}
+	cols := make([]Column, 0, len(a.cols)+len(b.cols))
+	for i := range a.cols {
+		ac := &a.cols[i]
+		bc := b.Col(ac.name)
+		switch {
+		case bc == nil:
+			cols = append(cols, *ac)
+		case bc.AllPresent():
+			cols = append(cols, *bc)
+		default:
+			bld := NewBuilder(ac.name, a.n)
+			for r := 0; r < a.n; r++ {
+				if bc.Present(r) {
+					bld.Set(r, bc.Value(r))
+				} else if ac.Present(r) {
+					bld.Set(r, ac.Value(r))
+				}
+			}
+			cols = append(cols, bld.Finish())
+		}
+	}
+	for i := range b.cols {
+		if a.Col(b.cols[i].name) == nil {
+			cols = append(cols, b.cols[i])
+		}
+	}
+	return newFrame(cols, a.n)
+}
+
+func newBits(n int) []uint64 { return make([]uint64, (n+63)/64) }
+
+func setBit(b []uint64, i int) { b[i>>6] |= 1 << (uint(i) & 63) }

@@ -1,0 +1,158 @@
+package frame
+
+import (
+	"math"
+
+	"scrubjay/internal/value"
+)
+
+// The columnar join/group key is a 64-bit FNV-style hash over the key
+// columns' (kind, payload) pairs, computed column-at-a-time into one hash
+// vector — replacing the row path's per-row KeyStringOn string building.
+// Hash equality is a candidate filter only; kernels verify candidates with
+// ValuesEqualOn (value.Value.Equal semantics) before acting, so hash
+// collisions cost time, never correctness.
+const (
+	hashSeed  uint64 = 1469598103934665603
+	hashPrime uint64 = 1099511628211
+)
+
+func mix(h, x uint64) uint64 { return (h ^ x) * hashPrime }
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime
+	}
+	return h
+}
+
+// HashValue folds one boxed value into a running hash, tagging the kind so
+// Int(3) and Float(3) (or Str("3")) never collide structurally.
+func HashValue(h uint64, v value.Value) uint64 {
+	k := v.Kind()
+	h = mix(h, uint64(k))
+	switch k {
+	case value.KindNull:
+	case value.KindBool:
+		if v.BoolVal() {
+			h = mix(h, 1)
+		} else {
+			h = mix(h, 0)
+		}
+	case value.KindInt:
+		h = mix(h, uint64(v.IntVal()))
+	case value.KindFloat:
+		h = mix(h, math.Float64bits(v.FloatVal()))
+	case value.KindString:
+		h = mixString(h, v.StrVal())
+	case value.KindTime:
+		h = mix(h, uint64(v.TimeNanosVal()))
+	case value.KindSpan:
+		s, e := v.SpanBounds()
+		h = mix(mix(h, uint64(s)), uint64(e))
+	case value.KindList:
+		l := v.ListVal()
+		h = mix(h, uint64(len(l)))
+		for _, e := range l {
+			h = HashValue(h, e)
+		}
+	}
+	return h
+}
+
+// HashOn computes the per-row composite hash over cols, column-at-a-time.
+// convs, when non-nil, holds one optional value converter per column
+// (applied before hashing — the join kernels rescale right-side units into
+// left-side units this way). A column the frame lacks hashes as Null for
+// every row, mirroring value.Row.Get.
+func (f *Frame) HashOn(cols []string, convs []func(value.Value) value.Value) []uint64 {
+	h := make([]uint64, f.n)
+	for i := range h {
+		h[i] = hashSeed
+	}
+	for j, name := range cols {
+		var conv func(value.Value) value.Value
+		if convs != nil {
+			conv = convs[j]
+		}
+		c := f.Col(name)
+		if c == nil {
+			for i := range h {
+				h[i] = mix(h[i], uint64(value.KindNull))
+			}
+			continue
+		}
+		if conv != nil || c.kind == value.KindNull {
+			for i := range h {
+				v := c.Value(i)
+				if conv != nil {
+					v = conv(v)
+				}
+				h[i] = HashValue(h[i], v)
+			}
+			continue
+		}
+		// Typed fast paths: one branch-free-ish pass per column vector.
+		kindTag := uint64(c.kind)
+		nullTag := uint64(value.KindNull)
+		switch c.kind {
+		case value.KindFloat:
+			for i := range h {
+				if c.Present(i) {
+					h[i] = mix(mix(h[i], kindTag), math.Float64bits(c.flts[i]))
+				} else {
+					h[i] = mix(h[i], nullTag)
+				}
+			}
+		case value.KindString:
+			for i := range h {
+				if c.Present(i) {
+					h[i] = mixString(mix(h[i], kindTag), c.strs[i])
+				} else {
+					h[i] = mix(h[i], nullTag)
+				}
+			}
+		case value.KindSpan:
+			for i := range h {
+				if c.Present(i) {
+					h[i] = mix(mix(mix(h[i], kindTag), uint64(c.ints[i])), uint64(c.ends[i]))
+				} else {
+					h[i] = mix(h[i], nullTag)
+				}
+			}
+		default: // bool, int, time share the ints vector
+			for i := range h {
+				if c.Present(i) {
+					h[i] = mix(mix(h[i], kindTag), uint64(c.ints[i]))
+				} else {
+					h[i] = mix(h[i], nullTag)
+				}
+			}
+		}
+	}
+	return h
+}
+
+// ValuesEqualOn reports whether row ai of a equals row bi of b across the
+// paired key columns (acols[j] against bcols[j], both resolved with
+// ColIndex; -1 reads as Null). convs, when non-nil, converts b's value
+// before comparing. Equality is value.Value.Equal — kind-strict, floats by
+// bit pattern.
+func ValuesEqualOn(a *Frame, ai int, acols []int, b *Frame, bi int, bcols []int, convs []func(value.Value) value.Value) bool {
+	for j := range acols {
+		var av, bv value.Value
+		if acols[j] >= 0 {
+			av = a.cols[acols[j]].Value(ai)
+		}
+		if bcols[j] >= 0 {
+			bv = b.cols[bcols[j]].Value(bi)
+		}
+		if convs != nil && convs[j] != nil {
+			bv = convs[j](bv)
+		}
+		if !av.Equal(bv) {
+			return false
+		}
+	}
+	return true
+}

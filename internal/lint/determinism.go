@@ -14,6 +14,7 @@ var deterministicPackages = map[string]bool{
 	"semantics": true,
 	"pipeline":  true,
 	"dataset":   true,
+	"frame":     true, // columnar kernels feed the same replayable sequences
 }
 
 // randConstructors are math/rand package-level functions that build seeded

@@ -166,7 +166,7 @@ func reportLockedHazards(pass *Pass, stmt ast.Stmt, held map[string]bool) {
 				pass.Reportf(node.OpPos, "channel receive while holding %s: if the channel blocks, every other acquirer of the lock deadlocks", locks)
 			}
 		case *ast.CallExpr:
-			if name, ok := rddCallee(info, node); ok && rddActions[name] {
+			if pkg, name, ok := parallelCallee(info, node); ok && pkg == "rdd" && rddActions[name] {
 				pass.Reportf(node.Pos(), "calls rdd.%s while holding %s: rdd actions block on the shared worker pool; a task needing the same lock deadlocks", name, locks)
 			} else if name, pkg, ok := pkgCallee(info, node); ok && pkg == "pipeline" && rddActions[name] {
 				pass.Reportf(node.Pos(), "calls pipeline.%s while holding %s: plan execution blocks on the shared worker pool; a task needing the same lock deadlocks", name, locks)

@@ -19,6 +19,15 @@ var rddClosureFuncs = map[string]bool{
 	"CoGroup": true, "JoinHash": true, "BroadcastJoin": true,
 	"Distinct": true, "CountByKey": true, "SortBy": true,
 	"Reduce": true, "Aggregate": true, "Repartition": true,
+	"ExchangePartitions": true, "ZipPartitions": true,
+}
+
+// frameClosureFuncs are the columnar kernel entry points (package frame)
+// whose function-literal arguments run inside rdd compute bodies: a closure
+// handed to a mask kernel executes once per row of every partition's
+// batches concurrently, so it inherits the same contract.
+var frameClosureFuncs = map[string]bool{
+	"MaskRows": true, "MaskValues": true,
 }
 
 // PurityAnalyzer flags RDD compute closures that write captured variables or
@@ -41,13 +50,22 @@ func runPurity(pass *Pass) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.CallExpr:
-				name, ok := rddCallee(info, node)
-				if !ok || !rddClosureFuncs[name] {
+				pkg, name, ok := parallelCallee(info, node)
+				if !ok {
+					return true
+				}
+				var what string
+				switch {
+				case pkg == "rdd" && rddClosureFuncs[name]:
+					what = "closure passed to rdd." + name
+				case pkg == "frame" && frameClosureFuncs[name]:
+					what = "kernel closure passed to frame." + name
+				default:
 					return true
 				}
 				for _, arg := range node.Args {
 					if lit, ok := arg.(*ast.FuncLit); ok {
-						checkParallelClosure(pass, lit, "closure passed to rdd."+name)
+						checkParallelClosure(pass, lit, what)
 					}
 				}
 			case *ast.CompositeLit:
@@ -75,9 +93,10 @@ func runPurity(pass *Pass) {
 	}
 }
 
-// rddCallee resolves a call's callee and reports its name when it is a
-// function (or method) defined in a package named "rdd".
-func rddCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+// parallelCallee resolves a call's callee and reports its defining package
+// name and function name when it is a function (or method) from one of the
+// data-parallel substrates ("rdd" or "frame").
+func parallelCallee(info *types.Info, call *ast.CallExpr) (string, string, bool) {
 	var id *ast.Ident
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -85,20 +104,24 @@ func rddCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
 	case *ast.SelectorExpr:
 		id = fn.Sel
 	case *ast.IndexExpr: // explicit generic instantiation rdd.Map[A, B](...)
-		return rddCallee(info, &ast.CallExpr{Fun: fn.X})
+		return parallelCallee(info, &ast.CallExpr{Fun: fn.X})
 	case *ast.IndexListExpr:
-		return rddCallee(info, &ast.CallExpr{Fun: fn.X})
+		return parallelCallee(info, &ast.CallExpr{Fun: fn.X})
 	default:
-		return "", false
+		return "", "", false
 	}
 	obj := info.ObjectOf(id)
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "rdd" {
-		return "", false
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkg := obj.Pkg().Name()
+	if pkg != "rdd" && pkg != "frame" {
+		return "", "", false
 	}
 	if _, ok := obj.(*types.Func); !ok {
-		return "", false
+		return "", "", false
 	}
-	return obj.Name(), true
+	return pkg, obj.Name(), true
 }
 
 // isRDDType reports whether t is (a pointer to) a named type from a package

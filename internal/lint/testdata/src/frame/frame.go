@@ -1,0 +1,49 @@
+// Package frame is a miniature stand-in for the real columnar batch: just
+// enough API surface (closure-taking mask kernels, the vectorized Convert)
+// for the analyzers to recognize frame kernel closures and unit-tagged
+// payload vectors.
+package frame
+
+import "sjvettest/units"
+
+// Frame is a batch of rows, reduced to one int column.
+type Frame struct {
+	cells []int
+}
+
+// New wraps a slice as a single-column frame.
+func New(cells []int) *Frame {
+	return &Frame{cells: cells}
+}
+
+// MaskRows evaluates pred over each row and returns the keep mask.
+func MaskRows(f *Frame, pred func(int) bool) []bool {
+	keep := make([]bool, len(f.cells))
+	for i, c := range f.cells {
+		keep[i] = pred(c)
+	}
+	return keep
+}
+
+// MaskValues evaluates pred over one column's cells.
+func MaskValues(f *Frame, col string, pred func(int) bool) []bool {
+	_ = col
+	keep := make([]bool, len(f.cells))
+	for i, c := range f.cells {
+		keep[i] = pred(c)
+	}
+	return keep
+}
+
+// Convert rescales a float payload vector from unit from to unit to.
+func Convert(d *units.Dict, vals []float64, from, to string) ([]float64, error) {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		conv, err := d.Convert(v, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = conv
+	}
+	return out, nil
+}

@@ -58,6 +58,10 @@ func checkUnitFlow(pass *Pass, body *ast.BlockStmt) {
 			if v, ok := info.ObjectOf(x).(*types.Var); ok {
 				return tags[v]
 			}
+		case *ast.IndexExpr:
+			// Elements of a tagged vector (e.g. one built by frame.Convert)
+			// carry the vector's unit.
+			return exprTag(x.X)
 		case *ast.CallExpr:
 			if to, ok := convertTarget(info, x); ok {
 				return to
@@ -138,13 +142,18 @@ func setTag(info *types.Info, tags map[*types.Var]string, lhs ast.Expr, tag stri
 	tags[v] = tag
 }
 
-// convertTarget recognizes a units.Dict.Convert(v, from, to) call with a
-// constant `to` argument, returning the target unit. The receiver must be a
-// named type from a package named "units" so testdata fixtures and the real
-// internal/units package both match.
+// convertTarget recognizes the two unit-tag sources with a constant target
+// unit, returning that unit:
+//
+//   - units.Dict.Convert(v, from, to) — the scalar conversion. The receiver
+//     must be a named type from a package named "units" so testdata fixtures
+//     and the real internal/units package both match.
+//   - frame.Convert(d, vals, from, to) — the vectorized conversion over a
+//     float column payload; the returned vector (and so, via exprTag, each
+//     of its elements) is tagged with the target unit.
 func convertTarget(info *types.Info, e ast.Expr) (string, bool) {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok || len(call.Args) != 3 {
+	if !ok {
 		return "", false
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -152,10 +161,19 @@ func convertTarget(info *types.Info, e ast.Expr) (string, bool) {
 		return "", false
 	}
 	obj, ok := info.ObjectOf(sel.Sel).(*types.Func)
-	if !ok || obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+	if !ok || obj == nil || obj.Pkg() == nil {
 		return "", false
 	}
-	tv, ok := info.Types[call.Args[2]]
+	var to ast.Expr
+	switch {
+	case obj.Pkg().Name() == "units" && len(call.Args) == 3:
+		to = call.Args[2]
+	case obj.Pkg().Name() == "frame" && len(call.Args) == 4:
+		to = call.Args[3]
+	default:
+		return "", false
+	}
+	tv, ok := info.Types[to]
 	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 		return "", false
 	}

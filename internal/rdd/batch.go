@@ -1,0 +1,80 @@
+package rdd
+
+import "sync/atomic"
+
+// Batch-granular exchange primitives. The columnar kernels shuffle
+// *frame.Frame batches rather than individual rows: a split function
+// buckets each source partition's batches into destination partitions
+// (typically by slicing frames on per-row hash vectors), and destinations
+// receive the batches of every source in source-partition order — the same
+// ordering contract shuffleExchange gives row-level shuffles, so columnar
+// and row plans produce partitions in the same deterministic arrangement.
+
+// ExchangePartitions materializes r and redistributes its elements into
+// numOut partitions. split is called once per source partition (in
+// parallel, under the rdd compute contract) and returns, for each
+// destination, the elements that partition contributes; weight reports the
+// row count an element carries for shuffle metrics (nil counts elements).
+func ExchangePartitions[T any](r *RDD[T], numOut int, stage string, split func(part int, in []T) [][]T, weight func(T) int64) *RDD[T] {
+	if numOut < 1 {
+		numOut = 1
+	}
+	srcParts := r.materialize(stage+"|exchange-write", false, 0)
+	buckets := make([][][]T, len(srcParts)) // [src][dst][]T
+	var moved int64
+	r.ctx.runTasks(len(srcParts), func(i int) {
+		local := split(i, srcParts[i])
+		if len(local) != numOut {
+			panic("rdd.ExchangePartitions: split returned wrong destination count")
+		}
+		buckets[i] = local
+		var w int64
+		for _, dst := range local {
+			for _, v := range dst {
+				if weight == nil {
+					w++
+				} else {
+					w += weight(v)
+				}
+			}
+		}
+		atomic.AddInt64(&moved, w)
+	})
+	dst := make([][]T, numOut)
+	for d := 0; d < numOut; d++ {
+		var n int
+		for s := range buckets {
+			n += len(buckets[s][d])
+		}
+		part := make([]T, 0, n)
+		for s := range buckets {
+			part = append(part, buckets[s][d]...)
+		}
+		dst[d] = part
+	}
+	out := FromPartitions(r.ctx, dst)
+	out.name = stage + "|exchange"
+	r.ctx.recordStage(StageMetrics{Name: out.name, Shuffle: true, ShuffleRows: moved})
+	return out
+}
+
+// ZipPartitions pairs two RDDs partition-by-partition: f sees partition i
+// of both sides and produces partition i of the result. Both inputs must
+// share a context and partition count (the columnar join aligns both sides
+// with ExchangePartitions first). f runs under the rdd compute contract.
+func ZipPartitions[A, B, C any](a *RDD[A], b *RDD[B], f func(part int, as []A, bs []B) []C) *RDD[C] {
+	if a.ctx != b.ctx {
+		panic("rdd.ZipPartitions: RDDs from different contexts")
+	}
+	if a.numParts != b.numParts {
+		panic("rdd.ZipPartitions: partition counts differ")
+	}
+	return &RDD[C]{
+		ctx:      a.ctx,
+		name:     "zip(" + a.name + "," + b.name + ")",
+		numParts: a.numParts,
+		compute: func(part int) []C {
+			return f(part, a.partition(part), b.partition(part))
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package rdd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExchangePartitionsOrderAndMetrics(t *testing.T) {
+	ctx := NewContext(2)
+	r := FromPartitions(ctx, [][]int{{1, 2, 3}, {4, 5}, {6}})
+	// Route each element to value % 2; destinations must see sources in
+	// source-partition order.
+	ex := ExchangePartitions(r, 2, "test", func(_ int, in []int) [][]int {
+		out := make([][]int, 2)
+		for _, v := range in {
+			out[v%2] = append(out[v%2], v)
+		}
+		return out
+	}, nil)
+	if ex.NumPartitions() != 2 {
+		t.Fatalf("numParts = %d", ex.NumPartitions())
+	}
+	got := [][]int{ex.compute(0), ex.compute(1)}
+	want := [][]int{{2, 4, 6}, {1, 3, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExchangePartitionsWeight(t *testing.T) {
+	ctx := NewContext(1)
+	r := FromPartitions(ctx, [][][]int{{{1, 2, 3}, {4}}})
+	ex := ExchangePartitions(r, 1, "w", func(_ int, in [][]int) [][][]int {
+		return [][][]int{in}
+	}, func(b []int) int64 { return int64(len(b)) })
+	if n := len(ex.Collect()); n != 2 {
+		t.Fatalf("batches = %d", n)
+	}
+	var metric *StageMetrics
+	for _, m := range ctx.SnapshotMetrics().Stages {
+		if m.Name == "w|exchange" {
+			cp := m
+			metric = &cp
+		}
+	}
+	if metric == nil || metric.ShuffleRows != 4 {
+		t.Fatalf("shuffle rows metric = %+v", metric)
+	}
+}
+
+func TestZipPartitions(t *testing.T) {
+	ctx := NewContext(2)
+	a := FromPartitions(ctx, [][]int{{1, 2}, {3}})
+	b := FromPartitions(ctx, [][]string{{"x"}, {"y", "z"}})
+	z := ZipPartitions(a, b, func(part int, as []int, bs []string) []int {
+		return []int{part, len(as), len(bs)}
+	})
+	got := z.Collect()
+	want := []int{0, 2, 1, 1, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

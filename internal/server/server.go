@@ -12,6 +12,7 @@ import (
 	"scrubjay/internal/cache"
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/engine"
+	"scrubjay/internal/frame"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
@@ -44,6 +45,11 @@ type Config struct {
 	Cache *cache.Cache
 	// Dict defaults to semantics.DefaultDictionary().
 	Dict *semantics.Dictionary
+	// RowMode disables the columnar execution path: snapshots expose
+	// row-form datasets and results stream through encoding/json. The zero
+	// value — columnar on — is the default; row mode exists as an escape
+	// hatch and for differential testing against the reference path.
+	RowMode bool
 }
 
 func (c Config) withDefaults() Config {
@@ -357,20 +363,32 @@ func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
 // early if the connection itself dies.
 func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pipeline.Plan, hit bool, searchMicros int64, limit int, start time.Time) {
 	rc := rdd.NewContext(s.cfg.Workers).WithGoContext(ctx)
-	cat, _, version := s.store.Snapshot(rc)
+	cat, _, version := s.store.Snapshot(rc, !s.cfg.RowMode)
 	result, err := pipeline.Execute(ctx, rc, plan, cat, s.cfg.Dict, pipeline.ExecOptions{Cache: s.cfg.Cache})
 	if err != nil {
 		writeError(w, s.errStatus(err), "execute: %v", err)
 		return
 	}
-	rows, err := rdd.Guard(func() []value.Row { return result.Collect() })
+	columnar := result.IsColumnar()
+	var rows []value.Row
+	var frames []*frame.Frame
+	if columnar {
+		frames, err = rdd.Guard(func() []*frame.Frame { return result.Frames().Collect() })
+	} else {
+		rows, err = rdd.Guard(func() []value.Row { return result.Collect() })
+	}
 	if err != nil {
 		writeError(w, s.errStatus(err), "execute: %v", err)
 		return
 	}
+	total := len(rows)
+	for _, f := range frames {
+		total += f.NumRows()
+	}
+	emitted := total
 	truncated := false
-	if limit > 0 && len(rows) > limit {
-		rows = rows[:limit]
+	if limit > 0 && total > limit {
+		emitted = limit
 		truncated = true
 	}
 
@@ -385,11 +403,15 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		Steps:          plan.Steps(),
 		Schema:         result.Schema(),
 	}})
-	for _, row := range rows {
-		enc.Encode(StreamLine{Row: row})
+	if columnar {
+		streamFrameRows(w, frames, emitted)
+	} else {
+		for _, row := range rows[:emitted] {
+			enc.Encode(StreamLine{Row: row})
+		}
 	}
 	enc.Encode(StreamLine{Trailer: &StreamTrailer{
-		Rows:          int64(len(rows)),
+		Rows:          int64(emitted),
 		Truncated:     truncated,
 		ElapsedMicros: time.Since(start).Microseconds(),
 	}})
@@ -397,8 +419,36 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		f.Flush()
 	}
 	s.met.executed.Add(1)
-	s.met.rowsOut.Add(int64(len(rows)))
+	s.met.rowsOut.Add(int64(emitted))
 	s.met.lat.observe(time.Since(start))
+}
+
+// streamFrameRows writes up to limit NDJSON row lines straight out of the
+// result's column vectors, bypassing encoding/json and the row boxing it
+// would require. The byte output must match the row path exactly:
+// AppendRowJSON renders cells in the same sorted-key, same-escaping form as
+// Row.MarshalJSON, and a row with no present cells renders as the bare "{}"
+// line the row path's omitempty Row field produces.
+func streamFrameRows(w http.ResponseWriter, frames []*frame.Frame, limit int) {
+	left := limit
+	var body []byte
+	for _, f := range frames {
+		if left == 0 {
+			break
+		}
+		keys := f.EncodedKeys()
+		n := f.NumRows()
+		for i := 0; i < n && left > 0; i, left = i+1, left-1 {
+			body = append(body[:0], `{"row":`...)
+			body = f.AppendRowJSON(body, i, keys)
+			if len(body) == len(`{"row":{}`) { // empty row: mirror omitempty
+				body = append(body[:0], "{}\n"...)
+			} else {
+				body = append(body, "}\n"...)
+			}
+			w.Write(body)
+		}
+	}
 }
 
 func (s *Server) serveCatalog(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -479,12 +480,13 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
-// TestFig5BitForBit is the end-to-end reproducibility check: datasets
-// registered over HTTP, queried over HTTP, must produce exactly the rows
-// and plan the library path (engine.Solve + pipeline.Execute in-process)
-// produces — same worker count, same partitioning, byte-identical row
-// JSON in the same order.
-func TestFig5BitForBit(t *testing.T) {
+// runFig5 registers the Fig-5 case-study catalog over HTTP on a server with
+// the given config, runs the Fig-5 query over HTTP, reruns the same plan
+// in-process through the library path selected by columnarLib, and asserts
+// the served rows are byte-identical JSON in the same order. It returns the
+// served rows so callers can cross-check the two representations.
+func runFig5(t *testing.T, srvCfg Config, columnarLib bool) []value.Row {
+	t.Helper()
 	cfg := bench.DefaultCaseStudyConfig()
 	cfg.Racks, cfg.NodesPerRack, cfg.AMGRack = 4, 6, 2
 	cfg.DAT1DurationSec = 1800
@@ -498,7 +500,7 @@ func TestFig5BitForBit(t *testing.T) {
 		partsByName[name] = ds.Rows().NumPartitions()
 	}
 
-	s := New(NewStore(), Config{Workers: 2})
+	s := New(NewStore(), srvCfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	for name, rows := range rowsByName {
@@ -532,7 +534,11 @@ func TestFig5BitForBit(t *testing.T) {
 	rc := rdd.NewContext(2)
 	libCat := pipeline.Catalog{}
 	for name, rows := range rowsByName {
-		libCat[name] = dataset.FromRows(rc, name, rows, schemas[name], partsByName[name])
+		if columnarLib {
+			libCat[name] = dataset.FromRowsColumnar(rc, name, rows, schemas[name], partsByName[name])
+		} else {
+			libCat[name] = dataset.FromRows(rc, name, rows, schemas[name], partsByName[name])
+		}
 	}
 	dict := semantics.DefaultDictionary()
 	eng := engine.New(dict, schemas, engine.DefaultOptions())
@@ -547,6 +553,9 @@ func TestFig5BitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if columnarLib && !out.IsColumnar() {
+		t.Error("library result left the columnar representation")
+	}
 	libRows := out.Collect()
 	if len(gotRows) != len(libRows) {
 		t.Fatalf("server rows = %d, library rows = %d", len(gotRows), len(libRows))
@@ -559,6 +568,47 @@ func TestFig5BitForBit(t *testing.T) {
 		}
 		if !bytes.Equal(want, got) {
 			t.Fatalf("row %d differs:\nserver:  %s\nlibrary: %s", i, got, want)
+		}
+	}
+	return gotRows
+}
+
+// TestFig5BitForBit is the end-to-end reproducibility check on the row
+// path: datasets registered over HTTP, queried over HTTP, must produce
+// exactly the rows and plan the library path (engine.Solve +
+// pipeline.Execute in-process) produces — same worker count, same
+// partitioning, byte-identical row JSON in the same order.
+func TestFig5BitForBit(t *testing.T) {
+	runFig5(t, Config{Workers: 2, RowMode: true}, false)
+}
+
+// TestFig5BitForBitColumnar is the same check on the default columnar
+// path — frames built at registration, vectorized derivations, NDJSON
+// streamed straight from column vectors — and additionally asserts the two
+// representations agree on the result as a multiset (row order may differ
+// between paths because partition placement differs, but content must not).
+func TestFig5BitForBitColumnar(t *testing.T) {
+	colRows := runFig5(t, Config{Workers: 2}, true)
+	rowRows := runFig5(t, Config{Workers: 2, RowMode: true}, false)
+	if len(colRows) != len(rowRows) {
+		t.Fatalf("columnar rows = %d, row-path rows = %d", len(colRows), len(rowRows))
+	}
+	encode := func(rows []value.Row) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = string(b)
+		}
+		sort.Strings(out)
+		return out
+	}
+	col, row := encode(colRows), encode(rowRows)
+	for i := range col {
+		if col[i] != row[i] {
+			t.Fatalf("sorted row %d differs:\ncolumnar: %s\nrow path: %s", i, col[i], row[i])
 		}
 	}
 }

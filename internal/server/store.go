@@ -7,6 +7,7 @@ import (
 
 	"scrubjay/internal/catalog"
 	"scrubjay/internal/dataset"
+	"scrubjay/internal/frame"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
@@ -32,6 +33,10 @@ type storedDataset struct {
 	rows   []value.Row
 	schema semantics.Schema
 	parts  int
+	// frames is the columnar form of rows, built once at registration and
+	// shared by every columnar snapshot — frames are immutable, so serving
+	// them concurrently is safe and each query skips the row→column pivot.
+	frames []*frame.Frame
 }
 
 // NewStore returns an empty catalog store.
@@ -68,12 +73,16 @@ func (s *Store) Register(name string, rows []value.Row, schema semantics.Schema,
 	if parts <= 0 {
 		parts = 1
 	}
+	// Build the columnar form outside the lock: same partitioning as the
+	// row form, so the two execution paths see identical data placement.
+	rc := rdd.NewContext(1)
+	frames := dataset.FromRowsColumnar(rc, name, rows, schema, parts).Frames().Collect()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok && !replace {
 		return fmt.Errorf("store: dataset %q already registered (set replace)", name)
 	}
-	s.datasets[name] = &storedDataset{rows: rows, schema: schema, parts: parts}
+	s.datasets[name] = &storedDataset{rows: rows, schema: schema, parts: parts, frames: frames}
 	s.version++
 	return nil
 }
@@ -106,9 +115,11 @@ func (s *Store) Schemas() (map[string]semantics.Schema, int64) {
 
 // Snapshot builds an execution catalog on the given (request-bound) rdd
 // context. Dataset construction is lazy — no partition work runs here —
-// and the row slices are shared, so a snapshot is cheap. The entry refs
-// are copied under the lock; datasets are built after it is released.
-func (s *Store) Snapshot(rc *rdd.Context) (pipeline.Catalog, map[string]semantics.Schema, int64) {
+// and the row slices and frames are shared, so a snapshot is cheap. The
+// entry refs are copied under the lock; datasets are built after it is
+// released. With columnar set, datasets expose the pre-built frame form
+// so derivations run on the vectorized path.
+func (s *Store) Snapshot(rc *rdd.Context, columnar bool) (pipeline.Catalog, map[string]semantics.Schema, int64) {
 	s.mu.Lock()
 	entries := make(map[string]*storedDataset, len(s.datasets))
 	for name, d := range s.datasets {
@@ -119,7 +130,11 @@ func (s *Store) Snapshot(rc *rdd.Context) (pipeline.Catalog, map[string]semantic
 	cat := make(pipeline.Catalog, len(entries))
 	schemas := make(map[string]semantics.Schema, len(entries))
 	for name, d := range entries {
-		cat[name] = dataset.FromRows(rc, name, d.rows, d.schema, d.parts)
+		if columnar && d.frames != nil {
+			cat[name] = dataset.FromFrames(rc, name, d.frames, d.schema)
+		} else {
+			cat[name] = dataset.FromRows(rc, name, d.rows, d.schema, d.parts)
+		}
 		schemas[name] = d.schema
 	}
 	return cat, schemas, version

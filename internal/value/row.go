@@ -165,13 +165,11 @@ func (r Row) String() string {
 	return b.String()
 }
 
-// MarshalJSON encodes the row as a JSON object of tagged values.
+// MarshalJSON encodes the row as a JSON object of tagged values. The type
+// conversion sheds the MarshalJSON method (so encoding/json takes its
+// plain-map path instead of recursing) without copying the map.
 func (r Row) MarshalJSON() ([]byte, error) {
-	m := make(map[string]Value, len(r))
-	for k, v := range r {
-		m[k] = v
-	}
-	return json.Marshal(m)
+	return json.Marshal(map[string]Value(r))
 }
 
 // UnmarshalJSON decodes the object form produced by MarshalJSON.

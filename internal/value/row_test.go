@@ -110,3 +110,23 @@ func TestRowKeyOnDistinguishes(t *testing.T) {
 		t.Error("restricted keys should match")
 	}
 }
+
+// BenchmarkRowMarshalJSON measures the cost of encoding one row. The
+// MarshalJSON implementation converts the Row to its underlying map type
+// instead of copying it into a fresh map first; the copy used to cost one
+// map allocation plus a rehash of every column per encoded row.
+func BenchmarkRowMarshalJSON(b *testing.B) {
+	r := NewRow(
+		"node", Str("cab17"),
+		"t", TimeNanos(1500000000123456789),
+		"flops", Float(3.75e9),
+		"rank", Int(12),
+		"alive", Bool(true),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
