@@ -6,12 +6,26 @@
 #   * go vet           — stock static analysis
 #   * go test -race    — the dynamic half of the purity/lock story: every
 #                        test runs under the race detector, module-wide
+#   * gofmt            — formatting gate (testdata fixtures excluded: the
+#                        loader-edge fixture deliberately contains a
+#                        vendored file that is not valid Go)
 #   * sjvet            — ScrubJay-specific invariants (purity, determinism,
-#                        lockdiscipline, unitsafety; see DESIGN.md
-#                        "Enforced invariants"), over library code AND tests
+#                        lockdiscipline, unitsafety, frameimmut, ctxflow,
+#                        goroleak; see DESIGN.md "Enforced invariants"),
+#                        over library code AND tests, with a reviewed
+#                        baseline (sjvet.baseline) and a SARIF artifact
+#                        (sjvet.sarif) for code-scanning upload
 #
 # Any nonzero exit fails the gate.
 set -eu
+
+echo "==> gofmt (excluding testdata)"
+UNFORMATTED=$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' | xargs gofmt -l)
+if [ -n "$UNFORMATTED" ]; then
+  echo "ci.sh: gofmt needed on:" >&2
+  echo "$UNFORMATTED" >&2
+  exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -22,11 +36,28 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> sjvet ./..."
-go run ./cmd/sjvet ./...
+# sjvet runs against the reviewed baseline (fresh findings fail; stale
+# baseline entries also fail, so the baseline can only shrink alongside a
+# source fix) and emits sjvet.sarif for the code-scanning artifact upload.
+# Wall-clock budget: the interprocedural pass must stay fast enough to sit
+# in every CI run, so anything over 30s fails the gate.
+echo "==> sjvet -sarif sjvet.sarif -baseline sjvet.baseline ./..."
+SJVET_T0=$(date +%s)
+go run ./cmd/sjvet -sarif sjvet.sarif -baseline sjvet.baseline ./...
 
 echo "==> sjvet -tests ./..."
 go run ./cmd/sjvet -tests ./...
+SJVET_T1=$(date +%s)
+SJVET_ELAPSED=$((SJVET_T1 - SJVET_T0))
+echo "    sjvet wall-clock: ${SJVET_ELAPSED}s (budget 30s)"
+if [ "$SJVET_ELAPSED" -gt 30 ]; then
+  echo "ci.sh: sjvet exceeded its 30s wall-clock budget (${SJVET_ELAPSED}s)" >&2
+  exit 1
+fi
+if [ -n "${CI_ARTIFACT_DIR:-}" ]; then
+  cp sjvet.sarif "$CI_ARTIFACT_DIR/sjvet.sarif"
+  echo "    uploaded sjvet.sarif to $CI_ARTIFACT_DIR"
+fi
 
 # Columnar regression gate: the vectorized join kernels must not be slower
 # than the row-at-a-time reference path (sjbench exits nonzero if they

@@ -1,20 +1,32 @@
 // Command sjvet is ScrubJay's static-analysis gate: it loads the module,
 // type-checks every package, and runs the internal/lint analyzer suite
-// (purity, determinism, lockdiscipline, unitsafety). Any finding is printed
-// as file:line:col: [analyzer] message and the process exits nonzero, so
-// sjvet slots directly into CI next to go vet.
+// (ctxflow, determinism, frameimmut, goroleak, lockdiscipline, purity,
+// unitsafety). Any finding is printed as file:line:col: [analyzer] message
+// and the process exits nonzero, so sjvet slots directly into CI next to
+// go vet.
 //
 // Usage:
 //
-//	sjvet [-json] [-tests] [-list] [-C dir] [packages]
+//	sjvet [-json] [-tests] [-list] [-C dir] [-sarif file] [-baseline file] [-write-baseline] [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/rdd",
 // "scrubjay/internal/derive/..."); the default and "./..." analyze the whole
-// module. Findings are suppressed with
+// module. Interprocedural summaries are always computed over the whole
+// module, so scoping the analysis to one package still sees helper
+// functions elsewhere. Findings are suppressed with
 //
 //	//sjvet:ignore <analyzer> -- reason
 //
-// on the offending line or the line above it.
+// on the offending line or the line above it (scoped to the enclosing
+// function), or grandfathered in a reviewed baseline file:
+//
+//	sjvet -write-baseline -baseline sjvet.baseline ./...   # record
+//	sjvet -baseline sjvet.baseline ./...                   # enforce
+//
+// With -baseline, sjvet fails on findings not in the baseline AND on stale
+// baseline entries (listed but no longer produced), so the file can only
+// shrink together with the source fix. -sarif writes a SARIF 2.1.0 log of
+// the fresh findings for CI artifact upload.
 package main
 
 import (
@@ -40,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	withTests := fs.Bool("tests", false, "also analyze _test.go files")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	chdir := fs.String("C", "", "directory to resolve the module from (default: cwd)")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log of the (fresh) findings to this file")
+	baselinePath := fs.String("baseline", "", "baseline file of reviewed findings to grandfather")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "sjvet: -write-baseline requires -baseline <file>")
+		return 2
 	}
 
 	dir := *chdir
@@ -72,10 +91,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	scoped := &lint.Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: selected}
 
-	findings := lint.Run(scoped, analyzers)
+	// Analyze only the selected packages, but give the interprocedural layer
+	// the whole module so helper summaries are complete.
+	findings := lint.RunPackages(mod, analyzers, selected)
 	relativize(findings, root)
+
+	if *writeBaseline {
+		if err := os.WriteFile(*baselinePath, lint.FormatBaseline(findings), 0o644); err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sjvet: wrote %d baseline entr%s to %s\n",
+			len(findings), plural(len(findings), "y", "ies"), *baselinePath)
+		return 0
+	}
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
+		entries, err := lint.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
+		findings, _, stale = lint.ApplyBaseline(findings, entries)
+	}
+
+	if *sarifPath != "" {
+		data, err := lint.EncodeSARIF(findings, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifPath, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
+	}
 
 	if *jsonOut {
 		data, err := lint.EncodeJSON(findings)
@@ -89,13 +146,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f.String())
 		}
 	}
+	fail := false
 	if len(findings) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(stderr, "sjvet: %d finding(s)\n", len(findings))
 		}
+		fail = true
+	}
+	if len(stale) > 0 {
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "sjvet: stale baseline entry (finding no longer produced): %s\t%s\t%s\n", e.File, e.Analyzer, e.Message)
+		}
+		fmt.Fprintf(stderr, "sjvet: %d stale baseline entr%s — remove them in the same change that fixed the source, or regenerate with -write-baseline\n",
+			len(stale), plural(len(stale), "y", "ies"))
+		fail = true
+	}
+	if fail {
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // relativize rewrites finding filenames relative to the module root for

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -79,10 +80,117 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"purity:", "determinism:", "lockdiscipline:", "unitsafety:"} {
+	for _, name := range []string{"purity:", "determinism:", "lockdiscipline:", "unitsafety:", "frameimmut:", "ctxflow:", "goroleak:"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestRunBrokenModule: a module that fails type-checking must exit 2 with a
+// diagnostic, never panic.
+func TestRunBrokenModule(t *testing.T) {
+	broken, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", broken, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("broken module: exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "type-checking") {
+		t.Errorf("diagnostic should mention type-checking, got: %s", stderr.String())
+	}
+}
+
+// TestRunSarif: -sarif writes a valid log whose results mirror the text
+// findings, including on a clean package selection (empty results array).
+func TestRunSarif(t *testing.T) {
+	dir := t.TempDir()
+	sarifPath := filepath.Join(dir, "out.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fixture(t), "-sarif", sarifPath, "./purity"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": "2.1.0"`) || !strings.Contains(string(data), `"ruleId": "purity"`) {
+		t.Errorf("SARIF log missing version or purity results:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-sarif", sarifPath, "./rdd"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean selection exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err = os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"results": []`) {
+		t.Errorf("clean run should still write a log with empty results:\n%s", data)
+	}
+}
+
+// TestRunBaselineWorkflow drives the full lifecycle: record a baseline,
+// verify it silences the recorded findings, then shrink it without a source
+// fix and verify nothing resurfaces silently (fresh findings fail the run).
+func TestRunBaselineWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "sjvet.baseline")
+	var stdout, stderr bytes.Buffer
+
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "-write-baseline", "./purity"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "purity/purity.go\tpurity\t") {
+		t.Fatalf("baseline should record fixture findings:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "./purity"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	// Shrink the baseline without fixing the source: the dropped entry's
+	// finding is fresh again and the run must fail.
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if err := os.WriteFile(baseline, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "./purity"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("shrunk baseline without source fix: exit = %d, want 1", code)
+	}
+	if stdout.String() == "" {
+		t.Error("the un-baselined finding should be printed")
+	}
+
+	// A stale entry (finding no longer produced) must also fail.
+	stale := append([]string{}, lines...)
+	stale = append(stale, "purity/purity.go\tpurity\tno such finding anymore")
+	if err := os.WriteFile(baseline, []byte(strings.Join(stale, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "./purity"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale baseline entry: exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") {
+		t.Errorf("stderr should name the stale entry, got: %s", stderr.String())
+	}
+
+	if code := run([]string{"-write-baseline"}, &stdout, &stderr); code != 2 {
+		t.Error("-write-baseline without -baseline should exit 2")
 	}
 }
 

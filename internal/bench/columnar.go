@@ -225,4 +225,3 @@ func (r ColumnarReport) WriteFile(path string) error {
 	}
 	return os.Rename(tmp, path)
 }
-

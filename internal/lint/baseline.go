@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The baseline mechanism grandfathers reviewed findings: sjvet fails only
+// on findings NOT in the baseline, and — symmetrically — fails when the
+// baseline lists findings that no longer occur (a stale entry means the
+// code was fixed, so the baseline must shrink in the same change, or it
+// means someone shrank the baseline without fixing the source, which the
+// resurfaced finding then catches). Entries are keyed by (file, analyzer,
+// message) but not line, so unrelated edits that shift lines do not churn
+// the file.
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+func (e BaselineEntry) key() string {
+	return e.File + "\t" + e.Analyzer + "\t" + e.Message
+}
+
+// ParseBaseline reads the tab-separated baseline format: one
+// "file<TAB>analyzer<TAB>message" entry per line; blank lines and lines
+// starting with '#' are comments.
+func ParseBaseline(data []byte) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want file<TAB>analyzer<TAB>message, got %q", i+1, line)
+		}
+		entries = append(entries, BaselineEntry{File: parts[0], Analyzer: parts[1], Message: parts[2]})
+	}
+	return entries, nil
+}
+
+// FormatBaseline renders findings as a baseline file: a header comment plus
+// one sorted, deduplicated entry per finding.
+func FormatBaseline(findings []Finding) []byte {
+	var b strings.Builder
+	b.WriteString("# sjvet baseline — reviewed, grandfathered findings.\n")
+	b.WriteString("# Format: file<TAB>analyzer<TAB>message. Regenerate with: sjvet -write-baseline ./...\n")
+	b.WriteString("# Entries must be removed in the same change that fixes the source (stale entries fail CI).\n")
+	seen := map[string]bool{}
+	var keys []string
+	for _, f := range findings {
+		k := BaselineEntry{File: f.Pos.Filename, Analyzer: f.Analyzer, Message: f.Message}.key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("\n")
+	}
+	return []byte(b.String())
+}
+
+// ApplyBaseline splits findings into fresh (not grandfathered) and reports
+// stale baseline entries (listed but no longer produced). Matching is set
+// semantics on (file, analyzer, message): a second identical finding in the
+// same file is covered by the same entry.
+func ApplyBaseline(findings []Finding, entries []BaselineEntry) (fresh []Finding, matched int, stale []BaselineEntry) {
+	inBaseline := map[string]bool{}
+	for _, e := range entries {
+		inBaseline[e.key()] = true
+	}
+	used := map[string]bool{}
+	for _, f := range findings {
+		k := BaselineEntry{File: f.Pos.Filename, Analyzer: f.Analyzer, Message: f.Message}.key()
+		if inBaseline[k] {
+			used[k] = true
+			matched++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range entries {
+		if !used[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return fresh, matched, stale
+}

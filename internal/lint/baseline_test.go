@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func bf(file, analyzer, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: 3, Column: 1}, Analyzer: analyzer, Message: msg}
+}
+
+// TestBaselineRoundTrip: format → parse is lossless, sorted and
+// deduplicated; comments and blank lines are ignored.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bf("b.go", "purity", "writes sum"),
+		bf("a.go", "ctxflow", "drops ctx"),
+		bf("b.go", "purity", "writes sum"), // duplicate collapses
+	}
+	data := FormatBaseline(findings)
+	entries, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("want 2 deduplicated entries, got %d", len(entries))
+	}
+	if entries[0].File != "a.go" || entries[1].File != "b.go" {
+		t.Errorf("entries should be sorted by key: %+v", entries)
+	}
+
+	if _, err := ParseBaseline([]byte("# comment\n\nx.go\tonly-two-fields\n")); err == nil {
+		t.Error("malformed line should be a parse error")
+	}
+}
+
+// TestApplyBaseline: grandfathered findings are filtered, fresh ones
+// survive, and entries with no matching finding are reported stale.
+func TestApplyBaseline(t *testing.T) {
+	findings := []Finding{
+		bf("a.go", "purity", "old"),
+		bf("a.go", "purity", "new"),
+	}
+	entries := []BaselineEntry{
+		{File: "a.go", Analyzer: "purity", Message: "old"},
+		{File: "gone.go", Analyzer: "ctxflow", Message: "fixed long ago"},
+	}
+	fresh, matched, stale := ApplyBaseline(findings, entries)
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1", matched)
+	}
+	if len(fresh) != 1 || fresh[0].Message != "new" {
+		t.Errorf("fresh = %v, want just the new finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %v, want just the gone.go entry", stale)
+	}
+
+	// Set semantics: one entry covers repeated identical findings.
+	dup := []Finding{bf("a.go", "purity", "old"), bf("a.go", "purity", "old")}
+	fresh, matched, stale = ApplyBaseline(dup, entries[:1])
+	if len(fresh) != 0 || matched != 2 || len(stale) != 0 {
+		t.Errorf("duplicate findings should both match one entry: fresh=%v matched=%d stale=%v", fresh, matched, stale)
+	}
+}
+
+// TestBaselineHeader pins the self-documenting header.
+func TestBaselineHeader(t *testing.T) {
+	if !strings.HasPrefix(string(FormatBaseline(nil)), "# sjvet baseline") {
+		t.Error("baseline should start with an explanatory header comment")
+	}
+}

@@ -78,15 +78,18 @@ func TestGoldenSrc(t *testing.T) {
 	}
 }
 
-// TestGoldenMulti runs the suite over the two-package fixture module: the
-// engine package carries exactly one finding per analyzer, the pipeline
-// package is clean.
+// TestGoldenMulti runs the suite over the multi-package fixture module: the
+// engine package carries exactly one finding for each analyzer that applies
+// to it, frame and server carry the frameimmut and goroleak findings, the
+// pipeline package is clean, and module-wide every analyzer fires at least
+// once.
 func TestGoldenMulti(t *testing.T) {
 	m := loadFixture(t, "multi")
 	findings := Run(m, Analyzers())
 	checkGolden(t, "multi.txt", formatFindings(m, findings))
 
 	perPkg := map[string]map[string]int{}
+	total := map[string]int{}
 	for _, f := range findings {
 		rel, err := filepath.Rel(m.Root, f.Pos.Filename)
 		if err != nil {
@@ -97,38 +100,92 @@ func TestGoldenMulti(t *testing.T) {
 			perPkg[pkg] = map[string]int{}
 		}
 		perPkg[pkg][f.Analyzer]++
+		total[f.Analyzer]++
 	}
 	if len(perPkg["pipeline"]) != 0 {
 		t.Errorf("clean package pipeline has findings: %v", perPkg["pipeline"])
 	}
+	for _, name := range []string{"ctxflow", "determinism", "lockdiscipline", "purity", "unitsafety"} {
+		if n := perPkg["engine"][name]; n != 1 {
+			t.Errorf("dirty package engine: analyzer %q reported %d findings, want exactly 1", name, n)
+		}
+	}
+	if n := perPkg["frame"]["frameimmut"]; n == 0 {
+		t.Error("frame package should carry at least one frameimmut finding")
+	}
+	if n := perPkg["server"]["goroleak"]; n == 0 {
+		t.Error("server package should carry at least one goroleak finding")
+	}
 	for _, a := range Analyzers() {
-		if n := perPkg["engine"][a.Name]; n != 1 {
-			t.Errorf("dirty package engine: analyzer %q reported %d findings, want exactly 1", a.Name, n)
+		if total[a.Name] == 0 {
+			t.Errorf("analyzer %q produced no findings on the multi fixture module", a.Name)
 		}
 	}
 }
 
+// TestDeterministicOutput loads and analyzes testdata/multi twice from
+// scratch and byte-compares every emitter: text, JSON and SARIF output must
+// be identical across runs so CI diffs and the baseline file are stable.
+func TestDeterministicOutput(t *testing.T) {
+	render := func() (string, string, string) {
+		m := loadFixture(t, "multi")
+		findings := Run(m, Analyzers())
+		text := formatFindings(m, findings)
+		j, err := EncodeJSON(findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := EncodeSARIF(findings, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return text, string(j), string(s)
+	}
+	t1, j1, s1 := render()
+	t2, j2, s2 := render()
+	if t1 != t2 {
+		t.Errorf("text output differs between runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", t1, t2)
+	}
+	if j1 != j2 {
+		t.Error("JSON output differs between runs")
+	}
+	if s1 != s2 {
+		t.Error("SARIF output differs between runs")
+	}
+	if t1 == "" {
+		t.Error("determinism test rendered no findings; fixture should be dirty")
+	}
+}
+
 // TestSuppression verifies directive handling end to end: the suppress
-// fixture package must report exactly one finding — the one whose directive
-// names the wrong analyzer.
+// fixture package must report exactly two findings — the one whose
+// directive names the wrong analyzer, and the one whose directive sits
+// inside a closure and therefore must not suppress the enclosing body.
 func TestSuppression(t *testing.T) {
 	m := loadFixture(t, "src")
-	scoped := &Module{Root: m.Root, Path: m.Path, Fset: m.Fset}
+	var pkgs []*Package
 	for _, p := range m.Pkgs {
 		if p.Name == "suppress" {
-			scoped.Pkgs = append(scoped.Pkgs, p)
+			pkgs = append(pkgs, p)
 		}
 	}
-	if len(scoped.Pkgs) != 1 {
+	if len(pkgs) != 1 {
 		t.Fatalf("suppress fixture package not loaded")
 	}
-	findings := Run(scoped, Analyzers())
-	if len(findings) != 1 {
-		t.Fatalf("suppress package: got %d findings, want 1 (the wrong-analyzer directive): %v", len(findings), findings)
+	findings := RunPackages(m, Analyzers(), pkgs)
+	if len(findings) != 2 {
+		t.Fatalf("suppress package: got %d findings, want 2 (wrong-analyzer + closure-scoped directive): %v", len(findings), findings)
 	}
-	f := findings[0]
-	if f.Analyzer != "purity" || !strings.Contains(filepath.ToSlash(f.Pos.Filename), "suppress/suppress.go") {
-		t.Errorf("surviving finding should be the purity one in suppress.go, got %v", f)
+	for _, f := range findings {
+		if !strings.Contains(filepath.ToSlash(f.Pos.Filename), "suppress/suppress.go") {
+			t.Errorf("finding outside suppress.go: %v", f)
+		}
+	}
+	if findings[0].Analyzer != "purity" {
+		t.Errorf("first surviving finding should be the wrong-analyzer purity one, got %v", findings[0])
+	}
+	if findings[1].Analyzer != "unitsafety" {
+		t.Errorf("second surviving finding should be the leaked closure-directive unitsafety one, got %v", findings[1])
 	}
 }
 

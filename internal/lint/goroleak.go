@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// goroleakPackages are the long-lived layers (PR-2's daemon and the rdd
+// worker pool) where a leaked goroutine accumulates across queries instead
+// of dying with the process.
+var goroleakPackages = map[string]bool{
+	"rdd":    true,
+	"server": true,
+}
+
+// GoroLeakAnalyzer flags goroutines with no termination edge. Every `go`
+// statement in internal/server and internal/rdd must be able to exit: via a
+// context-Done check, a receive on a closable channel (including
+// range-over-channel), or a return reached from the loop. The check is
+// interprocedural — `go pump()` is flagged when pump's summary says it runs
+// forever, even though the offending loop is in another function.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc: "goroutines spawned in internal/server and internal/rdd must have " +
+			"a termination edge — context cancellation, a closed-channel receive, " +
+			"or a WaitGroup-signalled return; unbounded loops are found through " +
+			"function summaries even when the loop lives in a named callee.",
+		AppliesTo: func(pkg *Package) bool {
+			return goroleakPackages[pathBase(pkg.Path)] || goroleakPackages[pkg.Name]
+		},
+		Run: runGoroLeak,
+	}
+}
+
+const goroRemedy = "give it a termination edge: a context-Done select, a receive on a channel the owner closes, or a WaitGroup-accounted return"
+
+func runGoroLeak(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Test goroutines die with the test binary; the invariant guards
+		// the long-lived daemon and worker pool.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fn := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				checkGoroLit(pass, gs, fn)
+			default:
+				if fi := pass.IP.StaticCallee(info, gs.Call); fi != nil && fi.Summary.RunsForever {
+					pass.Reportf(gs.Pos(),
+						"go %s: %s never terminates (%s) — %s",
+						fi.Obj.Name(), fi.Obj.Name(), fi.Summary.ForeverDetail, goroRemedy)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroLit inspects a `go func(){...}()` body: an unbounded for-loop
+// with no exit edge, or an unconditional call to a function whose summary
+// runs forever, leaks the goroutine.
+func checkGoroLit(pass *Pass, gs *ast.GoStmt, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested literal runs on whoever invokes it
+		case *ast.ForStmt:
+			if node.Cond == nil && loopRunsForever(info, node) {
+				pass.Reportf(gs.Pos(),
+					"goroutine runs an unbounded for-loop with no return, break, or channel/context edge — %s", goroRemedy)
+				return false
+			}
+		case *ast.CallExpr:
+			if fi := pass.IP.StaticCallee(info, node); fi != nil && fi.Summary.RunsForever {
+				pass.Reportf(gs.Pos(),
+					"goroutine calls %s, which never terminates (%s) — %s",
+					fi.Obj.Name(), fi.Summary.ForeverDetail, goroRemedy)
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -54,6 +54,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	Fset     *token.FileSet
+	// IP is the module-wide interprocedural layer: call graph plus
+	// per-function dataflow summaries (see interproc.go). It is computed
+	// once per Run over the whole module, so summaries see every package
+	// even when analysis is scoped to a few.
+	IP *Interproc
 
 	findings *[]Finding
 }
@@ -74,6 +79,9 @@ func Analyzers() []*Analyzer {
 		DeterminismAnalyzer(),
 		LockDisciplineAnalyzer(),
 		UnitSafetyAnalyzer(),
+		FrameImmutAnalyzer(),
+		CtxFlowAnalyzer(),
+		GoroLeakAnalyzer(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -92,15 +100,25 @@ func AnalyzerNames(as []*Analyzer) []string {
 // suppression directives, and returns the surviving findings sorted by
 // position.
 func Run(m *Module, analyzers []*Analyzer) []Finding {
+	return RunPackages(m, analyzers, m.Pkgs)
+}
+
+// RunPackages analyzes only the selected packages, but computes the
+// interprocedural summaries over the whole module first, so helper
+// functions in unselected packages still contribute their dataflow facts.
+// Findings are sorted by (file, line, column, analyzer, message): two runs
+// over the same sources emit byte-identical output.
+func RunPackages(m *Module, analyzers []*Analyzer, pkgs []*Package) []Finding {
+	ip := BuildInterproc(m)
 	var findings []Finding
-	for _, pkg := range m.Pkgs {
+	for _, pkg := range pkgs {
 		sup := collectSuppressions(m.Fset, pkg)
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg) {
 				continue
 			}
 			var raw []Finding
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, findings: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, IP: ip, findings: &raw}
 			a.Run(pass)
 			for _, f := range raw {
 				if !sup.suppressed(f) {
@@ -109,6 +127,14 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by (file, line, column, analyzer, message) —
+// the canonical order every emitter (text, JSON, SARIF, baseline) relies on
+// for stable CI diffs.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -120,24 +146,37 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
 // ---- Suppression directives ----
 
 const ignoreDirective = "sjvet:ignore"
 
+// directive is one //sjvet:ignore occurrence: the analyzer names it
+// suppresses and the source-offset range of the innermost function body
+// (declaration or literal) it sits in. A directive only suppresses findings
+// within its own function scope — one placed on a statement inside a
+// closure must not silence the enclosing function's body, even when the two
+// are textually adjacent lines.
+type directive struct {
+	names            []string
+	scopeLo, scopeHi int // byte offsets; scopeLo < 0 means file scope
+}
+
 // suppressions indexes //sjvet:ignore directives by file and line.
 type suppressions struct {
-	// byLine maps filename -> comment line -> analyzer names ("*" = all).
-	byLine map[string]map[int][]string
+	// byLine maps filename -> comment line -> directives on that line.
+	byLine map[string]map[int][]directive
 }
 
 // collectSuppressions scans the package's comments for ignore directives.
 func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
-	s := &suppressions{byLine: map[string]map[int][]string{}}
+	s := &suppressions{byLine: map[string]map[int][]directive{}}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -145,17 +184,44 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
 				if !ok {
 					continue
 				}
+				d := directive{names: names, scopeLo: -1, scopeHi: -1}
+				if body := innermostFuncBody(file, c.Pos()); body != nil {
+					d.scopeLo = fset.Position(body.Pos()).Offset
+					d.scopeHi = fset.Position(body.End()).Offset
+				}
 				pos := fset.Position(c.Pos())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
+					lines = map[int][]directive{}
 					s.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = names
+				lines[pos.Line] = append(lines[pos.Line], d)
 			}
 		}
 	}
 	return s
+}
+
+// innermostFuncBody returns the body of the innermost function declaration
+// or function literal whose body range contains pos, nil at file level.
+func innermostFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos <= body.End() {
+			best = body // Inspect visits outer before inner: last wins
+		}
+		return true
+	})
+	return best
 }
 
 // parseIgnore parses a comment's text as an ignore directive. It returns the
@@ -183,16 +249,23 @@ func parseIgnore(text string) ([]string, bool) {
 }
 
 // suppressed reports whether a finding is covered by a directive on its own
-// line or the line directly above it.
+// line or the line directly above it, within the same function scope: a
+// directive inside a closure does not leak to the enclosing body (and an
+// enclosing-scope directive still covers findings in closures it contains).
 func (s *suppressions) suppressed(f Finding) bool {
 	lines, ok := s.byLine[f.Pos.Filename]
 	if !ok {
 		return false
 	}
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == "*" || name == f.Analyzer {
-				return true
+		for _, d := range lines[line] {
+			if d.scopeLo >= 0 && (f.Pos.Offset < d.scopeLo || f.Pos.Offset > d.scopeHi) {
+				continue
+			}
+			for _, name := range d.names {
+				if name == "*" || name == f.Analyzer {
+					return true
+				}
 			}
 		}
 	}

@@ -31,8 +31,11 @@ func TestParseIgnore(t *testing.T) {
 }
 
 func TestSuppressedLineMatching(t *testing.T) {
-	s := &suppressions{byLine: map[string]map[int][]string{
-		"a.go": {10: {"purity"}, 20: {"*"}},
+	fileScope := func(names ...string) directive {
+		return directive{names: names, scopeLo: -1, scopeHi: -1}
+	}
+	s := &suppressions{byLine: map[string]map[int][]directive{
+		"a.go": {10: {fileScope("purity")}, 20: {fileScope("*")}},
 	}}
 	mk := func(file string, line int, analyzer string) Finding {
 		return Finding{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer}
@@ -54,6 +57,30 @@ func TestSuppressedLineMatching(t *testing.T) {
 	}
 	if s.suppressed(mk("b.go", 10, "purity")) {
 		t.Error("directives are per-file")
+	}
+}
+
+// TestSuppressedScopeMatching pins the function-scope rule: a directive
+// carries the byte-offset range of the innermost function body it sits in,
+// and only suppresses findings whose offset falls inside that range — a
+// directive inside a closure must not silence the enclosing body even when
+// the finding is on an adjacent line.
+func TestSuppressedScopeMatching(t *testing.T) {
+	scoped := directive{names: []string{"purity"}, scopeLo: 100, scopeHi: 200}
+	s := &suppressions{byLine: map[string]map[int][]directive{
+		"a.go": {10: {scoped}},
+	}}
+	mk := func(line, offset int) Finding {
+		return Finding{Pos: token.Position{Filename: "a.go", Line: line, Offset: offset}, Analyzer: "purity"}
+	}
+	if !s.suppressed(mk(10, 150)) {
+		t.Error("finding inside the directive's function scope should be suppressed")
+	}
+	if s.suppressed(mk(11, 250)) {
+		t.Error("finding outside the directive's function scope must not be suppressed")
+	}
+	if s.suppressed(mk(11, 50)) {
+		t.Error("finding before the directive's function scope must not be suppressed")
 	}
 }
 
@@ -103,10 +130,11 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestAnalyzersComplete pins the suite composition: the four ScrubJay
-// invariants from the paper each have an analyzer.
+// TestAnalyzersComplete pins the suite composition: the ScrubJay invariants
+// from the paper (and the PR-2/PR-3 lifecycle invariants) each have an
+// analyzer.
 func TestAnalyzersComplete(t *testing.T) {
-	want := []string{"determinism", "lockdiscipline", "purity", "unitsafety"}
+	want := []string{"ctxflow", "determinism", "frameimmut", "goroleak", "lockdiscipline", "purity", "unitsafety"}
 	if got := AnalyzerNames(Analyzers()); !reflect.DeepEqual(got, want) {
 		t.Errorf("Analyzers() = %v, want %v", got, want)
 	}

@@ -30,6 +30,9 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression and object facts.
 	Info *types.Info
+
+	// modPath is the owning module's path (for module-internal tests).
+	modPath string
 }
 
 // Module is a loaded, fully type-checked Go module.
@@ -206,7 +209,7 @@ func parseDir(m *Module, dir string, opts LoadOptions) (*Package, error) {
 	if pkgName == "" {
 		return nil, nil
 	}
-	pkg := &Package{Dir: dir, Name: pkgName}
+	pkg := &Package{Dir: dir, Name: pkgName, modPath: m.Path}
 	for _, f := range files {
 		if f.name == pkgName {
 			pkg.Files = append(pkg.Files, f.file)

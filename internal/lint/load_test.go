@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadEdgeLayouts loads the edge-layout fixture module: a package
+// directory holding only _test.go files (no package proper to analyze) and
+// a vendored subdirectory containing non-Go garbage. The loader must skip
+// both — with and without -tests — and come back with just the ordinary
+// package.
+func TestLoadEdgeLayouts(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "edge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []LoadOptions{{}, {IncludeTests: true}} {
+		m, err := LoadModule(root, opts)
+		if err != nil {
+			t.Fatalf("LoadModule(edge, %+v): %v", opts, err)
+		}
+		var paths []string
+		for _, p := range m.Pkgs {
+			paths = append(paths, p.Path)
+		}
+		if len(paths) != 1 || paths[0] != "sjvetedge/ok" {
+			t.Errorf("LoadModule(edge, %+v) loaded %v, want exactly [sjvetedge/ok]", opts, paths)
+		}
+	}
+}
+
+// TestLoadBrokenModule loads the fixture module with a type error: the
+// loader must return a diagnostic naming the package, never panic.
+func TestLoadBrokenModule(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModule(root, LoadOptions{})
+	if err == nil {
+		t.Fatal("LoadModule(broken) succeeded; want a type-check diagnostic")
+	}
+	if !strings.Contains(err.Error(), "type-checking") || !strings.Contains(err.Error(), "sjvetbroken/bad") {
+		t.Errorf("diagnostic should name the failing package, got: %v", err)
+	}
+}

@@ -170,6 +170,11 @@ func reportLockedHazards(pass *Pass, stmt ast.Stmt, held map[string]bool) {
 				pass.Reportf(node.Pos(), "calls rdd.%s while holding %s: rdd actions block on the shared worker pool; a task needing the same lock deadlocks", name, locks)
 			} else if name, pkg, ok := pkgCallee(info, node); ok && pkg == "pipeline" && rddActions[name] {
 				pass.Reportf(node.Pos(), "calls pipeline.%s while holding %s: plan execution blocks on the shared worker pool; a task needing the same lock deadlocks", name, locks)
+			} else if fi := pass.IP.StaticCallee(info, node); fi != nil && fi.Summary.Blocks {
+				// Interprocedural: the blocking operation hides inside a
+				// helper, but the summary chain names it.
+				pass.Reportf(node.Pos(), "calls %s while holding %s: %s blocks (%s); if it blocks, every other acquirer of the lock deadlocks",
+					fi.Obj.Name(), locks, fi.Obj.Name(), fi.Summary.BlockDetail)
 			}
 		}
 		return true

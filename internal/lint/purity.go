@@ -195,6 +195,45 @@ func checkParallelClosure(pass *Pass, lit *ast.FuncLit, what string) {
 			}
 		}
 	}
+	// checkCall consults the interprocedural summary of a called helper: a
+	// write that happens inside bump() is as impure as one written inline.
+	checkCall := func(call *ast.CallExpr) {
+		fi := pass.IP.StaticCallee(info, call)
+		if fi == nil {
+			return
+		}
+		sum := &fi.Summary
+		if sum.WritesGlobal {
+			pass.Reportf(call.Pos(), "%s calls %s, which %s (function summary) — this races across partitions: %s",
+				what, fi.Obj.Name(), sum.GlobalDetail, computeContract)
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sum.RecvFacts()&ParamMutated != 0 {
+			if root := rootIdent(sel.X); root != nil {
+				if v, ok := captured(root); ok {
+					pass.Reportf(call.Pos(), "%s calls %s, which mutates its receiver %q (function summary) — this races across partitions: %s",
+						what, fi.Obj.Name(), v.Name(), computeContract)
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if sum.ArgFacts(i)&ParamMutated == 0 {
+				continue
+			}
+			arg = ast.Unparen(arg)
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				arg = u.X
+			}
+			if sl, ok := arg.(*ast.SliceExpr); ok {
+				arg = sl.X
+			}
+			if root := rootIdent(arg); root != nil {
+				if v, ok := captured(root); ok {
+					pass.Reportf(call.Pos(), "%s passes captured variable %q to %s, which mutates it (function summary) — this races across partitions: %s",
+						what, v.Name(), fi.Obj.Name(), computeContract)
+				}
+			}
+		}
+	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.AssignStmt:
@@ -209,6 +248,8 @@ func checkParallelClosure(pass *Pass, lit *ast.FuncLit, what string) {
 					report(s.Arrow, "sends on", v)
 				}
 			}
+		case *ast.CallExpr:
+			checkCall(s)
 		}
 		return true
 	})

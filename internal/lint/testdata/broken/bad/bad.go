@@ -1,0 +1,5 @@
+// Package bad fails type-checking: the loader must surface a diagnostic
+// (sjvet exit 2), not panic.
+package bad
+
+var oops int = "not an int"

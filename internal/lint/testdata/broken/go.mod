@@ -1,0 +1,3 @@
+module sjvetbroken
+
+go 1.22

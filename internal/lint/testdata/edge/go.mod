@@ -1,0 +1,3 @@
+module sjvetedge
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package ok is the edge-layout fixture's one ordinary package.
+package ok
+
+// Two returns 2.
+func Two() int { return 2 }

@@ -1,0 +1,7 @@
+// Package onlytests has no non-test files: the loader must skip it (there
+// is no package proper to analyze) rather than panic.
+package onlytests
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,1 @@
+this is not Go source at all {{{ the loader must never parse vendored trees

@@ -3,6 +3,8 @@
 package engine
 
 import (
+	"context"
+
 	"sync"
 	"time"
 
@@ -41,4 +43,10 @@ func Mixed(d *units.Dict, a, b float64) float64 {
 	x, _ := d.Convert(a, "celsius", "kelvin")
 	y, _ := d.Convert(b, "celsius", "fahrenheit")
 	return x - y
+}
+
+// Drain blocks on the done channel but never consults its context — the
+// ctxflow violation (cancellation cannot reach the receive).
+func Drain(ctx context.Context, done chan struct{}) {
+	<-done
 }

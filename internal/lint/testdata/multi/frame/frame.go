@@ -1,0 +1,44 @@
+// Package frame is the multi-module fixture's miniature columnar batch:
+// dirty (post-freeze write) and clean (fresh-storage write) frameimmut
+// cases.
+package frame
+
+// Frame is an immutable batch with one int column.
+type Frame struct {
+	cells []int
+}
+
+// Builder accumulates cells; it owns its storage until Freeze.
+type Builder struct {
+	cells []int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Append adds one cell.
+func (b *Builder) Append(v int) { b.cells = append(b.cells, v) }
+
+// Freeze publishes the cells as an immutable frame.
+func (b *Builder) Freeze() *Frame { return &Frame{cells: b.cells} }
+
+// Cells returns the live payload vector (read-only for callers).
+func (f *Frame) Cells() []int { return f.cells }
+
+// Scratch keeps writing after Freeze — the frameimmut violation.
+func Scratch() *Frame {
+	b := NewBuilder()
+	b.Append(1)
+	fr := b.Freeze()
+	fr.cells[0] = 2
+	return fr
+}
+
+// Fresh fills newly allocated storage before publishing it — clean.
+func Fresh(n int) *Frame {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Append(i)
+	}
+	return b.Freeze()
+}

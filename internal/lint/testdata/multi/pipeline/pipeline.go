@@ -4,6 +4,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"sort"
 	"sync"
 
@@ -40,4 +42,12 @@ func Delta(d *units.Dict, a, b float64) float64 {
 	x, _ := d.Convert(a, "celsius", "kelvin")
 	y, _ := d.Convert(b, "fahrenheit", "kelvin")
 	return x - y
+}
+
+// Wait threads its context through the blocking wait — the clean pattern.
+func Wait(ctx context.Context, done chan struct{}) {
+	select {
+	case <-ctx.Done():
+	case <-done:
+	}
 }

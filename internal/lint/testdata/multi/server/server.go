@@ -1,0 +1,21 @@
+// Package server is the multi-module fixture's goroutine-hygiene half:
+// one leaked goroutine and one with a proper termination edge.
+package server
+
+// Spin leaks an unbounded goroutine — the goroleak violation.
+func Spin(counter *int) {
+	go func() {
+		for {
+			(*counter)++
+		}
+	}()
+}
+
+// Drain exits when jobs closes — a termination edge, clean.
+func Drain(jobs chan int, total *int) {
+	go func() {
+		for j := range jobs {
+			*total += j
+		}
+	}()
+}

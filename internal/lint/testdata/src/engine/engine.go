@@ -1,0 +1,44 @@
+// Package engine exercises the ctxflow analyzer: blocking paths that drop
+// or replace the caller's cancellable context, including the case visible
+// only through a helper's blocking summary.
+package engine
+
+import "context"
+
+// waitIdle blocks on the quiesce channel; its summary carries the blocking
+// fact into callers.
+func waitIdle(quiesce chan struct{}) {
+	<-quiesce
+}
+
+// Solve threads its context through the blocking wait — the clean pattern.
+func Solve(ctx context.Context, quiesce chan struct{}) {
+	select {
+	case <-ctx.Done():
+	case <-quiesce:
+	}
+}
+
+// DirtyBackground receives a context but roots a fresh background one.
+func DirtyBackground(ctx context.Context, quiesce chan struct{}) {
+	Solve(context.Background(), quiesce)
+	_ = ctx
+}
+
+// DirtyDropped receives a context but never threads it into the blocking
+// drain; the block itself hides inside waitIdle, so only the summary sees
+// that cancellation cannot reach it.
+func DirtyDropped(ctx context.Context, quiesce chan struct{}) {
+	waitIdle(quiesce)
+}
+
+// DirtyFeed has no context of its own and feeds a fresh background root to
+// the context-threading solver.
+func DirtyFeed(quiesce chan struct{}) {
+	Solve(context.Background(), quiesce)
+}
+
+// CleanIdle has an unused context but never blocks — not a propagation gap.
+func CleanIdle(ctx context.Context, n int) int {
+	return n * 2
+}

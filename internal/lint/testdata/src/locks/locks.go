@@ -43,3 +43,19 @@ func (b *Box) Clean(r *rdd.RDD, v int) []int {
 	b.ch <- v
 	return r.Collect()
 }
+
+// notify sends on the box's channel — blocking hidden in a helper; its
+// summary carries the fact to call sites under a lock.
+func (b *Box) notify(v int) { b.ch <- v }
+
+// depth is read-only and safe to call under the lock.
+func (b *Box) depth() int { return len(b.ch) }
+
+// DirtyHelperSend calls the channel-sending helper while holding the
+// mutex; only notify's summary exposes the block.
+func (b *Box) DirtyHelperSend(v int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.notify(v)
+	return b.depth()
+}

@@ -36,3 +36,25 @@ func Clean() []int {
 	})
 	return doubled.Collect()
 }
+
+// bumpGlobal increments package state — impurity hidden in a helper.
+func bumpGlobal() { hits++ }
+
+// addTo accumulates into *dst — mutation hidden in a helper.
+func addTo(dst *int, v int) { *dst += v }
+
+// pureSq is a pure helper: calling it from a compute closure is fine.
+func pureSq(v int) int { return v * v }
+
+// HiddenWrites routes the captured-state writes through helpers; only the
+// function summaries expose them.
+func HiddenWrites() int {
+	r := rdd.Parallelize([]int{1, 2})
+	sum := 0
+	_ = rdd.Map(r, func(v int) int {
+		bumpGlobal()
+		addTo(&sum, v)
+		return pureSq(v)
+	})
+	return sum
+}

@@ -54,3 +54,17 @@ func (r *RDD) Collect() []int { return r.compute(0) }
 
 // Count returns the number of elements.
 func (r *RDD) Count() int { return len(r.compute(0)) }
+
+// ExchangePartitions redistributes n partitions, running fn data-parallel.
+func ExchangePartitions(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ZipPartitions pairs partitions elementwise, running fn data-parallel.
+func ZipPartitions(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

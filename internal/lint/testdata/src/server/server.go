@@ -1,0 +1,68 @@
+// Package server exercises the goroleak analyzer: goroutines without a
+// termination edge, including the case where the unbounded loop hides in a
+// named callee and is only visible through its summary.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// pump spins forever with no exit edge; only its summary exposes that to
+// the go statement that spawns it.
+func pump(counts []int) {
+	i := 0
+	for {
+		counts[i%len(counts)]++
+		i++
+	}
+}
+
+// DirtyNamed leaks a goroutine through a named callee.
+func DirtyNamed(counts []int) {
+	go pump(counts)
+}
+
+// DirtySpin leaks an inline busy-loop goroutine.
+func DirtySpin() {
+	n := 0
+	go func() {
+		for {
+			n++
+		}
+	}()
+}
+
+// CleanRange drains a channel the producer closes — a termination edge.
+func CleanRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// CleanCtx exits when the context is cancelled.
+func CleanCtx(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// CleanWG runs a bounded worker accounted by a WaitGroup.
+func CleanWG(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, j := range jobs {
+			_ = j
+		}
+	}()
+}

@@ -3,7 +3,10 @@
 // named analyzer does not match the finding (which must still be reported).
 package suppress
 
-import "sjvettest/rdd"
+import (
+	"sjvettest/rdd"
+	"sjvettest/units"
+)
 
 // Suppressed findings: none of these may be reported.
 func Suppressed() int {
@@ -30,4 +33,30 @@ func WrongAnalyzer() int {
 		return v
 	})
 	return n
+}
+
+// consume feeds a probe value through fn and offsets the quantity.
+func consume(fn func(int) int, q float64) float64 {
+	return float64(fn(0)) + q
+}
+
+// LeakedDirective: the directive sits inside the closure, so it must NOT
+// suppress the unit-mix finding on the call's closing line, which belongs
+// to the enclosing function body (one line below the directive).
+func LeakedDirective(d *units.Dict, v float64) float64 {
+	k, _ := d.Convert(v, "celsius", "kelvin")
+	c, _ := d.Convert(v, "kelvin", "celsius")
+	return consume(func(x int) int {
+		return x //sjvet:ignore unitsafety -- scoped to this closure only
+	}, k-c)
+}
+
+// ProperlyPlaced: the same shape with the directive in the enclosing
+// scope, which does suppress the mix on its own line.
+func ProperlyPlaced(d *units.Dict, v float64) float64 {
+	k, _ := d.Convert(v, "celsius", "kelvin")
+	c, _ := d.Convert(v, "kelvin", "celsius")
+	return consume(func(x int) int {
+		return x
+	}, k-c) //sjvet:ignore unitsafety -- reviewed: display-only delta
 }
