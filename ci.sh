@@ -15,6 +15,13 @@
 #                        over library code AND tests, with a reviewed
 #                        baseline (sjvet.baseline) and a SARIF artifact
 #                        (sjvet.sarif) for code-scanning upload
+#   * sjbench gates    — columnar >= row throughput (BENCH_columnar.json)
+#                        and the disabled-tracing overhead budget
+#                        (BENCH_obs.json, nil-span invariant)
+#   * smoke            — sjserved + sjload end to end: correctness burst,
+#                        admission control, graceful drain, then the
+#                        observability surface (traced query artifact,
+#                        GET /v1/trace/{id}, /metrics, pprof isolation)
 #
 # Any nonzero exit fails the gate.
 set -eu
@@ -67,6 +74,16 @@ fi
 echo "==> sjbench columnar (row-vs-columnar gate)"
 go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
 
+# Observability regression gate: with tracing disabled the rdd hot path is
+# nil-pointer checks only, so it must stay within 3% of the always-
+# collecting baseline (sjbench exits nonzero past the budget) — the
+# performance half of the nil-span invariant (DESIGN.md). The obs package
+# itself must also be sjvet-clean on its own.
+echo "==> sjbench obs (disabled-tracing overhead gate)"
+go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json
+echo "==> sjvet ./internal/obs"
+go run ./cmd/sjvet ./internal/obs
+
 # Server smoke: boot sjserved on a random port over a generated catalog,
 # then prove the three serving guarantees end to end:
 #   1. correctness + plan cache: a concurrent sjload burst completes with
@@ -79,7 +96,7 @@ go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
 echo "==> server smoke (sjserved + sjload)"
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
-go build -o "$SMOKE" ./cmd/sjserved ./cmd/sjload ./cmd/sjgen
+go build -o "$SMOKE" ./cmd/sjserved ./cmd/sjload ./cmd/sjgen ./cmd/scrubjay
 "$SMOKE/sjgen" -out "$SMOKE/cat" -dat 1 -format jsonl \
   -racks 4 -nodes-per-rack 6 -amg-rack 2 -duration 1200 -seed 1 >/dev/null
 
@@ -105,7 +122,8 @@ ADDR=$(wait_addr "$SMOKE/addr1")
 # search, requests 1..5 hit the cache — the driver's "plan search:" line is
 # the cold-vs-warm comparison. Then the mixed concurrent burst.
 "$SMOKE/sjload" -server "http://$ADDR" -clients 1 -requests 6 -plan-every 1 $QUERY_ARGS
-"$SMOKE/sjload" -server "http://$ADDR" -clients 4 -requests 6 $QUERY_ARGS
+"$SMOKE/sjload" -server "http://$ADDR" -clients 4 -requests 6 $QUERY_ARGS \
+  -out BENCH_serve.json
 kill -TERM "$SRV"
 wait "$SRV"
 
@@ -136,5 +154,44 @@ kill -TERM "$SRV"
 wait "$SRV" || { echo "ci.sh: sjserved did not drain cleanly" >&2; cat "$SMOKE/served3.log" >&2; exit 1; }
 wait "$LOAD" || { echo "ci.sh: sjload saw dropped queries" >&2; cat "$SMOKE/shutdown-load.log" >&2; exit 1; }
 grep -E "^(completed|dropped):" "$SMOKE/shutdown-load.log" | sed 's/^/     /'
+
+# Observability smoke: the full trace story end to end.
+#   1. local: a traced query writes a JSON artifact that validates
+#      (scrubjay trace -check) and renders as a timeline;
+#   2. served: a query's X-Scrubjay-Trace id resolves via GET /v1/trace/{id}
+#      and renders through the same CLI;
+#   3. /metrics re-renders from the obs registry (spot-check keys);
+#   4. the pprof surface answers on its own -debug-addr listener only.
+echo "  -> observability: traced local query + artifact check"
+"$SMOKE/scrubjay" query -catalog "$SMOKE/cat" \
+  -domains job,rack -values application,temperature_difference \
+  -trace "$SMOKE/local.trace.json" >/dev/null
+"$SMOKE/scrubjay" trace -check "$SMOKE/local.trace.json"
+"$SMOKE/scrubjay" trace "$SMOKE/local.trace.json" | head -5 | sed 's/^/     /'
+
+echo "  -> observability: served trace, /metrics, pprof"
+rm -f "$SMOKE/addr4" "$SMOKE/debug4"
+"$SMOKE/sjserved" -catalog "$SMOKE/cat" -addr 127.0.0.1:0 \
+  -addr-file "$SMOKE/addr4" -debug-addr 127.0.0.1:0 \
+  -debug-addr-file "$SMOKE/debug4" 2>"$SMOKE/served4.log" &
+SRV=$!
+ADDR=$(wait_addr "$SMOKE/addr4")
+DEBUG_ADDR=$(wait_addr "$SMOKE/debug4")
+"$SMOKE/sjload" -server "http://$ADDR" -clients 1 -requests 2 -plan-every 0 \
+  $QUERY_ARGS >/dev/null
+TRACE_ID=$(curl -sf "http://$ADDR/v1/trace" | tr ',"' '\n\n' | grep '^t[0-9a-f]*$' | head -1)
+[ -n "$TRACE_ID" ] || { echo "ci.sh: server listed no traces" >&2; exit 1; }
+"$SMOKE/scrubjay" trace "$TRACE_ID" -server "http://$ADDR" | head -5 | sed 's/^/     /'
+curl -sf "http://$ADDR/metrics" | grep -q '^latency_p99_micros=' \
+  || { echo "ci.sh: /metrics missing latency quantiles" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^queries_total=' \
+  || { echo "ci.sh: /metrics missing counters" >&2; exit 1; }
+curl -sf "http://$DEBUG_ADDR/debug/pprof/" >/dev/null \
+  || { echo "ci.sh: pprof index unreachable on debug listener" >&2; exit 1; }
+if curl -sf "http://$ADDR/debug/pprof/" >/dev/null 2>&1; then
+  echo "ci.sh: pprof leaked onto the query port" >&2; exit 1
+fi
+kill -TERM "$SRV"
+wait "$SRV"
 
 echo "ci.sh: all gates passed"

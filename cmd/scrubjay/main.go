@@ -5,8 +5,9 @@
 //
 // Subcommands:
 //
-//	scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+//	scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR] [-explain|-explain-json] [-trace out.trace.json]
 //	scrubjay run    -catalog DIR|-server URL -plan plan.json [-out FMT:PATH] [-cache DIR]
+//	scrubjay trace  FILE|TRACE-ID [-server URL] [-check]
 //	scrubjay show   -in FMT:PATH [-n 20]
 //	scrubjay dict
 //	scrubjay formats
@@ -19,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,7 @@ import (
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/derive"
 	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
@@ -47,6 +50,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "show":
 		err = cmdShow(os.Args[2:])
 	case "dict":
@@ -77,8 +82,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR]
+  scrubjay query  -catalog DIR|-server URL -domains a,b -values x,y[:units] [-plan out.json] [-out FMT:PATH] [-window SEC] [-cache DIR] [-explain|-explain-json] [-trace out.trace.json]
   scrubjay run    -catalog DIR|-server URL -plan plan.json [-out FMT:PATH] [-cache DIR]
+  scrubjay trace  FILE|TRACE-ID [-server URL] [-check]
   scrubjay show   -in FMT:PATH [-n 20]
   scrubjay dict
   scrubjay formats
@@ -136,6 +142,8 @@ func cmdQuery(args []string) error {
 	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
 	show := fs.Int("show", 10, "print up to this many result rows")
 	explain := fs.Bool("explain", false, "print the engine's search trace")
+	explainJSON := fs.Bool("explain-json", false, "print the engine's search trace as structured JSON")
+	traceOut := fs.String("trace", "", "record a full execution trace and write the JSON artifact to this path")
 	serverURL := fs.String("server", "", "query a running sjserved instead of the local library")
 	columnar := fs.Bool("columnar", true, "execute on the columnar batch path (false = row-at-a-time reference path)")
 	fs.Parse(args)
@@ -160,8 +168,11 @@ func cmdQuery(args []string) error {
 	}
 
 	if *serverURL != "" {
-		if *explain {
-			fmt.Fprintln(os.Stderr, "scrubjay: -explain is unavailable in -server mode (search runs remotely)")
+		if *explain || *explainJSON {
+			fmt.Fprintln(os.Stderr, "scrubjay: -explain is unavailable in -server mode (search runs remotely; fetch the trace instead)")
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "scrubjay: ignoring -trace in -server mode (use `scrubjay trace ID -server URL`)")
 		}
 		if *cacheDir != "" {
 			fmt.Fprintln(os.Stderr, "scrubjay: ignoring -cache in -server mode (the server owns the result cache)")
@@ -179,16 +190,35 @@ func cmdQuery(args []string) error {
 		cat = columnarCatalog(cat)
 	}
 
+	// With -trace, the whole run records under a query span; without it,
+	// tr is nil and every span below is the free nil span.
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer("local", nil)
+	}
+	qspan := tr.Start(obs.KindQuery, "query")
+
 	opts := engine.DefaultOptions()
 	opts.WindowSeconds = *window
 	e := engine.New(dict, schemas, opts)
+	search := qspan.Child(obs.KindSearch, "plan-search")
 	plan, trace, err := e.SolveTraced(context.Background(), q)
+	trace.AttachTo(search)
+	search.End()
 	if *explain && trace != nil {
 		fmt.Printf("search trace:\n%s", trace)
+	}
+	if *explainJSON && trace != nil {
+		data, jerr := json.MarshalIndent(trace, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Printf("%s\n", data)
 	}
 	if err != nil {
 		return err
 	}
+	qspan.SetStr(obs.AttrPlanHash, plan.Hash())
 	fmt.Printf("query: %s\nderivation sequence:\n%s", q, plan)
 
 	if *planOut != "" {
@@ -206,11 +236,26 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	exec := qspan.Child(obs.KindExec, "execute")
+	ctx.SetSpan(exec)
 	result, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{Cache: c})
 	if err != nil {
 		return err
 	}
-	return emit(result, *out, *show)
+	emitErr := emit(result, *out, *show)
+	exec.End()
+	qspan.End()
+	if tr != nil {
+		data, err := tr.Artifact().Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	return emitErr
 }
 
 // serverQuery answers a query through a running sjserved: one /v1/plan
@@ -243,6 +288,9 @@ func serverExecute(cl *server.Client, plan []byte, out string, show int) error {
 	header, rows, _, err := cl.Execute(server.ExecuteRequest{Plan: plan})
 	if err != nil {
 		return err
+	}
+	if header.TraceID != "" {
+		fmt.Printf("trace: %s (scrubjay trace %s -server %s)\n", header.TraceID, header.TraceID, cl.BaseURL)
 	}
 	ctx := rdd.NewContext(0)
 	result := dataset.FromRows(ctx, "result", rows, header.Schema, 0)
@@ -308,6 +356,47 @@ func emit(result *dataset.Dataset, out string, show int) error {
 		}
 		fmt.Printf("result written to %s\n", sink.Path)
 	}
+	return nil
+}
+
+// cmdTrace renders (or validates) a trace artifact: a local file from
+// `scrubjay query -trace`, or a trace id fetched from a running sjserved.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	serverURL := fs.String("server", "", "fetch the argument as a trace id from this sjserved")
+	check := fs.Bool("check", false, "validate the artifact schema instead of rendering")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace: a FILE (or, with -server, TRACE-ID) argument is required")
+	}
+	arg := fs.Arg(0)
+	// Accept flags after the positional too (scrubjay trace ID -server URL).
+	fs.Parse(fs.Args()[1:])
+	if fs.NArg() != 0 {
+		return fmt.Errorf("trace: exactly one FILE or TRACE-ID argument is allowed")
+	}
+	var art *obs.Artifact
+	if *serverURL != "" {
+		a, err := (&server.Client{BaseURL: *serverURL}).Trace(arg)
+		if err != nil {
+			return err
+		}
+		art = a
+	} else {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return err
+		}
+		art, err = obs.DecodeArtifact(data)
+		if err != nil {
+			return fmt.Errorf("trace: %s: %w", arg, err)
+		}
+	}
+	if *check {
+		fmt.Printf("trace %s: %d spans, ok\n", art.TraceID, art.SpanCount())
+		return nil
+	}
+	fmt.Print(art.Timeline())
 	return nil
 }
 

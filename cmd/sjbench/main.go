@@ -12,6 +12,7 @@
 //	memo   Memoization ablation                 (§5.2)
 //	naive  Dual-binning vs naive interp join    (§5.3 ablation)
 //	columnar Row-path vs columnar join throughput (this repo's batch engine)
+//	obs    Tracing-overhead gate: natural join with tracing off vs on
 //	all    Everything above
 //
 // The columnar experiment doubles as a regression gate: with -out it writes
@@ -43,7 +44,7 @@ func main() {
 		perRack = flag.Int("nodes-per-rack", 32, "case studies: nodes per rack")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		reps    = flag.Int("reps", 1, "repetitions per figure-3 sweep point (min kept)")
-		out     = flag.String("out", "", "columnar: write the comparison report to this JSON file")
+		out     = flag.String("out", "", "columnar/obs: write the comparison report to this JSON file")
 	)
 	flag.Parse()
 
@@ -223,6 +224,28 @@ func main() {
 			if c.Speedup < 1 {
 				return fmt.Errorf("columnar %s regressed: %.2fx the row path's throughput", c.Name, c.Speedup)
 			}
+		}
+		return nil
+	})
+	run("obs", func() error {
+		creps := *reps
+		if creps < 5 {
+			creps = 5
+		}
+		report, err := bench.RunObsOverhead(w, creps)
+		if err != nil {
+			return err
+		}
+		report.Print(os.Stdout)
+		if *out != "" {
+			if err := report.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", *out)
+		}
+		if !report.WithinBudget {
+			return fmt.Errorf("disabled-tracing hot path regressed past the %.0f%% budget: median off/collected ratio %.3f",
+				report.Budget*100, report.GateRatio)
 		}
 		return nil
 	})

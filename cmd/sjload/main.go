@@ -16,22 +16,30 @@
 // With -expect-rejections it also exits 1 unless at least one request was
 // shed (used by CI to prove admission control engages under overload).
 //
+// Latency quantiles come from the same bounded histogram the server's
+// /metrics endpoint uses (internal/obs), observed concurrently by every
+// client — so the p50/p90/p99 sjload prints are directly comparable to
+// the latency_p* keys the server reports. With -out the run lands as a
+// machine-readable JSON summary (BENCH_serve.json in CI).
+//
 //	sjload -server URL [-clients N] [-requests N] [-domains a,b]
 //	       [-values x,y[:units]] [-window SEC] [-limit N]
 //	       [-timeout-ms N] [-plan-every N] [-expect-rejections]
+//	       [-out BENCH_serve.json]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
 	"scrubjay/internal/server"
 )
 
@@ -58,6 +66,20 @@ type result struct {
 	err          error
 }
 
+// benchReport is the machine-readable summary written by -out.
+type benchReport struct {
+	Clients         int              `json:"clients"`
+	Requests        int              `json:"requests_per_client"`
+	WallMicros      int64            `json:"wall_micros"`
+	Outcomes        map[string]int   `json:"outcomes"`
+	ThroughputQPS   float64          `json:"throughput_qps"`
+	Latency         map[string]int64 `json:"latency_micros,omitempty"`
+	ColdSearches    int              `json:"cold_searches"`
+	WarmSearches    int              `json:"warm_searches"`
+	ColdSearchAvgUS int64            `json:"cold_search_avg_micros,omitempty"`
+	WarmSearchAvgUS int64            `json:"warm_search_avg_micros,omitempty"`
+}
+
 func main() {
 	serverURL := flag.String("server", "", "sjserved base URL (required)")
 	clients := flag.Int("clients", 8, "concurrent clients")
@@ -69,6 +91,7 @@ func main() {
 	timeoutMS := flag.Int64("timeout-ms", 30_000, "per-request deadline sent to the server")
 	planEvery := flag.Int("plan-every", 4, "every Nth request is plan-only (0 = never)")
 	expectRejections := flag.Bool("expect-rejections", false, "exit 1 unless the server shed load at least once")
+	out := flag.String("out", "", "write the machine-readable run summary to this JSON file")
 	flag.Parse()
 	if *serverURL == "" {
 		fmt.Fprintln(os.Stderr, "sjload: -server is required")
@@ -92,26 +115,38 @@ func main() {
 		}
 	}
 
-	results := drive(*serverURL, *clients, *requests, q, *window, *limit, *timeoutMS, *planEvery)
-	counts := report(results, *clients)
+	// One histogram shared by every client goroutine — the same instrument
+	// the server renders on /metrics, so the quantiles line up.
+	lat := obs.NewRegistry().Histogram("latency", "micros")
+	results, wall := drive(*serverURL, *clients, *requests, q, *window, *limit, *timeoutMS, *planEvery, lat)
+	rep := report(results, *clients, *requests, wall, lat)
 
-	if counts[dropped] > 0 {
-		fmt.Printf("FAIL: %d in-flight queries dropped\n", counts[dropped])
+	if *out != "" {
+		if err := writeReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "sjload: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+
+	if n := rep.Outcomes[outcomeNames[dropped]]; n > 0 {
+		fmt.Printf("FAIL: %d in-flight queries dropped\n", n)
 		os.Exit(1)
 	}
-	if *expectRejections && counts[rejected] == 0 {
+	if *expectRejections && rep.Outcomes[outcomeNames[rejected]] == 0 {
 		fmt.Println("FAIL: expected the server to shed load, but nothing was rejected")
 		os.Exit(1)
 	}
-	if !*expectRejections && counts[completed] == 0 {
+	if !*expectRejections && rep.Outcomes[outcomeNames[completed]] == 0 {
 		fmt.Println("FAIL: no request completed")
 		os.Exit(1)
 	}
 }
 
 // drive fans out the workload: all clients block on one barrier, then each
-// issues its requests back to back.
-func drive(serverURL string, clients, requests int, q engine.Query, window float64, limit int, timeoutMS int64, planEvery int) []result {
+// issues its requests back to back, observing completed latencies into the
+// shared histogram as they land.
+func drive(serverURL string, clients, requests int, q engine.Query, window float64, limit int, timeoutMS int64, planEvery int, lat *obs.Histogram) ([]result, time.Duration) {
 	results := make([]result, clients*requests)
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -142,6 +177,9 @@ func drive(serverURL string, clients, requests int, q engine.Query, window float
 					r.cacheHit, r.searchMicros = header.CacheHit, header.SearchMicros
 				}
 				r.latency = time.Since(t0)
+				if r.outcome == completed {
+					lat.ObserveDuration(r.latency)
+				}
 				results[c*requests+i] = r
 			}
 		}(c)
@@ -151,7 +189,7 @@ func drive(serverURL string, clients, requests int, q engine.Query, window float
 	wg.Wait()
 	elapsed := time.Since(t0)
 	fmt.Printf("%d clients x %d requests in %v\n", clients, requests, elapsed.Round(time.Millisecond))
-	return results
+	return results, elapsed
 }
 
 func classify(err error) result {
@@ -172,19 +210,11 @@ func classify(err error) result {
 	return result{outcome: refused, err: err}
 }
 
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p*float64(len(sorted)-1) + 0.5)
-	return sorted[i]
-}
-
-// report prints outcome counts, latency quantiles over completed requests,
-// and the cold-vs-warm plan-search comparison, returning the counts.
-func report(results []result, clients int) [outcomeCount]int {
+// report prints outcome counts, latency quantiles from the shared obs
+// histogram, and the cold-vs-warm plan-search comparison, returning the
+// machine-readable summary.
+func report(results []result, clients, requests int, elapsed time.Duration, lat *obs.Histogram) benchReport {
 	var counts [outcomeCount]int
-	var lats []time.Duration
 	var coldSearch, warmSearch []int64
 	var coldLat, warmLat []time.Duration
 	firstErr := map[outcome]error{}
@@ -197,7 +227,6 @@ func report(results []result, clients int) [outcomeCount]int {
 		if r.outcome != completed {
 			continue
 		}
-		lats = append(lats, r.latency)
 		wall += r.latency
 		if r.planSearch {
 			if r.cacheHit {
@@ -209,38 +238,69 @@ func report(results []result, clients int) [outcomeCount]int {
 			}
 		}
 	}
+	rep := benchReport{
+		Clients:      clients,
+		Requests:     requests,
+		WallMicros:   elapsed.Microseconds(),
+		Outcomes:     map[string]int{},
+		ColdSearches: len(coldLat),
+		WarmSearches: len(warmLat),
+	}
 	for o := completed; o < outcomeCount; o++ {
+		rep.Outcomes[outcomeNames[o]] = counts[int(o)]
 		fmt.Printf("%-10s %d\n", outcomeNames[o]+":", counts[int(o)])
 		if err := firstErr[o]; err != nil {
 			fmt.Printf("           first: %v\n", err)
 		}
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := lat.Count(); n > 0 {
 		perClient := wall / time.Duration(clients)
 		if perClient > 0 {
-			fmt.Printf("throughput: %.1f qps\n", float64(len(lats))/perClient.Seconds())
+			rep.ThroughputQPS = float64(n) / perClient.Seconds()
+			fmt.Printf("throughput: %.1f qps\n", rep.ThroughputQPS)
 		}
+		p50, p90, p99, max := lat.Quantile(0.50), lat.Quantile(0.90), lat.Quantile(0.99), lat.Max()
+		rep.Latency = map[string]int64{"p50": p50, "p90": p90, "p99": p99, "max": max, "count": n}
 		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
-			percentile(lats, 0.50).Round(time.Microsecond),
-			percentile(lats, 0.90).Round(time.Microsecond),
-			percentile(lats, 0.99).Round(time.Microsecond),
-			lats[len(lats)-1].Round(time.Microsecond))
+			time.Duration(p50)*time.Microsecond,
+			time.Duration(p90)*time.Microsecond,
+			time.Duration(p99)*time.Microsecond,
+			(time.Duration(max) * time.Microsecond).Round(time.Microsecond))
 	}
 	if len(coldLat) > 0 && len(warmLat) > 0 {
+		rep.ColdSearchAvgUS = sumInt64(coldSearch) / int64(len(coldSearch))
+		rep.WarmSearchAvgUS = sumInt64(warmSearch) / int64(len(warmSearch))
 		fmt.Printf("plan search: cold n=%d avg_search=%v avg_latency=%v | warm n=%d avg_search=%v avg_latency=%v\n",
 			len(coldLat), avgMicros(coldSearch), avgDur(coldLat),
 			len(warmLat), avgMicros(warmSearch), avgDur(warmLat))
 	}
-	return counts
+	return rep
 }
 
-func avgMicros(xs []int64) time.Duration {
+// writeReport lands the summary as indented JSON via temp + rename so a
+// concurrent reader never sees a partial file.
+func writeReport(path string, rep benchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func sumInt64(xs []int64) int64 {
 	var sum int64
 	for _, x := range xs {
 		sum += x
 	}
-	return (time.Duration(sum) * time.Microsecond) / time.Duration(len(xs))
+	return sum
+}
+
+func avgMicros(xs []int64) time.Duration {
+	return (time.Duration(sumInt64(xs)) * time.Microsecond) / time.Duration(len(xs))
 }
 
 func avgDur(xs []time.Duration) time.Duration {

@@ -8,11 +8,17 @@
 // -drain-ms exits 1 — dropped in-flight queries are a reportable failure,
 // not business as usual.
 //
+// Observability: every executed query is traced (fetch artifacts at
+// GET /v1/trace/{id}; retention set by -trace-ring), and -debug-addr
+// mounts the net/http/pprof profiling surface on its own listener, kept
+// off the query port so profiling access can be firewalled separately.
+//
 //	sjserved -catalog DIR [-addr HOST:PORT] [-addr-file PATH]
 //	         [-workers N] [-max-concurrent N] [-max-queue N]
 //	         [-cache DIR] [-cache-bytes N] [-plan-cache N]
 //	         [-window SEC] [-default-timeout-ms N] [-max-timeout-ms N]
-//	         [-drain-ms N]
+//	         [-drain-ms N] [-trace-ring N]
+//	         [-debug-addr HOST:PORT] [-debug-addr-file PATH]
 package main
 
 import (
@@ -33,85 +39,131 @@ import (
 	"scrubjay/internal/server"
 )
 
+// options collects every flag so run stays testable without a flag set.
+type options struct {
+	addr           string
+	addrFile       string
+	catalogDir     string
+	workers        int
+	maxConcurrent  int
+	maxQueue       int
+	cacheDir       string
+	cacheBytes     int64
+	planCacheSize  int
+	window         float64
+	columnar       bool
+	traceRing      int
+	debugAddr      string
+	debugAddrFile  string
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	drainBudget    time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8372", "listen address (port 0 picks a free port)")
-	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving")
-	catalogDir := flag.String("catalog", "", "catalog directory to serve (required)")
-	workers := flag.Int("workers", 0, "rdd workers per request (0 = GOMAXPROCS)")
-	maxConcurrent := flag.Int("max-concurrent", 4, "executor slots")
-	maxQueue := flag.Int("max-queue", 64, "bounded wait queue (negative = none)")
-	cacheDir := flag.String("cache", "", "derivation-result cache directory (optional)")
-	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache budget in bytes")
-	planCacheSize := flag.Int("plan-cache", 256, "plan-cache LRU capacity")
-	window := flag.Float64("window", 120, "default interpolation-join window in seconds")
-	columnar := flag.Bool("columnar", true, "execute queries on the columnar batch path (false = row-at-a-time reference path)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8372", "listen address (port 0 picks a free port)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the actual listen address to this file once serving")
+	flag.StringVar(&o.catalogDir, "catalog", "", "catalog directory to serve (required)")
+	flag.IntVar(&o.workers, "workers", 0, "rdd workers per request (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 4, "executor slots")
+	flag.IntVar(&o.maxQueue, "max-queue", 64, "bounded wait queue (negative = none)")
+	flag.StringVar(&o.cacheDir, "cache", "", "derivation-result cache directory (optional)")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 256<<20, "result-cache budget in bytes")
+	flag.IntVar(&o.planCacheSize, "plan-cache", 256, "plan-cache LRU capacity")
+	flag.Float64Var(&o.window, "window", 120, "default interpolation-join window in seconds")
+	flag.BoolVar(&o.columnar, "columnar", true, "execute queries on the columnar batch path (false = row-at-a-time reference path)")
+	flag.IntVar(&o.traceRing, "trace-ring", 64, "retained query traces for GET /v1/trace/{id} (negative disables tracing)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "mount net/http/pprof on this separate listener (empty = no profiling surface)")
+	flag.StringVar(&o.debugAddrFile, "debug-addr-file", "", "write the actual debug listen address to this file")
 	defaultTimeoutMS := flag.Int64("default-timeout-ms", 30_000, "per-request deadline when the client sends none")
 	maxTimeoutMS := flag.Int64("max-timeout-ms", 300_000, "upper clamp on client-supplied deadlines")
 	drainMS := flag.Int64("drain-ms", 30_000, "graceful-shutdown drain budget")
 	flag.Parse()
-	if *catalogDir == "" {
+	o.defaultTimeout = time.Duration(*defaultTimeoutMS) * time.Millisecond
+	o.maxTimeout = time.Duration(*maxTimeoutMS) * time.Millisecond
+	o.drainBudget = time.Duration(*drainMS) * time.Millisecond
+	if o.catalogDir == "" {
 		fmt.Fprintln(os.Stderr, "sjserved: -catalog is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	log.SetPrefix("sjserved: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
-	if err := run(*addr, *addrFile, *catalogDir, *workers, *maxConcurrent, *maxQueue,
-		*cacheDir, *cacheBytes, *planCacheSize, *window, *columnar,
-		time.Duration(*defaultTimeoutMS)*time.Millisecond,
-		time.Duration(*maxTimeoutMS)*time.Millisecond,
-		time.Duration(*drainMS)*time.Millisecond); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, addrFile, catalogDir string, workers, maxConcurrent, maxQueue int,
-	cacheDir string, cacheBytes int64, planCacheSize int, window float64, columnar bool,
-	defaultTimeout, maxTimeout, drainBudget time.Duration) error {
-
+func run(o options) error {
 	store := server.NewStore()
 	t0 := time.Now()
-	if err := store.LoadDir(catalogDir, workers); err != nil {
+	if err := store.LoadDir(o.catalogDir, o.workers); err != nil {
 		return err
 	}
-	log.Printf("catalog %s: %d datasets loaded in %v", catalogDir, store.Len(), time.Since(t0).Round(time.Millisecond))
+	log.Printf("catalog %s: %d datasets loaded in %v", o.catalogDir, store.Len(), time.Since(t0).Round(time.Millisecond))
 
 	var resultCache *cache.Cache
-	if cacheDir != "" {
+	if o.cacheDir != "" {
 		var err error
-		resultCache, err = cache.Open(cacheDir, cacheBytes)
+		resultCache, err = cache.Open(o.cacheDir, o.cacheBytes)
 		if err != nil {
 			return err
 		}
-		log.Printf("result cache %s: %d entries, budget %d bytes", cacheDir, resultCache.Len(), cacheBytes)
+		log.Printf("result cache %s: %d entries, budget %d bytes", o.cacheDir, resultCache.Len(), o.cacheBytes)
 	}
 
 	s := server.New(store, server.Config{
-		Workers:        workers,
-		MaxConcurrent:  maxConcurrent,
-		MaxQueue:       maxQueue,
-		DefaultTimeout: defaultTimeout,
-		MaxTimeout:     maxTimeout,
-		PlanCacheSize:  planCacheSize,
-		WindowSeconds:  window,
+		Workers:        o.workers,
+		MaxConcurrent:  o.maxConcurrent,
+		MaxQueue:       o.maxQueue,
+		DefaultTimeout: o.defaultTimeout,
+		MaxTimeout:     o.maxTimeout,
+		PlanCacheSize:  o.planCacheSize,
+		WindowSeconds:  o.window,
 		Cache:          resultCache,
-		RowMode:        !columnar,
+		RowMode:        !o.columnar,
+		TraceRing:      o.traceRing,
 	})
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	if addrFile != "" {
-		if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
+	if o.addrFile != "" {
+		if err := writeAddrFile(o.addrFile, ln.Addr().String()); err != nil {
 			ln.Close()
 			return err
 		}
 	}
+
+	// The profiling surface gets its own listener and server so the query
+	// port never exposes pprof. Best-effort: it dies with the process and
+	// takes no part in the drain protocol.
+	var debugServer *http.Server
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		if o.debugAddrFile != "" {
+			if err := writeAddrFile(o.debugAddrFile, dln.Addr().String()); err != nil {
+				ln.Close()
+				dln.Close()
+				return err
+			}
+		}
+		debugServer = &http.Server{Handler: server.DebugHandler()}
+		go debugServer.Serve(dln)
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+	}
+
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	log.Printf("serving on http://%s (executors=%d queue=%d)", ln.Addr(), maxConcurrent, maxQueue)
+	log.Printf("serving on http://%s (executors=%d queue=%d trace-ring=%d)",
+		ln.Addr(), o.maxConcurrent, o.maxQueue, o.traceRing)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -126,13 +178,16 @@ func run(addr, addrFile, catalogDir string, workers, maxConcurrent, maxQueue int
 	// on kept-alive connections), close the listener, wait for every
 	// accepted query to finish, then flush the result cache.
 	s.StartDrain()
-	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainBudget)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		return fmt.Errorf("drain incomplete after %v: %w", drainBudget, err)
+		return fmt.Errorf("drain incomplete after %v: %w", o.drainBudget, err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	if debugServer != nil {
+		debugServer.Close()
 	}
 	if err := s.Flush(); err != nil {
 		return fmt.Errorf("flushing result cache: %w", err)

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package bench
+
+import "time"
+
+// cpuTime falls back to wall time where getrusage is unavailable; the
+// overhead gate loses its noise immunity but stays functional.
+func cpuTime() time.Duration {
+	return time.Duration(nanotimeFallback())
+}

@@ -448,7 +448,7 @@ func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan,
 		base := variant{node: pipeline.SourceNode(n), schema: e.schemas[n]}
 		g := &group{names: []string{n}, variants: e.closure(base)}
 		groups = append(groups, g)
-		tr.addf("closure of %q: %d reachable schema variants", n, len(g.variants))
+		tr.eventf("closure", "closure of %q: %d reachable schema variants", n, len(g.variants))
 	}
 
 	// Derivations cannot invent domain dimensions: if a queried domain is
@@ -487,12 +487,12 @@ func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan,
 	for i, g := range df {
 		dfNames[i] = g.key()
 	}
-	tr.addf("DF (datasets contributing queried dimensions): %s", strings.Join(dfNames, ", "))
+	tr.eventf("df", "DF (datasets contributing queried dimensions): %s", strings.Join(dfNames, ", "))
 
 	// A single dataset may already satisfy the query.
 	for _, g := range df {
 		if plan, err := e.finalize(g, q); err == nil {
-			tr.addf("single dataset %q satisfies the query", g.key())
+			tr.eventf("solution", "single dataset %q satisfies the query", g.key())
 			return plan, nil
 		}
 	}
@@ -517,10 +517,10 @@ func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan,
 		}
 		lastErr = err
 		if len(rest) == 0 {
-			tr.addf("failed: %v", lastErr)
+			tr.eventf("failure", "failed: %v", lastErr)
 			return nil, lastErr
 		}
-		tr.addf("DF insufficient (%v); extending with bridging dataset %q", err, rest[0].key())
+		tr.eventf("extend", "DF insufficient (%v); extending with bridging dataset %q", err, rest[0].key())
 		df = append(df, rest[0])
 		rest = rest[1:]
 	}
@@ -551,7 +551,7 @@ func (e *Engine) agglomerate(ctx context.Context, initial []*group, wanted map[s
 		if bestRes == nil {
 			return nil, fmt.Errorf("engine: datasets cannot be related: no combinable pair among %d groups", len(work))
 		}
-		tr.addf("combine {%s} with {%s} via %s -> domains [%s]",
+		tr.eventf("combine", "combine {%s} with {%s} via %s -> domains [%s]",
 			work[bestI].key(), work[bestJ].key(), className(bestRes.bucket),
 			strings.Join(bestRes.variant.schema.DomainDimensions(), ","))
 		merged := &group{
@@ -566,7 +566,7 @@ func (e *Engine) agglomerate(ctx context.Context, initial []*group, wanted map[s
 		}
 		work = append(next, merged)
 		if plan, err := e.finalize(merged, q); err == nil {
-			tr.addf("combined group {%s} satisfies the query", merged.key())
+			tr.eventf("solution", "combined group {%s} satisfies the query", merged.key())
 			return plan, nil
 		}
 	}

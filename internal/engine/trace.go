@@ -3,21 +3,38 @@ package engine
 import (
 	"fmt"
 	"strings"
+
+	"scrubjay/internal/obs"
 )
 
 // Trace records the derivation engine's search decisions for one query —
 // which datasets were deemed relevant, which pairs were combinable at what
 // precision, and why the returned plan won. It is the engine's "explain"
-// output, surfaced by `scrubjay query -explain`.
+// output, surfaced as text by `scrubjay query -explain`, as JSON by
+// -explain-json, and as events on the plan-search span of a query trace.
 type Trace struct {
-	Events []string
+	Events []TraceEvent `json:"events"`
 }
 
-func (t *Trace) addf(format string, args ...any) {
+// TraceEvent is one structured search decision: Kind classifies the
+// decision (closure, df, combine, solution, extend, failure), Text is the
+// human-readable rendering String() emits.
+type TraceEvent struct {
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// eventf appends a kinded event. Nil traces discard (tracing disabled).
+func (t *Trace) eventf(kind, format string, args ...any) {
 	if t == nil {
 		return
 	}
-	t.Events = append(t.Events, fmt.Sprintf(format, args...))
+	t.Events = append(t.Events, TraceEvent{Kind: kind, Text: fmt.Sprintf(format, args...)})
+}
+
+// addf appends an unclassified note event. Nil traces discard.
+func (t *Trace) addf(format string, args ...any) {
+	t.eventf("note", format, args...)
 }
 
 // String renders the trace one event per line.
@@ -25,7 +42,24 @@ func (t *Trace) String() string {
 	if t == nil || len(t.Events) == 0 {
 		return ""
 	}
-	return strings.Join(t.Events, "\n") + "\n"
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString(e.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AttachTo mirrors the trace's events onto a span (the query trace's
+// plan-search span), preserving order and kinds. Nil traces and nil spans
+// are both no-ops.
+func (t *Trace) AttachTo(sp *obs.Span) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.Events {
+		sp.Event(e.Kind, e.Text, nil)
+	}
 }
 
 // className names a combination precision class for traces.

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -185,6 +186,16 @@ func parseDir(m *Module, dir string, opts LoadOptions) (*Package, error) {
 		}
 		isTest := strings.HasSuffix(name, "_test.go")
 		if isTest && !opts.IncludeTests {
+			continue
+		}
+		// Honour build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) for the current platform, as the go tool
+		// would — otherwise per-platform file pairs type-check together
+		// and collide on their shared declarations.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -7,10 +7,12 @@ import (
 )
 
 // TestLoadEdgeLayouts loads the edge-layout fixture module: a package
-// directory holding only _test.go files (no package proper to analyze) and
-// a vendored subdirectory containing non-Go garbage. The loader must skip
-// both — with and without -tests — and come back with just the ordinary
-// package.
+// directory holding only _test.go files (no package proper to analyze), a
+// vendored subdirectory containing non-Go garbage, and a per-platform
+// file pair in the ordinary package whose twin declarations collide
+// unless build constraints are honoured. The loader must skip all of
+// them — with and without -tests — and come back with just the ordinary
+// package and the one platform file that matches.
 func TestLoadEdgeLayouts(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("testdata", "edge"))
 	if err != nil {
@@ -27,6 +29,10 @@ func TestLoadEdgeLayouts(t *testing.T) {
 		}
 		if len(paths) != 1 || paths[0] != "sjvetedge/ok" {
 			t.Errorf("LoadModule(edge, %+v) loaded %v, want exactly [sjvetedge/ok]", opts, paths)
+			continue
+		}
+		if n := len(m.Pkgs[0].Files); n != 2 {
+			t.Errorf("LoadModule(edge, %+v) parsed %d files in ok, want 2 (ok.go + one platform file)", opts, n)
 		}
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package ok
+
+// platform names the build the file was selected for; see plat_unix.go.
+func platform() string { return "other" }

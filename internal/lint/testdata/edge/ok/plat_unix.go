@@ -1,0 +1,9 @@
+//go:build unix
+
+package ok
+
+// platform names the build the file was selected for. Its twin in
+// plat_other.go declares the same function behind the inverse constraint:
+// a loader that ignores //go:build lines type-checks both and fails on
+// the redeclaration.
+func platform() string { return "unix" }

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact is the serialized form of one trace: a JSON document whose byte
+// encoding is deterministic (struct field order is fixed; attr maps encode
+// with sorted keys per encoding/json), so a trace taken with an injected
+// deterministic clock serializes byte-identically across runs.
+//
+// Schema (validated by Check):
+//
+//	{
+//	  "trace_id": string (non-empty),
+//	  "root": SpanRecord
+//	}
+//
+//	SpanRecord = {
+//	  "id":              int ≥ 0, unique within the artifact,
+//	  "kind":            string (non-empty; "query", "plan-search",
+//	                     "execute", "step", "stage", "task", ...),
+//	  "name":            string,
+//	  "start_micros":    int ≥ 0,
+//	  "duration_micros": int ≥ 0,
+//	  "attrs":           object (optional; values int/bool/string),
+//	  "events":          [{kind, at_micros, text, attrs}] (optional),
+//	  "children":        [SpanRecord] (optional)
+//	}
+type Artifact struct {
+	TraceID string      `json:"trace_id"`
+	Root    *SpanRecord `json:"root"`
+}
+
+// SpanRecord is one serialized span.
+type SpanRecord struct {
+	ID             int            `json:"id"`
+	Kind           string         `json:"kind"`
+	Name           string         `json:"name"`
+	StartMicros    int64          `json:"start_micros"`
+	DurationMicros int64          `json:"duration_micros"`
+	Attrs          map[string]any `json:"attrs,omitempty"`
+	Events         []SpanEvent    `json:"events,omitempty"`
+	Children       []*SpanRecord  `json:"children,omitempty"`
+}
+
+// Artifact snapshots the trace into its serializable form. Safe to call on
+// a live trace (open spans report their extent so far); normally called
+// after the root span ended.
+func (t *Tracer) Artifact() *Artifact {
+	if t == nil {
+		return nil
+	}
+	return &Artifact{TraceID: t.ID(), Root: t.Root().record()}
+}
+
+// record snapshots a span subtree. Each span's lock is held only while its
+// own fields are copied, never across the recursion.
+func (s *Span) record() *SpanRecord {
+	if s == nil {
+		return nil
+	}
+	r := &SpanRecord{
+		ID:             s.id,
+		Kind:           s.kind,
+		Name:           s.name,
+		StartMicros:    s.start.Microseconds(),
+		DurationMicros: s.Duration().Microseconds(),
+	}
+	s.mu.Lock()
+	if len(s.attrs) > 0 {
+		r.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			r.Attrs[k] = v
+		}
+	}
+	if len(s.events) > 0 {
+		r.Events = make([]SpanEvent, len(s.events))
+		copy(r.Events, s.events)
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		r.Children = append(r.Children, c.record())
+	}
+	return r
+}
+
+// Encode renders the artifact as indented JSON with a trailing newline.
+// The output is deterministic for a deterministic trace.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeArtifact parses and validates a serialized trace.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace artifact: %w", err)
+	}
+	if err := a.Check(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Check validates the artifact against the documented schema: a trace id,
+// a root span, and in every span a non-empty kind, non-negative times, and
+// an artifact-unique id.
+func (a *Artifact) Check() error {
+	if a == nil {
+		return fmt.Errorf("obs: nil artifact")
+	}
+	if a.TraceID == "" {
+		return fmt.Errorf("obs: artifact has no trace_id")
+	}
+	if a.Root == nil {
+		return fmt.Errorf("obs: artifact has no root span")
+	}
+	seen := make(map[int]bool)
+	return a.Root.check(seen)
+}
+
+func (r *SpanRecord) check(seen map[int]bool) error {
+	if r == nil {
+		return fmt.Errorf("obs: null span record")
+	}
+	if r.Kind == "" {
+		return fmt.Errorf("obs: span %d has no kind", r.ID)
+	}
+	if r.ID < 0 {
+		return fmt.Errorf("obs: span has negative id %d", r.ID)
+	}
+	if seen[r.ID] {
+		return fmt.Errorf("obs: duplicate span id %d", r.ID)
+	}
+	seen[r.ID] = true
+	if r.StartMicros < 0 || r.DurationMicros < 0 {
+		return fmt.Errorf("obs: span %d has negative timing (start=%d dur=%d)",
+			r.ID, r.StartMicros, r.DurationMicros)
+	}
+	for _, c := range r.Children {
+		if err := c.check(seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanCount returns the number of spans in the artifact.
+func (a *Artifact) SpanCount() int {
+	if a == nil || a.Root == nil {
+		return 0
+	}
+	return a.Root.spanCount()
+}
+
+func (r *SpanRecord) spanCount() int {
+	n := 1
+	for _, c := range r.Children {
+		n += c.spanCount()
+	}
+	return n
+}
+
+// AttrInt reads an integer attribute off a decoded record. JSON decoding
+// yields float64 for numbers; both representations are accepted.
+func (r *SpanRecord) AttrInt(key string) int64 {
+	if r == nil {
+		return 0
+	}
+	switch v := r.Attrs[key].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	}
+	return 0
+}
+
+// AttrBool reads a boolean attribute off a decoded record.
+func (r *SpanRecord) AttrBool(key string) bool {
+	if r == nil {
+		return false
+	}
+	b, _ := r.Attrs[key].(bool)
+	return b
+}
+
+// Find returns the first span (depth-first, creation order) of the given
+// kind, or nil.
+func (r *SpanRecord) Find(kind string) *SpanRecord {
+	if r == nil {
+		return nil
+	}
+	if r.Kind == kind {
+		return r
+	}
+	for _, c := range r.Children {
+		if f := c.Find(kind); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span of the given kind in depth-first order.
+func (r *SpanRecord) FindAll(kind string) []*SpanRecord {
+	if r == nil {
+		return nil
+	}
+	var out []*SpanRecord
+	var walk func(n *SpanRecord)
+	walk = func(n *SpanRecord) {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(r)
+	return out
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline renders the artifact as a per-query execution timeline: one
+// line per span, indented by depth, with total time, self time (total
+// minus the children's totals), and the span's attributes (row counts,
+// shuffle volumes, cache hits). Deterministic for a deterministic trace.
+func (a *Artifact) Timeline() string {
+	var b strings.Builder
+	if a == nil || a.Root == nil {
+		return "(empty trace)\n"
+	}
+	fmt.Fprintf(&b, "trace %s: %d spans, total %s\n",
+		a.TraceID, a.SpanCount(), fmtMicros(a.Root.DurationMicros))
+	a.Root.timeline(&b, 0)
+	return b.String()
+}
+
+func (r *SpanRecord) timeline(b *strings.Builder, depth int) {
+	var childTotal int64
+	for _, c := range r.Children {
+		childTotal += c.DurationMicros
+	}
+	self := r.DurationMicros - childTotal
+	if self < 0 {
+		self = 0
+	}
+	label := r.Kind
+	if r.Name != "" && r.Name != r.Kind {
+		label += " " + r.Name
+	}
+	pad := 46 - 2*depth
+	if pad < len(label) {
+		pad = len(label)
+	}
+	fmt.Fprintf(b, "%s%-*s total=%-9s self=%-9s%s\n",
+		strings.Repeat("  ", depth), pad, label,
+		fmtMicros(r.DurationMicros), fmtMicros(self), attrSummary(r))
+	for _, c := range r.Children {
+		c.timeline(b, depth+1)
+	}
+}
+
+// attrSummary renders the span's attributes and event count as a sorted
+// " k=v ..." suffix.
+func attrSummary(r *SpanRecord) string {
+	if len(r.Attrs) == 0 && len(r.Events) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(r.Attrs))
+	for k := range r.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		switch v := r.Attrs[k].(type) {
+		case float64:
+			fmt.Fprintf(&b, " %s=%d", k, int64(v))
+		default:
+			fmt.Fprintf(&b, " %s=%v", k, v)
+		}
+	}
+	if n := len(r.Events); n > 0 {
+		fmt.Fprintf(&b, " events=%d", n)
+	}
+	return b.String()
+}
+
+// fmtMicros renders a microsecond count via time.Duration's canonical
+// formatting ("1.234ms", "2.5s", ...).
+func fmtMicros(us int64) string {
+	return (time.Duration(us) * time.Microsecond).String()
+}

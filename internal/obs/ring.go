@@ -1,0 +1,75 @@
+package obs
+
+import "sync"
+
+// TraceRing retains the last-N trace artifacts by id. The nil *TraceRing
+// is the disabled state: Put discards, Get misses — callers never branch.
+type TraceRing struct {
+	mu   sync.Mutex
+	cap  int
+	ids  []string // insertion order, oldest first
+	byID map[string]*Artifact
+}
+
+// NewTraceRing builds a ring retaining up to n traces; n <= 0 returns nil
+// (tracing storage disabled).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		return nil
+	}
+	return &TraceRing{cap: n, byID: make(map[string]*Artifact)}
+}
+
+// Put stores an artifact, evicting the oldest once the ring is full.
+// Storing an id twice replaces the artifact without consuming a slot.
+func (r *TraceRing) Put(a *Artifact) {
+	if r == nil || a == nil || a.TraceID == "" {
+		return
+	}
+	r.mu.Lock()
+	if _, exists := r.byID[a.TraceID]; !exists {
+		if len(r.ids) >= r.cap {
+			oldest := r.ids[0]
+			r.ids = r.ids[1:]
+			delete(r.byID, oldest)
+		}
+		r.ids = append(r.ids, a.TraceID)
+	}
+	r.byID[a.TraceID] = a
+	r.mu.Unlock()
+}
+
+// Get fetches an artifact by trace id.
+func (r *TraceRing) Get(id string) (*Artifact, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	a, ok := r.byID[id]
+	r.mu.Unlock()
+	return a, ok
+}
+
+// IDs lists retained trace ids, newest first.
+func (r *TraceRing) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]string, len(r.ids))
+	for i, id := range r.ids {
+		out[len(r.ids)-1-i] = id
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Len reports the number of retained traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ids)
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer owns one trace: a tree of spans sharing one injected monotonic
+// clock and one trace id. All methods are safe for concurrent use.
+type Tracer struct {
+	id    string
+	clock Clock
+
+	mu   sync.Mutex
+	next int
+	root *Span
+}
+
+// NewTracer builds a tracer. A nil clock selects WallClock.
+func NewTracer(id string, clock Clock) *Tracer {
+	if clock == nil {
+		clock = WallClock()
+	}
+	return &Tracer{id: id, clock: clock}
+}
+
+// ID returns the trace id.
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Clock returns the tracer's clock (nil for a nil tracer).
+func (t *Tracer) Clock() Clock {
+	if t == nil {
+		return nil
+	}
+	return t.clock
+}
+
+// Start begins the trace's root span. The first call wins the root slot;
+// later calls create detached spans (still serialized if reachable).
+func (t *Tracer) Start(kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, id: t.nextID(), kind: kind, name: name, start: t.clock()}
+	t.mu.Lock()
+	if t.root == nil {
+		t.root = sp
+	}
+	t.mu.Unlock()
+	return sp
+}
+
+// Root returns the root span (nil before Start).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+func (t *Tracer) nextID() int {
+	t.mu.Lock()
+	id := t.next
+	t.next++
+	t.mu.Unlock()
+	return id
+}
+
+// SpanEvent is a point annotation inside a span — the engine's structured
+// explain events attach here.
+type SpanEvent struct {
+	Kind     string         `json:"kind"`
+	AtMicros int64          `json:"at_micros"`
+	Text     string         `json:"text,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one node of a trace tree. The nil *Span is a first-class value:
+// every method no-ops on it (child constructors return nil), which is the
+// disabled-tracing fast path — no allocation, no lock, no clock read.
+type Span struct {
+	tracer *Tracer
+	id     int
+	kind   string
+	name   string
+	start  time.Duration
+
+	mu       sync.Mutex
+	ended    bool
+	end      time.Duration
+	attrs    map[string]any
+	events   []SpanEvent
+	children []*Span
+}
+
+// Child opens a sub-span starting now.
+func (s *Span) Child(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.ChildAt(kind, name, s.tracer.clock())
+}
+
+// ChildAt opens a sub-span with an explicit start offset (callers that
+// measured the start themselves, e.g. per-task timings recorded on worker
+// goroutines and attached after the stage completes).
+func (s *Span) ChildAt(kind, name string, start time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, id: s.tracer.nextID(), kind: kind, name: name, start: start}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span at the clock's current reading. Idempotent: the
+// first End wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tracer.clock())
+}
+
+// EndAt closes the span at an explicit offset.
+func (s *Span) EndAt(end time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = end
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) setAttr(key string, v any) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+// Event appends a point annotation timestamped now. attrs may be nil; the
+// span takes ownership of the map.
+func (s *Span) Event(kind, text string, attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	at := s.tracer.clock().Microseconds()
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{Kind: kind, AtMicros: at, Text: text, Attrs: attrs})
+	s.mu.Unlock()
+}
+
+// Clock exposes the tracer's clock so instrumented code can take its own
+// readings (per-task timing). Nil for a nil span.
+func (s *Span) Clock() Clock {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.clock
+}
+
+// ID returns the span's tracer-unique id.
+func (s *Span) ID() int {
+	if s == nil {
+		return -1
+	}
+	return s.id
+}
+
+// Kind returns the span kind ("" for nil).
+func (s *Span) Kind() string {
+	if s == nil {
+		return ""
+	}
+	return s.kind
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start offset.
+func (s *Span) Start() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// Duration returns end-start for an ended span; for an open span it
+// extends to the latest descendant end, so partially built trees still
+// report a sensible extent.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.effectiveEnd() - s.start
+}
+
+func (s *Span) effectiveEnd() time.Duration {
+	s.mu.Lock()
+	ended, end := s.ended, s.end
+	children := s.children
+	s.mu.Unlock()
+	if ended {
+		return end
+	}
+	max := s.start
+	for _, c := range children {
+		if e := c.effectiveEnd(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Children returns a snapshot of the span's children in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	s.mu.Unlock()
+	return out
+}
+
+// AttrInt reads an integer attribute (0 when absent or non-integer).
+func (s *Span) AttrInt(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	v := s.attrs[key]
+	s.mu.Unlock()
+	n, _ := v.(int64)
+	return n
+}
+
+// AttrBool reads a boolean attribute (false when absent).
+func (s *Span) AttrBool(key string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	v := s.attrs[key]
+	s.mu.Unlock()
+	b, _ := v.(bool)
+	return b
+}

@@ -18,6 +18,7 @@ import (
 	"scrubjay/internal/cache"
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/derive"
+	"scrubjay/internal/obs"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
 	"scrubjay/internal/wrappers"
@@ -261,6 +262,11 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 	}
 	if n.Kind != KindSource && opts.Cache != nil {
 		if ds, ok := opts.Cache.Get(rc, n.Hash()); ok {
+			if sp := rc.Span(); sp != nil {
+				step := sp.Child(obs.KindStep, n.Derivation)
+				step.SetBool(obs.AttrCacheHit, true)
+				step.End()
+			}
 			return ds, nil
 		}
 	}
@@ -289,7 +295,9 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 		if err != nil {
 			return nil, err
 		}
-		out, err = t.Apply(in, dict)
+		out, err = applyStep(rc, n.Derivation, func() (*dataset.Dataset, error) {
+			return t.Apply(in, dict)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +314,9 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 		if err != nil {
 			return nil, err
 		}
-		out, err = c.Apply(left, right, dict)
+		out, err = applyStep(rc, n.Derivation, func() (*dataset.Dataset, error) {
+			return c.Apply(left, right, dict)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -319,6 +329,25 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 		}
 	}
 	return out, nil
+}
+
+// applyStep runs one derivation under a step span: the rdd Context is
+// re-scoped to the step so the derivation's stages nest beneath it, and
+// restored afterwards (also on *rdd.Canceled panics, via defer). Untraced
+// contexts take the nil-span fast path — no span, no allocation.
+func applyStep(rc *rdd.Context, name string, apply func() (*dataset.Dataset, error)) (*dataset.Dataset, error) {
+	save := rc.Span()
+	step := save.Child(obs.KindStep, name)
+	rc.SetSpan(step)
+	defer func() {
+		rc.SetSpan(save)
+		step.End()
+	}()
+	out, err := apply()
+	if err != nil {
+		step.SetStr(obs.AttrError, err.Error())
+	}
+	return out, err
 }
 
 // DeriveSchema computes the schema a plan will produce, given the catalog's

@@ -54,7 +54,7 @@ func ExchangePartitions[T any](r *RDD[T], numOut int, stage string, split func(p
 	}
 	out := FromPartitions(r.ctx, dst)
 	out.name = stage + "|exchange"
-	r.ctx.recordStage(StageMetrics{Name: out.name, Shuffle: true, ShuffleRows: moved})
+	r.ctx.recordShuffle(out.name, moved)
 	return out
 }
 

@@ -29,6 +29,7 @@ func TestExchangePartitionsOrderAndMetrics(t *testing.T) {
 
 func TestExchangePartitionsWeight(t *testing.T) {
 	ctx := NewContext(1)
+	ctx.ResetMetrics()
 	r := FromPartitions(ctx, [][][]int{{{1, 2, 3}, {4}}})
 	ex := ExchangePartitions(r, 1, "w", func(_ int, in [][]int) [][][]int {
 		return [][][]int{in}

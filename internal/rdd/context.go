@@ -6,12 +6,17 @@
 // (groupByKey, coGroup, repartition) force a stage boundary that exchanges
 // rows between partitions.
 //
-// Execution happens on a worker pool inside one process. Every task
-// (one partition of one stage) is timed, and the recorded task log can be
-// replayed onto a simulated cluster (see Cluster and SimulateMakespan) to
-// study scaling behaviour on hardware that lacks the paper's 10-node,
-// 32-core data cluster. The computed results are always real; only the
-// placement of measured task costs onto parallel executors is simulated.
+// Execution happens on a worker pool inside one process. Stage and task
+// observability is opt-in: when the Context carries a trace scope (a
+// *obs.Span installed via SetSpan, or the private collector ResetMetrics
+// creates), every stage emits a span and every task a timed child span,
+// and the recorded task log can be replayed onto a simulated cluster (see
+// Cluster and SimulateMakespan) to study scaling behaviour on hardware
+// that lacks the paper's 10-node, 32-core data cluster. Without a scope,
+// tasks run with zero recording overhead — no clock reads, no allocation
+// (the nil-span fast path; see internal/obs). The computed results are
+// always real; only the placement of measured task costs onto parallel
+// executors is simulated.
 package rdd
 
 import (
@@ -19,10 +24,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"scrubjay/internal/obs"
 )
 
-// Context owns the worker pool and the task-metric log for a set of RDDs.
+// Context owns the worker pool and the trace scope for a set of RDDs.
 type Context struct {
 	workers int
 	// goCtx, when non-nil, bounds every action run through this Context:
@@ -30,13 +38,16 @@ type Context struct {
 	// in-flight action aborts with a *Canceled panic (see Guard).
 	goCtx context.Context
 
-	mu     sync.Mutex
-	stages []StageMetrics
-	nextID int
+	// scope is the current span stages record under (nil = untraced).
+	// mroot is the private collector root ResetMetrics installs, the tree
+	// SnapshotMetrics derives Metrics from.
+	scope atomic.Pointer[obs.Span]
+	mroot atomic.Pointer[obs.Span]
 }
 
 // NewContext returns a context executing with the given number of parallel
-// workers; workers <= 0 selects GOMAXPROCS.
+// workers; workers <= 0 selects GOMAXPROCS. A fresh Context is untraced:
+// stages record nothing until SetSpan or ResetMetrics installs a scope.
 func NewContext(workers int) *Context {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -49,13 +60,26 @@ func NewContext(workers int) *Context {
 // dispatching partitions as soon as ctx is cancelled or its deadline
 // expires, and abort with a *Canceled panic once in-flight tasks drain.
 // Recover the panic into an error with Guard (pipeline.Execute does this
-// for plan execution). The returned Context keeps its own metric log.
+// for plan execution). The current trace scope carries over; the metrics
+// collector does not (call ResetMetrics on the new Context to collect).
 func (c *Context) WithGoContext(ctx context.Context) *Context {
-	return &Context{workers: c.workers, goCtx: ctx}
+	nc := &Context{workers: c.workers, goCtx: ctx}
+	nc.scope.Store(c.scope.Load())
+	return nc
 }
 
 // Workers reports the configured real parallelism.
 func (c *Context) Workers() int { return c.workers }
+
+// Span returns the current trace scope (nil when untraced).
+func (c *Context) Span() *obs.Span { return c.scope.Load() }
+
+// SetSpan installs sp as the trace scope: subsequent stages record as
+// children of sp, tasks as timed children of their stage, all on sp's
+// clock. Pass nil to disable recording. The serving layer scopes each
+// request's execute span this way; pipeline.Execute re-scopes to the
+// active derivation step around each Apply.
+func (c *Context) SetSpan(sp *obs.Span) { c.scope.Store(sp) }
 
 // Err reports the bound Go context's error: nil while execution may
 // proceed, non-nil once the Context is cancelled or past its deadline.
@@ -152,40 +176,103 @@ func (m Metrics) TotalShuffleRows() int64 {
 	return n
 }
 
-// ResetMetrics clears the recorded stage log (used between benchmark runs).
+// ResetMetrics installs a fresh metrics collector: a private wall-clock
+// trace whose stage/task spans SnapshotMetrics later converts to Metrics.
+// The span tree is the single source of truth for task bookkeeping — there
+// is no parallel stage log. Collection is opt-in: a Context that never
+// called ResetMetrics (or SetSpan) records nothing and pays no timing
+// cost. Call between benchmark runs to discard earlier stages.
 func (c *Context) ResetMetrics() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stages = nil
+	tr := obs.NewTracer("rdd-metrics", nil)
+	root := tr.Start(obs.KindExec, "rdd-metrics")
+	c.mroot.Store(root)
+	c.scope.Store(root)
 }
 
-// SnapshotMetrics copies the recorded stage log.
+// SnapshotMetrics derives the stage log recorded since ResetMetrics from
+// the collector's span tree. Empty when ResetMetrics was never called.
 func (c *Context) SnapshotMetrics() Metrics {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]StageMetrics, len(c.stages))
-	copy(out, c.stages)
-	return Metrics{Stages: out}
+	return MetricsFromSpan(c.mroot.Load())
 }
 
-func (c *Context) recordStage(s StageMetrics) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s.ID = c.nextID
-	c.nextID++
-	c.stages = append(c.stages, s)
+// MetricsFromSpan derives stage/task Metrics from a recorded span tree —
+// the bridge from execution traces to the simulated-cluster scheduler
+// (SimulateMakespan). Stage spans become StageMetrics in depth-first
+// creation order; their task children become TaskMetrics.
+func MetricsFromSpan(sp *obs.Span) Metrics {
+	var m Metrics
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		children := s.Children()
+		if s.Kind() == obs.KindStage {
+			st := StageMetrics{
+				ID:          len(m.Stages),
+				Name:        s.Name(),
+				Shuffle:     s.AttrBool(obs.AttrShuffle),
+				ShuffleRows: s.AttrInt(obs.AttrShuffleRows),
+			}
+			for _, ch := range children {
+				if ch.Kind() == obs.KindTask {
+					st.Tasks = append(st.Tasks, TaskMetrics{
+						Partition: int(ch.AttrInt(obs.AttrPartition)),
+						Duration:  ch.Duration(),
+						RowsOut:   ch.AttrInt(obs.AttrRowsOut),
+					})
+				}
+			}
+			m.Stages = append(m.Stages, st)
+		}
+		for _, ch := range children {
+			walk(ch)
+		}
+	}
+	if sp != nil {
+		walk(sp)
+	}
+	return m
 }
 
-// runTasks executes task(0..n-1) on the worker pool and returns the
-// duration of each task. Panics inside tasks propagate to the caller. When
-// the Context is bound to a Go context (WithGoContext) and that context
-// ends, dispatch stops, in-flight tasks drain, and runTasks panics with
-// *Canceled — workers therefore check for cancellation between partitions,
-// never mid-partition.
-func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
-	metrics := make([]TaskMetrics, n)
+// recordShuffle emits a completed shuffle-boundary stage span (no task
+// children) under the current scope — the stage-boundary record whose
+// ShuffleRows feed SimulateMakespan's transfer model. No-op when untraced.
+func (c *Context) recordShuffle(name string, rows int64) {
+	sp := c.Span()
+	if sp == nil {
+		return
+	}
+	st := sp.Child(obs.KindStage, name)
+	st.SetBool(obs.AttrShuffle, true)
+	st.SetInt(obs.AttrShuffleRows, rows)
+	st.End()
+}
+
+// taskTiming is one task's start/end offsets on the trace clock.
+type taskTiming struct {
+	start, end time.Duration
+}
+
+// runTasks executes task(0..n-1) on the worker pool with no per-task
+// bookkeeping — the untraced hot path. Panics inside tasks propagate to
+// the caller. When the Context is bound to a Go context (WithGoContext)
+// and that context ends, dispatch stops, in-flight tasks drain, and
+// runTasks panics with *Canceled — workers therefore check for
+// cancellation between partitions, never mid-partition.
+func (c *Context) runTasks(n int, task func(i int)) {
+	c.runTimed(n, nil, task)
+}
+
+// runTimed is runTasks plus per-task timing on clock (when non-nil): each
+// task's start/end offsets are captured on the worker goroutine and
+// returned indexed by partition, so callers attach task spans in
+// deterministic partition order after the stage completes. clock must be
+// safe for concurrent readers (obs.WallClock and obs.FrozenClock are).
+func (c *Context) runTimed(n int, clock obs.Clock, task func(i int)) []taskTiming {
+	var times []taskTiming
+	if clock != nil {
+		times = make([]taskTiming, n)
+	}
 	if n == 0 {
-		return metrics
+		return times
 	}
 	if err := c.Err(); err != nil {
 		panic(&Canceled{Cause: err})
@@ -211,9 +298,13 @@ func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
 				if bound && c.Err() != nil {
 					continue // drain the queue without computing
 				}
-				start := time.Now()
+				if clock == nil {
+					task(i)
+					continue
+				}
+				start := clock()
 				task(i)
-				metrics[i] = TaskMetrics{Partition: i, Duration: time.Since(start)}
+				times[i] = taskTiming{start: start, end: clock()}
 			}
 		}()
 	}
@@ -244,5 +335,5 @@ func (c *Context) runTasks(n int, task func(i int)) []TaskMetrics {
 	if err := c.Err(); err != nil {
 		panic(&Canceled{Cause: err})
 	}
-	return metrics
+	return times
 }

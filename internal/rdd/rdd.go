@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+
+	"scrubjay/internal/obs"
 )
 
 // RDD is a lazily evaluated, partitioned, immutable collection of T.
@@ -124,7 +125,9 @@ func (r *RDD[T]) partition(part int) []T {
 }
 
 // materialize runs a stage that computes every partition of r on the worker
-// pool, records metrics, and returns the partitions.
+// pool and returns the partitions. Under a trace scope it emits a stage
+// span with one timed task span per partition; untraced it records nothing
+// and pays no timing cost (the nil-span fast path).
 func (r *RDD[T]) materialize(stageName string, shuffle bool, shuffleRows int64) [][]T {
 	r.cacheMu.Lock()
 	if r.cached != nil {
@@ -135,20 +138,30 @@ func (r *RDD[T]) materialize(stageName string, shuffle bool, shuffleRows int64) 
 	r.cacheMu.Unlock()
 
 	parts := make([][]T, r.numParts)
-	var rows int64
-	tasks := r.ctx.runTasks(r.numParts, func(i int) {
-		parts[i] = r.partition(i)
-		atomic.AddInt64(&rows, int64(len(parts[i])))
-	})
-	for i := range tasks {
-		tasks[i].RowsOut = int64(len(parts[i]))
+	compute := func(i int) { parts[i] = r.partition(i) }
+	if sp := r.ctx.Span(); sp != nil {
+		stage := sp.Child(obs.KindStage, stageName)
+		stage.SetInt(obs.AttrPartitions, int64(r.numParts))
+		if shuffle {
+			stage.SetBool(obs.AttrShuffle, true)
+			stage.SetInt(obs.AttrShuffleRows, shuffleRows)
+		}
+		times := r.ctx.runTimed(r.numParts, stage.Clock(), compute)
+		// Task spans attach post-run in partition order so the trace is
+		// deterministic regardless of worker scheduling.
+		var rows int64
+		for i, tm := range times {
+			task := stage.ChildAt(obs.KindTask, "", tm.start)
+			task.SetInt(obs.AttrPartition, int64(i))
+			task.SetInt(obs.AttrRowsOut, int64(len(parts[i])))
+			task.EndAt(tm.end)
+			rows += int64(len(parts[i]))
+		}
+		stage.SetInt(obs.AttrRowsOut, rows)
+		stage.End()
+	} else {
+		r.ctx.runTasks(r.numParts, compute)
 	}
-	r.ctx.recordStage(StageMetrics{
-		Name:        stageName,
-		Shuffle:     shuffle,
-		ShuffleRows: shuffleRows,
-		Tasks:       tasks,
-	})
 
 	r.cacheMu.Lock()
 	if r.caching && r.cached == nil {
@@ -330,6 +343,6 @@ func SortBy[T any](r *RDD[T], less func(a, b T) bool) *RDD[T] {
 	sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
 	out := Parallelize(r.ctx, all, r.numParts)
 	out.name = r.name + "|sortBy"
-	r.ctx.recordStage(StageMetrics{Name: out.name, Shuffle: true, ShuffleRows: n})
+	r.ctx.recordShuffle(out.name, n)
 	return out
 }

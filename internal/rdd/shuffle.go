@@ -89,7 +89,7 @@ func GroupByKey[T any](r *RDD[T], key func(T) string) *RDD[Group[T]] {
 			return groups
 		},
 	}
-	ctx.recordStage(StageMetrics{Name: out.name + "|exchange", Shuffle: true, ShuffleRows: moved})
+	ctx.recordShuffle(out.name+"|exchange", moved)
 	return out
 }
 
@@ -166,7 +166,7 @@ func CoGroup[A, B any](a *RDD[A], b *RDD[B], keyA func(A) string, keyB func(B) s
 			return groups
 		},
 	}
-	ctx.recordStage(StageMetrics{Name: out.name + "|exchange", Shuffle: true, ShuffleRows: movedA + movedB})
+	ctx.recordShuffle(out.name+"|exchange", movedA+movedB)
 	return out
 }
 
@@ -228,7 +228,7 @@ func Repartition[T any](r *RDD[T], numParts int) *RDD[T] {
 	}
 	out := Parallelize(r.ctx, all, numParts)
 	out.name = r.name + "|repartition"
-	r.ctx.recordStage(StageMetrics{Name: out.name, Shuffle: true, ShuffleRows: int64(len(all))})
+	r.ctx.recordShuffle(out.name, int64(len(all)))
 	return out
 }
 

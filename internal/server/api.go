@@ -10,6 +10,8 @@
 //	POST /v1/execute           run a stored plan against the live catalog
 //	GET  /v1/catalog           list registered datasets
 //	POST /v1/catalog/datasets  register/replace a dataset (hot reload)
+//	GET  /v1/trace             retained trace ids, newest first
+//	GET  /v1/trace/{id}        the JSON trace artifact for a recent query
 //	GET  /healthz              liveness (503 while draining)
 //	GET  /metrics              text key=value counters and latency quantiles
 //
@@ -77,6 +79,9 @@ type StreamHeader struct {
 	CatalogVersion int64            `json:"catalog_version"`
 	Steps          []string         `json:"steps"`
 	Schema         semantics.Schema `json:"schema"`
+	// TraceID names the query's trace artifact (GET /v1/trace/{id}); empty
+	// when the server runs with tracing disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // StreamTrailer is the last JSON line of a row stream. A stream without a
@@ -122,6 +127,11 @@ type DatasetInfo struct {
 type CatalogResponse struct {
 	Version  int64         `json:"version"`
 	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// TraceListResponse answers GET /v1/trace.
+type TraceListResponse struct {
+	TraceIDs []string `json:"trace_ids"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON answer.

@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
+	"scrubjay/internal/obs"
 	"scrubjay/internal/value"
 )
 
@@ -123,6 +125,44 @@ func (c *Client) Execute(req ExecuteRequest) (StreamHeader, []value.Row, StreamT
 		return StreamHeader{}, nil, StreamTrailer{}, err
 	}
 	return readRowStream(resp)
+}
+
+// Trace fetches the artifact for a recent query (GET /v1/trace/{id}).
+func (c *Client) Trace(id string) (*obs.Artifact, error) {
+	resp, err := c.httpClient().Get(c.url("/v1/trace/" + id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+			return nil, fmt.Errorf("server: %d (unreadable error body: %v)", resp.StatusCode, err)
+		}
+		return nil, &HTTPError{Status: resp.StatusCode, Message: msg.Error}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeArtifact(data)
+}
+
+// Traces lists retained trace ids, newest first (GET /v1/trace).
+func (c *Client) Traces() ([]string, error) {
+	resp, err := c.httpClient().Get(c.url("/v1/trace"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %d", resp.StatusCode)
+	}
+	var out TraceListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.TraceIDs, nil
 }
 
 // Register installs a dataset (POST /v1/catalog/datasets).

@@ -1,110 +1,57 @@
 package server
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
-)
+import "scrubjay/internal/obs"
 
-// metrics aggregates the daemon's counters plus a latency histogram.
-// Counters are atomics; the histogram takes a short lock around integer
-// bucket math only.
+// metrics holds the daemon's instruments, registered in a process-wide
+// obs.Registry: counters for request outcomes, a latency histogram, and
+// render-time gauge functions for values other components own (plan-cache
+// stats, admitter depths, catalog version). GET /metrics renders the
+// registry as sorted key=value lines.
 type metrics struct {
-	queries  atomic.Int64 // /v1/query + /v1/plan + /v1/execute accepted for processing
-	executed atomic.Int64 // requests that ran a pipeline to completion
-	rejected atomic.Int64 // 429 + 503 answers (overload, draining)
-	failed   atomic.Int64 // searches/executions that errored
-	canceled atomic.Int64 // deadline/cancellation aborts
-	rowsOut  atomic.Int64 // rows streamed to clients
-	reloads  atomic.Int64 // catalog registrations
-	lat      latencyHist
+	reg      *obs.Registry
+	queries  *obs.Counter // /v1/query + /v1/plan + /v1/execute accepted for processing
+	executed *obs.Counter // requests that ran a pipeline to completion
+	rejected *obs.Counter // 429 + 503 answers (overload, draining)
+	failed   *obs.Counter // searches/executions that errored
+	canceled *obs.Counter // deadline/cancellation aborts
+	rowsOut  *obs.Counter // rows streamed to clients
+	reloads  *obs.Counter // catalog registrations
+	lat      *obs.Histogram
 }
 
-// latencyHist is a power-of-two-bucketed latency histogram: observation d
-// lands in bucket bits(len(d in µs)), so quantiles resolve to within a
-// factor of two — plenty for a load-shedding signal, with no allocation
-// and O(1) observe.
-type latencyHist struct {
-	mu      sync.Mutex
-	count   int64
-	buckets [40]int64
+func newMetrics() metrics {
+	reg := obs.NewRegistry()
+	return metrics{
+		reg:      reg,
+		queries:  reg.Counter("queries_total"),
+		executed: reg.Counter("executed_total"),
+		rejected: reg.Counter("rejected_total"),
+		failed:   reg.Counter("failed_total"),
+		canceled: reg.Counter("canceled_total"),
+		rowsOut:  reg.Counter("rows_streamed_total"),
+		reloads:  reg.Counter("catalog_reloads_total"),
+		lat:      reg.Histogram("latency", "micros"),
+	}
 }
 
-func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	b := 0
-	for us > 0 {
-		us >>= 1
-		b++
-	}
-	if b >= len(h.buckets) {
-		b = len(h.buckets) - 1
-	}
-	h.mu.Lock()
-	h.count++
-	h.buckets[b]++
-	h.mu.Unlock()
-}
-
-// quantile returns an upper bound (in microseconds) for the q-quantile,
-// q in (0,1]. Zero observations yield zero.
-func (h *latencyHist) quantile(q float64) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	rank := int64(q*float64(h.count) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for b, n := range h.buckets {
-		seen += n
-		if seen >= rank {
-			return int64(1) << b
+// registerGauges wires the render-time gauges that read live server state.
+// Called once from New, after the components the closures capture exist.
+func (s *Server) registerGauges() {
+	reg := s.met.reg
+	reg.GaugeFunc("plan_cache_hits", func() int64 { h, _, _ := s.plans.stats(); return h })
+	reg.GaugeFunc("plan_cache_misses", func() int64 { _, m, _ := s.plans.stats(); return m })
+	reg.GaugeFunc("plan_cache_size", func() int64 { _, _, n := s.plans.stats(); return int64(n) })
+	reg.GaugeFunc("executor_in_flight", func() int64 { return int64(s.adm.inFlight()) })
+	reg.GaugeFunc("executor_queue_depth", func() int64 { return s.adm.queueDepth() })
+	reg.GaugeFunc("catalog_version", func() int64 { return s.store.Version() })
+	reg.GaugeFunc("catalog_datasets", func() int64 { return int64(s.store.Len()) })
+	reg.GaugeFunc("draining", func() int64 {
+		if s.draining.Load() {
+			return 1
 		}
-	}
-	return int64(1) << (len(h.buckets) - 1)
+		return 0
+	})
 }
 
-// render produces the GET /metrics body: sorted key=value lines.
-func (s *Server) renderMetrics() string {
-	planHits, planMisses, planSize := s.plans.stats()
-	kv := map[string]int64{
-		"queries_total":         s.met.queries.Load(),
-		"executed_total":        s.met.executed.Load(),
-		"rejected_total":        s.met.rejected.Load(),
-		"failed_total":          s.met.failed.Load(),
-		"canceled_total":        s.met.canceled.Load(),
-		"rows_streamed_total":   s.met.rowsOut.Load(),
-		"catalog_reloads_total": s.met.reloads.Load(),
-		"plan_cache_hits":       planHits,
-		"plan_cache_misses":     planMisses,
-		"plan_cache_size":       int64(planSize),
-		"executor_in_flight":    int64(s.adm.inFlight()),
-		"executor_queue_depth":  s.adm.queueDepth(),
-		"latency_p50_micros":    s.met.lat.quantile(0.50),
-		"latency_p99_micros":    s.met.lat.quantile(0.99),
-		"catalog_version":       s.store.Version(),
-		"catalog_datasets":      int64(s.store.Len()),
-	}
-	if s.draining.Load() {
-		kv["draining"] = 1
-	} else {
-		kv["draining"] = 0
-	}
-	keys := make([]string, 0, len(kv))
-	for k := range kv {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%s=%d\n", k, kv[k])
-	}
-	return b.String()
-}
+// renderMetrics produces the GET /metrics body.
+func (s *Server) renderMetrics() string { return s.met.reg.Render() }

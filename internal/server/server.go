@@ -13,6 +13,7 @@ import (
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/engine"
 	"scrubjay/internal/frame"
+	"scrubjay/internal/obs"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
@@ -50,6 +51,10 @@ type Config struct {
 	// value — columnar on — is the default; row mode exists as an escape
 	// hatch and for differential testing against the reference path.
 	RowMode bool
+	// TraceRing is how many recent query traces GET /v1/trace/{id} retains
+	// (default 64; negative disables tracing entirely, leaving queries on
+	// the nil-span fast path).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +78,11 @@ func (c Config) withDefaults() Config {
 	if c.WindowSeconds <= 0 {
 		c.WindowSeconds = 120
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	} else if c.TraceRing < 0 {
+		c.TraceRing = 0
+	}
 	if c.Dict == nil {
 		c.Dict = semantics.DefaultDictionary()
 	}
@@ -88,18 +98,24 @@ type Server struct {
 	plans    *planCache
 	adm      *admitter
 	met      metrics
+	traces   *obs.TraceRing
+	traceSeq atomic.Int64
 	draining atomic.Bool
 }
 
 // New builds a Server over a loaded catalog store.
 func New(store *Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		store: store,
-		plans: newPlanCache(cfg.PlanCacheSize),
-		adm:   newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+	s := &Server{
+		cfg:    cfg,
+		store:  store,
+		plans:  newPlanCache(cfg.PlanCacheSize),
+		adm:    newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+		met:    newMetrics(),
+		traces: obs.NewTraceRing(cfg.TraceRing),
 	}
+	s.registerGauges()
+	return s
 }
 
 // Store exposes the catalog store (for registration outside HTTP).
@@ -134,6 +150,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/execute", s.serveExecute)
 	mux.HandleFunc("GET /v1/catalog", s.serveCatalog)
 	mux.HandleFunc("POST /v1/catalog/datasets", s.serveRegister)
+	mux.HandleFunc("GET /v1/trace", s.serveTraceList)
+	mux.HandleFunc("GET /v1/trace/{id}", s.serveTrace)
 	mux.HandleFunc("GET /healthz", s.serveHealth)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -208,8 +226,10 @@ func (s *Server) timeout(millis int64) time.Duration {
 // errors are returned but never cached; genuine search failures are cached
 // negatively so a hopeless query answers instantly on retry. counted says
 // the caller already did a counted cache lookup for this request, so the
-// internal re-check must not inflate the hit/miss stats.
-func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query, counted bool) (planCacheEntry, int64, bool, error) {
+// internal re-check must not inflate the hit/miss stats. search, when
+// non-nil, is the request's plan-search span: a fresh search runs traced
+// and mirrors the engine's decisions onto it as events.
+func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query, counted bool, search *obs.Span) (planCacheEntry, int64, bool, error) {
 	schemas, version := s.store.Schemas()
 	key := planKey(version, window, q)
 	lookup := s.plans.get
@@ -217,13 +237,23 @@ func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query
 		lookup = s.plans.getQuiet
 	}
 	if e, ok := lookup(key); ok {
+		search.SetBool(obs.AttrCacheHit, true)
 		return e, version, true, e.err
 	}
 	opts := engine.DefaultOptions()
 	opts.WindowSeconds = window
 	eng := engine.New(s.cfg.Dict, schemas, opts)
 	t0 := time.Now()
-	plan, err := eng.Solve(ctx, q)
+	var plan *pipeline.Plan
+	var err error
+	if search != nil {
+		var etr *engine.Trace
+		plan, etr, err = eng.SolveTraced(ctx, q)
+		etr.AttachTo(search)
+		search.SetBool(obs.AttrCacheHit, false)
+	} else {
+		plan, err = eng.Solve(ctx, q)
+	}
 	e := planCacheEntry{key: key, plan: plan, err: err, searchMicros: time.Since(t0).Microseconds()}
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return e, version, false, err
@@ -285,7 +315,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, planOnly boo
 			}
 			var err error
 			var version int64
-			e, version, hit, err = s.resolvePlan(ctx, window, req.Query, true)
+			e, version, hit, err = s.resolvePlan(ctx, window, req.Query, true, nil)
 			s.adm.release()
 			if err != nil {
 				writeError(w, s.errStatus(err), "plan search: %v", err)
@@ -303,18 +333,30 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, planOnly boo
 	}
 
 	// Execution path: one slot covers search (on a cache miss) and the
-	// pipeline run, so a request never waits in line twice.
+	// pipeline run, so a request never waits in line twice. The trace id is
+	// set as a response header up front so even rejections and failures
+	// point at their artifact.
+	tr := s.newTracer()
+	qspan := tr.Start(obs.KindQuery, "query")
+	if id := tr.ID(); id != "" {
+		w.Header().Set(TraceHeader, id)
+	}
 	if err := s.adm.acquire(ctx); err != nil {
+		s.finishTrace(tr, qspan, err.Error())
 		s.rejectAdmission(w, err)
 		return
 	}
 	defer s.adm.release()
-	e, _, hit, err := s.resolvePlan(ctx, window, req.Query, false)
+	search := qspan.Child(obs.KindSearch, "plan-search")
+	e, _, hit, err := s.resolvePlan(ctx, window, req.Query, false, search)
+	search.End()
 	if err != nil {
+		s.finishTrace(tr, qspan, err.Error())
 		writeError(w, s.errStatus(err), "plan search: %v", err)
 		return
 	}
-	s.execStream(ctx, w, e.plan, hit, e.searchMicros, req.Limit, start)
+	qspan.SetStr(obs.AttrPlanHash, e.plan.Hash())
+	s.execStream(ctx, w, e.plan, hit, e.searchMicros, req.Limit, start, tr, qspan)
 }
 
 func (s *Server) respondPlan(w http.ResponseWriter, e planCacheEntry, version int64, hit bool, start time.Time) {
@@ -323,7 +365,7 @@ func (s *Server) respondPlan(w http.ResponseWriter, e planCacheEntry, version in
 		writeError(w, http.StatusInternalServerError, "encoding plan: %v", err)
 		return
 	}
-	s.met.lat.observe(time.Since(start))
+	s.met.lat.ObserveDuration(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -348,24 +390,37 @@ func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	s.met.queries.Add(1)
+	tr := s.newTracer()
+	qspan := tr.Start(obs.KindQuery, "execute")
+	if id := tr.ID(); id != "" {
+		w.Header().Set(TraceHeader, id)
+	}
 	if err := s.adm.acquire(ctx); err != nil {
+		s.finishTrace(tr, qspan, err.Error())
 		s.rejectAdmission(w, err)
 		return
 	}
 	defer s.adm.release()
-	s.execStream(ctx, w, plan, false, 0, req.Limit, start)
+	qspan.SetStr(obs.AttrPlanHash, plan.Hash())
+	s.execStream(ctx, w, plan, false, 0, req.Limit, start, tr, qspan)
 }
 
 // execStream runs a plan on a request-bound rdd context and streams the
 // result as JSON lines: one header, one line per row, one trailer. Rows
 // are fully collected before the header is written, so an error always
 // arrives as a proper JSON status — a stream, once started, only ends
-// early if the connection itself dies.
-func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pipeline.Plan, hit bool, searchMicros int64, limit int, start time.Time) {
+// early if the connection itself dies. The rdd context is scoped to the
+// trace's execute span, so every derivation step, stage, and task lands in
+// the query's artifact.
+func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pipeline.Plan, hit bool, searchMicros int64, limit int, start time.Time, tr *obs.Tracer, qspan *obs.Span) {
+	exec := qspan.Child(obs.KindExec, "execute")
 	rc := rdd.NewContext(s.cfg.Workers).WithGoContext(ctx)
+	rc.SetSpan(exec)
 	cat, _, version := s.store.Snapshot(rc, !s.cfg.RowMode)
 	result, err := pipeline.Execute(ctx, rc, plan, cat, s.cfg.Dict, pipeline.ExecOptions{Cache: s.cfg.Cache})
 	if err != nil {
+		exec.End()
+		s.finishTrace(tr, qspan, err.Error())
 		writeError(w, s.errStatus(err), "execute: %v", err)
 		return
 	}
@@ -378,6 +433,8 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		rows, err = rdd.Guard(func() []value.Row { return result.Collect() })
 	}
 	if err != nil {
+		exec.End()
+		s.finishTrace(tr, qspan, err.Error())
 		writeError(w, s.errStatus(err), "execute: %v", err)
 		return
 	}
@@ -391,6 +448,8 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		emitted = limit
 		truncated = true
 	}
+	exec.SetInt(obs.AttrRowsOut, int64(emitted))
+	exec.End()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -402,6 +461,7 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		CatalogVersion: version,
 		Steps:          plan.Steps(),
 		Schema:         result.Schema(),
+		TraceID:        tr.ID(),
 	}})
 	if columnar {
 		streamFrameRows(w, frames, emitted)
@@ -418,9 +478,10 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 	if f, ok := w.(http.Flusher); ok {
 		f.Flush()
 	}
+	s.finishTrace(tr, qspan, "")
 	s.met.executed.Add(1)
 	s.met.rowsOut.Add(int64(emitted))
-	s.met.lat.observe(time.Since(start))
+	s.met.lat.ObserveDuration(time.Since(start))
 }
 
 // streamFrameRows writes up to limit NDJSON row lines straight out of the

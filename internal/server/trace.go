@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"scrubjay/internal/obs"
+)
+
+// TraceHeader is the response header carrying the query's trace id on
+// /v1/query and /v1/execute answers (success and error alike). Fetch the
+// artifact at GET /v1/trace/{id} while it remains in the ring.
+const TraceHeader = "X-Scrubjay-Trace"
+
+// newTracer mints a tracer for one request, or nil when trace retention is
+// disabled — the nil tracer's spans are all nil, so a disabled server pays
+// only the nil checks (the obs nil-span fast path).
+func (s *Server) newTracer() *obs.Tracer {
+	if s.traces == nil {
+		return nil
+	}
+	return obs.NewTracer(fmt.Sprintf("t%08x", s.traceSeq.Add(1)), nil)
+}
+
+// finishTrace closes the query span and retains the artifact. errText, when
+// non-empty, is recorded on the span — failed queries keep their traces,
+// which is exactly when an operator wants one.
+func (s *Server) finishTrace(tr *obs.Tracer, qspan *obs.Span, errText string) {
+	if tr == nil {
+		return
+	}
+	if errText != "" {
+		qspan.SetStr(obs.AttrError, errText)
+	}
+	qspan.End()
+	s.traces.Put(tr.Artifact())
+}
+
+// serveTrace handles GET /v1/trace/{id}: the serialized trace artifact for
+// a recent query.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	a, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no trace %q (the ring retains the last %d; tracing may be disabled)", id, s.traces.Len())
+		return
+	}
+	data, err := a.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// serveTraceList handles GET /v1/trace: retained trace ids, newest first.
+func (s *Server) serveTraceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, TraceListResponse{TraceIDs: s.traces.IDs()})
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
+)
+
+// hopelessQuery asks for a value dimension no dataset carries, so the
+// engine search fails deterministically.
+func hopelessQuery() engine.Query {
+	return engine.Query{
+		Domains: []string{"rack"},
+		Values:  []engine.QueryValue{{Dimension: "power"}},
+	}
+}
+
+// TestQueryTraceEndToEnd runs a served query and fetches its artifact from
+// GET /v1/trace/{id}: the header's trace id must resolve, the artifact must
+// validate and carry the full query → plan-search → execute → step → stage
+// → task tree, the step names must match the plan's non-source steps, and
+// the artifact must render.
+func TestQueryTraceEndToEnd(t *testing.T) {
+	srv := New(testStore(t), Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: testQuery()})
+	traceID := resp.Header.Get(TraceHeader)
+	if traceID == "" {
+		t.Fatal("query response missing " + TraceHeader + " header")
+	}
+	header, rows, _ := readStream(t, resp)
+	if header.TraceID != traceID {
+		t.Fatalf("stream header trace id %q != header %q", header.TraceID, traceID)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+
+	cl := &Client{BaseURL: ts.URL}
+	art, err := cl.Trace(traceID)
+	if err != nil {
+		t.Fatalf("fetching trace: %v", err)
+	}
+	if err := art.Check(); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if art.TraceID != traceID {
+		t.Errorf("artifact id = %q, want %q", art.TraceID, traceID)
+	}
+	root := art.Root
+	if root.Kind != obs.KindQuery {
+		t.Fatalf("root kind = %q", root.Kind)
+	}
+	if ph, ok := root.Attrs[obs.AttrPlanHash]; !ok || ph != header.PlanHash {
+		t.Errorf("root plan_hash = %v, want %q", ph, header.PlanHash)
+	}
+	search := root.Find(obs.KindSearch)
+	if search == nil {
+		t.Fatal("no plan-search span")
+	}
+	if len(search.Events) == 0 {
+		t.Error("fresh search recorded no engine events")
+	}
+	exec := root.Find(obs.KindExec)
+	if exec == nil {
+		t.Fatal("no execute span")
+	}
+	if exec.AttrInt(obs.AttrRowsOut) != 3 {
+		t.Errorf("execute rows_out = %d, want 3", exec.AttrInt(obs.AttrRowsOut))
+	}
+
+	// Step spans must match the plan's non-source steps, in order.
+	var wantSteps []string
+	for _, s := range header.Steps {
+		if len(s) < 7 || s[:7] != "source:" {
+			wantSteps = append(wantSteps, s)
+		}
+	}
+	steps := exec.FindAll(obs.KindStep)
+	if len(steps) != len(wantSteps) {
+		t.Fatalf("step spans = %d, want %d (%v)", len(steps), len(wantSteps), wantSteps)
+	}
+	for i, st := range steps {
+		if st.Name != wantSteps[i] {
+			t.Errorf("step %d = %q, want %q", i, st.Name, wantSteps[i])
+		}
+	}
+
+	// Stages carry task children with partition indices and row counts.
+	stages := root.FindAll(obs.KindStage)
+	if len(stages) == 0 {
+		t.Fatal("no stage spans")
+	}
+	var tasks int
+	for _, st := range stages {
+		for _, ch := range st.Children {
+			if ch.Kind == obs.KindTask {
+				tasks++
+			}
+		}
+	}
+	if tasks == 0 {
+		t.Fatal("no task spans under any stage")
+	}
+
+	if out := art.Timeline(); len(out) == 0 {
+		t.Error("artifact did not render")
+	}
+
+	// The id is listed, newest first.
+	ids, err := cl.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || ids[0] != traceID {
+		t.Errorf("trace list = %v, want %q first", ids, traceID)
+	}
+}
+
+// TestTraceDisabled pins the off switch: TraceRing < 0 serves queries with
+// no trace header and 404s the trace endpoints.
+func TestTraceDisabled(t *testing.T) {
+	srv := New(testStore(t), Config{Workers: 2, TraceRing: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: testQuery()})
+	if id := resp.Header.Get(TraceHeader); id != "" {
+		t.Errorf("disabled tracing still set trace id %q", id)
+	}
+	header, rows, _ := readStream(t, resp)
+	if header.TraceID != "" || len(rows) != 3 {
+		t.Errorf("header trace id = %q, rows = %d", header.TraceID, len(rows))
+	}
+	r2, err := http.Get(ts.URL + "/v1/trace/t00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("trace fetch status = %d, want 404", r2.StatusCode)
+	}
+}
+
+// TestTraceOnFailedQuery pins that failures keep their traces: the error
+// answer carries a trace id whose artifact records the failure.
+func TestTraceOnFailedQuery(t *testing.T) {
+	srv := New(testStore(t), Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: hopelessQuery()})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	traceID := resp.Header.Get(TraceHeader)
+	if traceID == "" {
+		t.Fatal("failed query lost its trace id")
+	}
+	art, err := (&Client{BaseURL: ts.URL}).Trace(traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := art.Root.Attrs[obs.AttrError]; !ok {
+		t.Error("failure trace missing error attr")
+	}
+}
