@@ -11,10 +11,11 @@
 #                        vendored file that is not valid Go)
 #   * sjvet            — ScrubJay-specific invariants (purity, determinism,
 #                        lockdiscipline, unitsafety, frameimmut, ctxflow,
-#                        goroleak; see DESIGN.md "Enforced invariants"),
-#                        over library code AND tests, with a reviewed
-#                        baseline (sjvet.baseline) and a SARIF artifact
-#                        (sjvet.sarif) for code-scanning upload
+#                        goroleak, and the hot-path allocation discipline
+#                        pair hotalloc/retain; see DESIGN.md "Enforced
+#                        invariants"), over library code AND tests, with a
+#                        reviewed baseline (sjvet.baseline) and a SARIF
+#                        artifact (sjvet.sarif) for code-scanning upload
 #   * sjbench gates    — columnar >= row throughput (BENCH_columnar.json)
 #                        and the disabled-tracing overhead budget
 #                        (BENCH_obs.json, nil-span invariant)
@@ -46,14 +47,18 @@ go test -race ./...
 # sjvet runs against the reviewed baseline (fresh findings fail; stale
 # baseline entries also fail, so the baseline can only shrink alongside a
 # source fix) and emits sjvet.sarif for the code-scanning artifact upload.
-# Wall-clock budget: the interprocedural pass must stay fast enough to sit
-# in every CI run, so anything over 30s fails the gate.
-echo "==> sjvet -sarif sjvet.sarif -baseline sjvet.baseline ./..."
+# -timing prints the per-analyzer wall-clock breakdown, so a cost
+# regression in the interprocedural/hot-path build stages is attributable
+# before it blows the budget. Wall-clock budget: the whole pass must stay
+# fast enough to sit in every CI run, so anything over 30s fails the gate.
+echo "==> sjvet -timing -sarif sjvet.sarif -baseline sjvet.baseline ./..."
 SJVET_T0=$(date +%s)
-go run ./cmd/sjvet -sarif sjvet.sarif -baseline sjvet.baseline ./...
+go run ./cmd/sjvet -timing -sarif sjvet.sarif -baseline sjvet.baseline ./...
 
-echo "==> sjvet -tests ./..."
-go run ./cmd/sjvet -tests ./...
+# The -tests pass shares the baseline: hotalloc/retain skip _test.go files,
+# so the grandfathered library findings are the same set.
+echo "==> sjvet -tests -baseline sjvet.baseline ./..."
+go run ./cmd/sjvet -tests -baseline sjvet.baseline ./...
 SJVET_T1=$(date +%s)
 SJVET_ELAPSED=$((SJVET_T1 - SJVET_T0))
 echo "    sjvet wall-clock: ${SJVET_ELAPSED}s (budget 30s)"
@@ -82,7 +87,7 @@ go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
 echo "==> sjbench obs (disabled-tracing overhead gate)"
 go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json
 echo "==> sjvet ./internal/obs"
-go run ./cmd/sjvet ./internal/obs
+go run ./cmd/sjvet -baseline sjvet.baseline ./internal/obs
 
 # Server smoke: boot sjserved on a random port over a generated catalog,
 # then prove the three serving guarantees end to end:

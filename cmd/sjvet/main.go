@@ -1,13 +1,20 @@
 // Command sjvet is ScrubJay's static-analysis gate: it loads the module,
 // type-checks every package, and runs the internal/lint analyzer suite
-// (ctxflow, determinism, frameimmut, goroleak, lockdiscipline, purity,
-// unitsafety). Any finding is printed as file:line:col: [analyzer] message
-// and the process exits nonzero, so sjvet slots directly into CI next to
-// go vet.
+// (ctxflow, determinism, frameimmut, goroleak, hotalloc, lockdiscipline,
+// purity, retain, unitsafety). Any finding is printed as file:line:col:
+// [analyzer] message and the process exits nonzero, so sjvet slots directly
+// into CI next to go vet.
 //
 // Usage:
 //
-//	sjvet [-json] [-tests] [-list] [-C dir] [-sarif file] [-baseline file] [-write-baseline] [packages]
+//	sjvet [-json] [-tests] [-list] [-run a,b] [-timing] [-C dir] [-sarif file] [-baseline file] [-write-baseline] [packages]
+//
+// -run restricts the run to a comma-separated subset of analyzers (e.g.
+// -run hotalloc,retain); with -baseline, entries for analyzers outside the
+// subset are ignored rather than reported stale. -timing prints the
+// wall-clock cost of each analyzer (and the shared summary/hot-path build
+// stages) to stderr, so a regression in analysis cost is visible before it
+// blows the CI budget.
 //
 // Package patterns are module-relative ("./...", "./internal/rdd",
 // "scrubjay/internal/derive/..."); the default and "./..." analyze the whole
@@ -55,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log of the (fresh) findings to this file")
 	baselinePath := fs.String("baseline", "", "baseline file of reviewed findings to grandfather")
 	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit 0")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: the whole suite)")
+	timing := fs.Bool("timing", false, "print per-analyzer wall-clock timing to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,6 +74,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *runNames != "" {
+		var err error
+		analyzers, err = lint.SelectAnalyzers(analyzers, *runNames)
+		if err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
+		}
 	}
 	if *writeBaseline && *baselinePath == "" {
 		fmt.Fprintln(stderr, "sjvet: -write-baseline requires -baseline <file>")
@@ -94,8 +111,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Analyze only the selected packages, but give the interprocedural layer
 	// the whole module so helper summaries are complete.
-	findings := lint.RunPackages(mod, analyzers, selected)
+	findings, timings := lint.RunPackagesTimed(mod, analyzers, selected)
 	relativize(findings, root)
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "sjvet: timing %-16s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
 
 	if *writeBaseline {
 		if err := os.WriteFile(*baselinePath, lint.FormatBaseline(findings), 0o644); err != nil {
@@ -118,6 +140,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintln(stderr, "sjvet:", err)
 			return 2
+		}
+		if *runNames != "" {
+			// With -run, baseline entries for analyzers outside the subset
+			// are out of scope, not stale.
+			active := map[string]bool{}
+			for _, a := range analyzers {
+				active[a.Name] = true
+			}
+			kept := entries[:0]
+			for _, e := range entries {
+				if active[e.Analyzer] {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		}
+		if len(fs.Args()) > 0 {
+			// Likewise for a package-scoped run: entries for files the run
+			// never analyzed are out of scope, not stale.
+			files := selectedFiles(mod, selected, root)
+			kept := entries[:0]
+			for _, e := range entries {
+				if files[e.File] {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
 		}
 		findings, _, stale = lint.ApplyBaseline(findings, entries)
 	}
@@ -182,6 +231,22 @@ func relativize(fs []lint.Finding, root string) {
 			fs[i].Pos.Filename = filepath.ToSlash(rel)
 		}
 	}
+}
+
+// selectedFiles lists the module-root-relative filenames of the analyzed
+// packages — the scope baseline entries are matched against.
+func selectedFiles(mod *lint.Module, pkgs []*lint.Package, root string) map[string]bool {
+	files := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := mod.Fset.Position(file.Pos()).Filename
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = filepath.ToSlash(rel)
+			}
+			files[name] = true
+		}
+	}
+	return files
 }
 
 // selectPackages filters the module's packages by the command-line patterns.

@@ -80,10 +80,54 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"purity:", "determinism:", "lockdiscipline:", "unitsafety:", "frameimmut:", "ctxflow:", "goroleak:"} {
+	for _, name := range []string{"purity:", "determinism:", "lockdiscipline:", "unitsafety:", "frameimmut:", "ctxflow:", "goroleak:", "hotalloc:", "retain:"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestRunAnalyzerFilter: -run restricts the suite, keeps the exit-code
+// contract (0 clean / 1 findings / 2 usage), and treats baseline entries
+// for unselected analyzers or unanalyzed packages as out of scope rather
+// than stale.
+func TestRunAnalyzerFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fixture(t), "-run", "hotalloc,retain", "./hot"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-run hotalloc,retain ./hot: exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.Contains(line, "[hotalloc]") && !strings.Contains(line, "[retain]") {
+			t.Errorf("-run leaked a foreign analyzer's finding: %s", line)
+		}
+	}
+	if !strings.Contains(stdout.String(), "[retain]") {
+		t.Errorf("expected retain findings in ./hot:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-C", fixture(t), "-run", "nosuchanalyzer", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-run with an unknown analyzer: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchanalyzer") {
+		t.Errorf("diagnostic should name the unknown analyzer: %s", stderr.String())
+	}
+
+	// Record the full-suite baseline for ./hot, then re-run with only
+	// hotalloc selected and only the rdd package analyzed: the retain and
+	// hot-package entries are out of scope, so nothing is stale and the
+	// clean selection exits 0.
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "b")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "-write-baseline", "./hot"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline ./hot: exit = %d; stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fixture(t), "-baseline", baseline, "-run", "hotalloc", "./rdd"}, &stdout, &stderr); code != 0 {
+		t.Errorf("out-of-scope baseline entries reported: exit = %d; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
 	}
 }
 

@@ -92,6 +92,7 @@ func rateColumnar(in *dataset.Dataset, schema semantics.Schema, name, timeCol st
 		}
 
 		out := f.Drop(counters...).Gather(sel)
+		var bld *frame.Builder // one scratch, Reset-reused across counter columns
 		for _, c := range counters {
 			cc := f.Col(c)
 			getF := func(i int32) (float64, bool) {
@@ -120,7 +121,14 @@ func rateColumnar(in *dataset.Dataset, schema semantics.Schema, name, timeCol st
 					}
 				}
 			}
-			b := frame.NewBuilder(RateColumn(c), len(sel))
+			if bld == nil {
+				//sjvet:ignore hotalloc -- constructed once, then Reset-reused for every later counter column
+				bld = frame.NewBuilder(RateColumn(c), len(sel))
+			} else {
+				//sjvet:ignore hotalloc -- Reset only reallocates past the high-water mark; RateColumn names the output column
+				bld.Reset(RateColumn(c), len(sel))
+			}
+			b := bld
 			for k := range sel {
 				pv, pok := getF(prevSel[k])
 				cv, cok := getF(sel[k])

@@ -1,0 +1,86 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"scrubjay/internal/value"
+)
+
+// The two hot-path allocation fixes surfaced by sjvet's hotalloc analyzer
+// are gated here with allocation-counting benchmarks:
+//
+//   - AppendRowJSON's non-finite float cells used to render through
+//     fmt.Sprintf("%g"), two allocations per NaN/Inf cell on the NDJSON
+//     streaming path; they now append constant bytes (zero allocations).
+//   - Merge's coalescing loop used to construct a fresh Builder (vals +
+//     set, two allocations) per overlapping column; it now Reset-reuses
+//     one builder across all columns of the merge.
+
+// benchStreamFrame builds a frame shaped like a streamed result: time,
+// string, finite float, and a float column that is entirely NaN/Inf (the
+// shape a rate/derivative column takes over sparse input).
+func benchStreamFrame(n int) *Frame {
+	times := make([]int64, n)
+	finite := make([]float64, n)
+	rough := make([]float64, n)
+	names := make([]value.Value, n)
+	for i := 0; i < n; i++ {
+		times[i] = int64(i) * 1_000_000_000
+		finite[i] = float64(i) * 1.25
+		if i%2 == 0 {
+			rough[i] = math.NaN()
+		} else {
+			rough[i] = math.Inf(1 - 2*(i%3))
+		}
+		names[i] = value.Str("node-17")
+	}
+	return New(
+		TimeColumn("time", times),
+		ColumnOf("node", names),
+		FloatColumn("cpu", finite),
+		FloatColumn("rate", rough),
+	)
+}
+
+func BenchmarkAppendRowJSON(b *testing.B) {
+	f := benchStreamFrame(256)
+	keys := f.EncodedKeys()
+	var dst []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = f.AppendRowJSON(dst[:0], i%f.NumRows(), keys)
+	}
+	if len(dst) == 0 {
+		b.Fatal("no output")
+	}
+}
+
+func BenchmarkMergeCoalesce(b *testing.B) {
+	const n, cols = 512, 8
+	acols := make([]Column, 0, cols)
+	bcols := make([]Column, 0, cols)
+	names := []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
+	for j, name := range names {
+		full := make([]float64, n)
+		for i := range full {
+			full[i] = float64(i * (j + 1))
+		}
+		acols = append(acols, FloatColumn(name, full))
+		// b's column is half-present so Merge must coalesce cell-wise.
+		bb := NewBuilder(name, n)
+		for i := 0; i < n; i += 2 {
+			bb.Set(i, value.Float(float64(i)-0.5))
+		}
+		bcols = append(bcols, bb.Finish())
+	}
+	fa, fb := New(acols...), New(bcols...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Merge(fa, fb).NumRows() != n {
+			b.Fatal("bad merge")
+		}
+	}
+}

@@ -18,6 +18,28 @@ func NewBuilder(name string, n int) *Builder {
 	return &Builder{name: name, vals: make([]value.Value, n), set: make([]bool, n)}
 }
 
+// Reset reuses the builder's scratch for a new n-cell column, growing the
+// vals/set slices only past their high-water mark. Finish copies cells into
+// fresh typed vectors and never retains the scratch, so a caller building
+// many columns of the same frame (join coalescing builds one per output
+// column) pays the two scratch allocations once instead of per column.
+func (b *Builder) Reset(name string, n int) *Builder {
+	b.name = name
+	b.nset = 0
+	if cap(b.vals) < n {
+		b.vals = make([]value.Value, n)
+		b.set = make([]bool, n)
+		return b
+	}
+	b.vals = b.vals[:n]
+	b.set = b.set[:n]
+	for i := range b.vals {
+		b.vals[i] = value.Value{}
+		b.set[i] = false
+	}
+	return b
+}
+
 // Set makes cell i present with value v (explicit nulls allowed).
 func (b *Builder) Set(i int, v value.Value) {
 	if !b.set[i] {

@@ -568,6 +568,9 @@ func Merge(a, b *Frame) *Frame {
 		panic("frame.Merge: row count mismatch")
 	}
 	cols := make([]Column, 0, len(a.cols)+len(b.cols))
+	// One builder serves every coalesced column: Finish copies the cells
+	// out, so the vals/set scratch is reusable across iterations.
+	var bld *Builder
 	for i := range a.cols {
 		ac := &a.cols[i]
 		bc := b.Col(ac.name)
@@ -577,7 +580,13 @@ func Merge(a, b *Frame) *Frame {
 		case bc.AllPresent():
 			cols = append(cols, *bc)
 		default:
-			bld := NewBuilder(ac.name, a.n)
+			if bld == nil {
+				//sjvet:ignore hotalloc -- constructed once per Merge, then Reset-reused for every later column
+				bld = NewBuilder(ac.name, a.n)
+			} else {
+				//sjvet:ignore hotalloc -- Reset only reallocates past the high-water mark; amortized it is allocation-free
+				bld.Reset(ac.name, a.n)
+			}
 			for r := 0; r < a.n; r++ {
 				if bc.Present(r) {
 					bld.Set(r, bc.Value(r))

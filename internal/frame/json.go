@@ -2,7 +2,6 @@ package frame
 
 import (
 	"encoding/json"
-	"fmt"
 	"math"
 	"strconv"
 	"time"
@@ -134,12 +133,21 @@ func appendBoxedJSON(dst []byte, v value.Value) []byte {
 
 // appendFloatValueJSON renders a float cell. Finite floats use the exact
 // encoding/json float formatter; NaN/Inf travel in the string slot, as
-// value.Value.MarshalJSON does.
+// value.Value.MarshalJSON does — spelled exactly as fmt's %g verb renders
+// them ("NaN", "+Inf", "-Inf"), appended directly so the non-finite path
+// allocates nothing.
 func appendFloatValueJSON(dst []byte, f float64) []byte {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
-		dst = append(dst, `{"k":"float","s":`...)
-		dst = appendJSONString(dst, fmt.Sprintf("%g", f))
-		return append(dst, '}')
+		dst = append(dst, `{"k":"float","s":"`...)
+		switch {
+		case math.IsNaN(f):
+			dst = append(dst, `NaN`...)
+		case f > 0:
+			dst = append(dst, `+Inf`...)
+		default:
+			dst = append(dst, `-Inf`...)
+		}
+		return append(dst, '"', '}')
 	}
 	dst = append(dst, `{"k":"float","f":`...)
 	dst = appendJSONFloat(dst, f)

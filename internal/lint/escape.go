@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the allocation half of the interprocedural layer: a
+// per-function inventory of heap allocation sites (make/new, allocating
+// composite literals, append growth, string↔[]byte conversions, string
+// concatenation, fmt formatting, interface boxing at call boundaries, and
+// by-reference closure captures), each classified as loop-carried or
+// once-per-call. The sites feed two things: the Summary.Allocates fact the
+// SCC fixpoint chains through calls ("calls NewBuilder: makes a new
+// []value.Value"), and the hotalloc analyzer, which only reports
+// loop-carried sites reachable from a hot-path root (see hotpath.go). Like
+// the rest of the summaries the analysis is deliberately path-insensitive:
+// an allocation behind an error branch still counts, because a CI gate must
+// be explainable from one finding message, not a path condition.
+
+// AllocSite is one heap allocation in a function body. What is a verb
+// phrase ("makes a new []uint64") so finding messages read naturally and
+// stay line-stable for baseline keying.
+type AllocSite struct {
+	Pos  token.Pos
+	What string
+	// Loop marks the site as loop-carried: it executes on every iteration
+	// of a loop in the same function scope (allocations inside a nested
+	// function literal are charged to the literal's own invocation, not to
+	// a loop that merely constructs the literal).
+	Loop bool
+}
+
+// loopCall records a call issued inside a loop, for the hotalloc analyzer:
+// if the callee's summary says it allocates, the caller pays that
+// allocation once per iteration.
+type loopCall struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// span is a [lo, hi] source-position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p <= s.hi }
+func (s span) within(o span) bool        { return s.lo >= o.lo && s.hi <= o.hi }
+
+// collectAllocs walks one function declaration and records its allocation
+// sites and in-loop call sites. It runs after collectIntra (the facts are
+// purely intraprocedural; chaining happens in foldCalls).
+func collectAllocs(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	body := fi.Decl.Body
+
+	// First pass: gather the spans of loop bodies (plus for-statement
+	// condition/post, which also run per iteration) and function-literal
+	// bodies. A site is loop-carried iff some loop span contains it AND
+	// that loop lies in the same function scope — the innermost literal
+	// body enclosing the site, or the declaration body.
+	var loops, lits []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+			if x.Cond != nil {
+				loops = append(loops, span{x.Cond.Pos(), x.Cond.End()})
+			}
+			if x.Post != nil {
+				loops = append(loops, span{x.Post.Pos(), x.Post.End()})
+			}
+		case *ast.RangeStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		case *ast.FuncLit:
+			lits = append(lits, span{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	scopeOf := func(p token.Pos) span {
+		sc := span{body.Pos(), body.End()}
+		for _, l := range lits {
+			if l.contains(p) && l.within(sc) {
+				sc = l
+			}
+		}
+		return sc
+	}
+	inLoop := func(p token.Pos) bool {
+		sc := scopeOf(p)
+		for _, l := range loops {
+			if l.contains(p) && l.within(sc) {
+				return true
+			}
+		}
+		return false
+	}
+	// innermostLoop returns the narrowest same-scope loop span containing p.
+	innermostLoop := func(p token.Pos) (span, bool) {
+		sc := scopeOf(p)
+		best, found := sc, false
+		for _, l := range loops {
+			if l.contains(p) && l.within(sc) && l.within(best) {
+				best, found = l, true
+			}
+		}
+		return best, found
+	}
+
+	s := &fi.Summary
+	add := func(pos token.Pos, what string) {
+		s.Allocs = append(s.Allocs, AllocSite{Pos: pos, What: what, Loop: inLoop(pos)})
+	}
+
+	// covered suppresses inner operands of a string-concatenation chain:
+	// a+b+c parses as (a+b)+c and should report one site, at the top.
+	covered := map[token.Pos]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			collectCallAllocs(fi, node, add, inLoop)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if lit, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					covered[lit.Pos()] = true
+					add(node.Pos(), "allocates "+compositeName(info, lit)+" on the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if covered[node.Pos()] {
+				return true
+			}
+			tv, ok := info.Types[ast.Expr(node)]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				// Element literals are part of this allocation.
+				for _, elt := range node.Elts {
+					if inner, ok := elt.(*ast.CompositeLit); ok {
+						covered[inner.Pos()] = true
+					}
+				}
+				add(node.Pos(), "allocates a "+compositeName(info, node)+" literal")
+			}
+		case *ast.BinaryExpr:
+			if node.Op != token.ADD || covered[node.Pos()] {
+				return true
+			}
+			tv, ok := info.Types[ast.Expr(node)]
+			if !ok || tv.Type == nil || tv.Value != nil {
+				return true // constant folding: "a" + "b" costs nothing
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+				return true
+			}
+			for _, op := range []ast.Expr{node.X, node.Y} {
+				if inner, ok := ast.Unparen(op).(*ast.BinaryExpr); ok && inner.Op == token.ADD {
+					covered[inner.Pos()] = true
+				}
+			}
+			add(node.Pos(), "builds a string with +")
+		case *ast.AssignStmt:
+			collectAssignAllocs(fi, node, add, innermostLoop)
+		case *ast.FuncLit:
+			if name, ok := firstCapture(info, node); ok {
+				add(node.Pos(), "allocates a closure capturing "+quote(name)+" by reference")
+			}
+		}
+		return true
+	})
+	if len(s.Allocs) > 0 {
+		s.Allocates = true
+		s.AllocDetail = s.Allocs[0].What
+	}
+}
+
+// collectCallAllocs records the allocation sites a call expression implies:
+// make/new, allocating conversions, fmt formatting, and interface boxing at
+// the call boundary. It also records in-loop calls to module functions so
+// hotalloc can chain the callee's summary.
+func collectCallAllocs(fi *FuncInfo, call *ast.CallExpr, add func(token.Pos, string), inLoop func(token.Pos) bool) {
+	info := fi.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if ok && tv.IsType() {
+		// Conversion. The allocating ones: string↔[]byte/[]rune, and
+		// boxing a concrete value into an interface.
+		if len(call.Args) != 1 {
+			return
+		}
+		dst, src := tv.Type, typeOf(info, call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src):
+			add(call.Pos(), "converts a byte/rune slice to string")
+		case isByteOrRuneSlice(dst) && isString(src):
+			if cv, ok := info.Types[call.Args[0]]; !ok || cv.Value == nil {
+				add(call.Pos(), "converts a string to a byte/rune slice")
+			}
+		case types.IsInterface(dst) && boxes(info, call.Args[0]):
+			add(call.Pos(), "boxes a "+typeName(fi.Pkg, src)+" into "+typeName(fi.Pkg, dst))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if len(call.Args) > 0 {
+					add(call.Pos(), "makes a new "+types.ExprString(call.Args[0]))
+				}
+			case "new":
+				if len(call.Args) == 1 {
+					add(call.Pos(), "allocates with new("+types.ExprString(call.Args[0])+")")
+				}
+			}
+			return // append growth is handled at the assignment
+		}
+	}
+
+	// fmt.* formats into fresh allocations and boxes every operand.
+	if obj := staticFuncObj(info, call); obj != nil && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "fmt" {
+			add(call.Pos(), "calls fmt."+obj.Name()+", which allocates to format its operands")
+			return // the boxing below would double-count the variadic args
+		}
+	}
+
+	// Record the in-loop call edge for hotalloc chaining.
+	if obj := calleeObj(info, call); obj != nil && inLoop(call.Pos()) {
+		fi.loopCalls = append(fi.loopCalls, loopCall{callee: obj, pos: call.Pos()})
+	}
+
+	// Interface boxing at an ordinary call boundary: a concrete
+	// non-pointer-shaped argument passed to an interface-typed parameter
+	// heap-allocates the value's box.
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through, no box
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if !boxes(info, arg) {
+			continue
+		}
+		add(arg.Pos(), "boxes a "+typeName(fi.Pkg, typeOf(info, arg))+" into "+typeName(fi.Pkg, pt))
+	}
+}
+
+// collectAssignAllocs flags append growth that cannot amortize: the result
+// is bound to a variable declared inside the innermost loop containing the
+// append, so every iteration regrows a fresh slice. Appends to an
+// accumulator that outlives the loop amortize to O(1) allocations per
+// element and are not reported.
+func collectAssignAllocs(fi *FuncInfo, assign *ast.AssignStmt, add func(token.Pos, string), innermostLoop func(token.Pos) (span, bool)) {
+	info := fi.Pkg.Info
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return
+	}
+	target, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := info.ObjectOf(target).(*types.Var)
+	if !ok || v == nil {
+		return
+	}
+	loop, inLoop := innermostLoop(assign.Pos())
+	if !inLoop || !loop.contains(v.Pos()) {
+		return
+	}
+	add(assign.Pos(), "grows a fresh slice with append on every iteration")
+}
+
+// boxes reports whether passing e to an interface-typed slot allocates: the
+// expression has a concrete, non-pointer-shaped type and is not a constant
+// (constant boxes are interned by the runtime or hoisted by the compiler in
+// the cases this gate cares about).
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	return !pointerShaped(tv.Type)
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without a heap box: pointers, channels, maps, funcs, and unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// typeName renders t relative to the package, so finding messages say
+// "value.Value", not the full import path.
+func typeName(pkg *Package, t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, func(p *types.Package) string {
+		if pkg.Types != nil && p == pkg.Types {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+// compositeName names a composite literal by its type, e.g. "[]int32{...}"
+// or "&group{...}" — element expressions are elided to keep messages short
+// and line-stable.
+func compositeName(info *types.Info, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type) + "{...}"
+	}
+	if tv, ok := info.Types[ast.Expr(lit)]; ok && tv.Type != nil {
+		return tv.Type.String() + "{...}"
+	}
+	return "composite{...}"
+}
+
+// staticFuncObj resolves a call's callee to its *types.Func regardless of
+// module membership (calleeObj equivalent, but kept separate so the fmt
+// special case reads clearly).
+func staticFuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	return calleeObj(info, call)
+}
+
+// firstCapture returns the name of the first variable a function literal
+// captures by reference: an identifier resolving to a non-package-level
+// variable declared outside the literal. Capturing moves the variable to
+// the heap and allocates the closure object itself.
+func firstCapture(info *types.Info, lit *ast.FuncLit) (string, bool) {
+	name, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || v == nil || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: not a capture
+		}
+		if v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		name, found = v.Name(), true
+		return false
+	})
+	return name, found
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

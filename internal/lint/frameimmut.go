@@ -337,7 +337,7 @@ func (st *frameFnState) publishCallArgs(call *ast.CallExpr) {
 	// legitimately fill a still-private frame's vectors (checkCall flags
 	// mutation of frames that are already published). Only retention
 	// (escape, goroutine capture) transfers ownership.
-	const retains = ParamEscapes | ParamToGoroutine
+	const retains = ParamEscapes | ParamToGoroutine | ParamCaptured
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if sum == nil || sum.RecvFacts()&retains != 0 {
 			st.publishMentioned(sel.X)

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// allocFreeContract is the invariant hotalloc findings cite.
+const allocFreeContract = "the serving path must stay allocation-free: hoist the allocation out of the loop, reuse a scratch buffer, or record a reviewed sjvet.baseline entry"
+
+// HotAllocAnalyzer flags loop-carried heap allocation on the hot path: a
+// make/new/composite literal, per-iteration append growth, string↔[]byte
+// conversion, string concatenation, fmt call, interface box, or closure
+// capture executed inside a loop of a function reachable from a hot-path
+// root (see hotpath.go) — and in-loop calls to module functions whose
+// summary says they allocate, with the chained detail ("calls NewBuilder:
+// makes a new []value.Value"). Once-per-call allocations are not reported:
+// the gate is about per-row/per-iteration cost, not about allocation ever.
+func HotAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc: "functions on the hot path (frame kernels, columnar operators, " +
+			"rdd task bodies, the server streaming path, //sjvet:hotpath " +
+			"roots, and everything they call) must not allocate inside " +
+			"loops; " + allocFreeContract + ".",
+		Run: runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			fi := pass.IP.FuncOf(obj)
+			if fi == nil {
+				continue
+			}
+			why, hot := pass.Hot.Why(obj)
+			if !hot {
+				continue
+			}
+			name := fd.Name.Name
+			for _, site := range fi.Summary.Allocs {
+				if !site.Loop {
+					continue
+				}
+				pass.Reportf(site.Pos, "%s is on the hot path (%s) and %s inside a loop — %s",
+					name, why, site.What, allocFreeContract)
+			}
+			for _, lc := range fi.loopCalls {
+				callee := pass.IP.FuncOf(lc.callee)
+				if callee == nil || !callee.Summary.Allocates {
+					continue
+				}
+				pass.Reportf(lc.pos, "%s is on the hot path (%s) and calls %s in a loop; %s allocates per call (function summary: %s) — %s",
+					name, why, lc.callee.Name(), lc.callee.Name(), callee.Summary.AllocDetail, allocFreeContract)
+			}
+		}
+	}
+}

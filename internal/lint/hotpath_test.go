@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// fixtureFunc resolves a fixture function (or method) object by package name
+// and declaration name.
+func fixtureFunc(t *testing.T, m *Module, pkgName, funcName string) *types.Func {
+	t.Helper()
+	for _, pkg := range m.Pkgs {
+		if pkg.Name != pkgName {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != funcName {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					return obj
+				}
+			}
+		}
+	}
+	t.Fatalf("fixture function %s.%s not found", pkgName, funcName)
+	return nil
+}
+
+// TestHotPathClosure pins down the hot set over the src fixture: built-in
+// roots get their kind labels, //sjvet:hotpath roots resolve through doc
+// comments and bound method values, reachability propagates the root name,
+// and directive scoping matches //sjvet:ignore (innermost function only).
+func TestHotPathClosure(t *testing.T) {
+	m := loadFixture(t, "src")
+	h := BuildHotPaths(m, BuildInterproc(m))
+
+	hot := []struct {
+		pkg, fn, why string
+	}{
+		{"frame", "MaskRows", "hot-path root (frame kernel)"},
+		{"frame", "MaskValues", "hot-path root (frame kernel)"},
+		{"frame", "Convert", "hot-path root (frame kernel)"},
+		{"rdd", "ExchangePartitions", "hot-path root (rdd task body)"},
+		{"rdd", "ZipPartitions", "hot-path root (rdd task body)"},
+		{"hot", "Serve", "hot-path root (//sjvet:hotpath)"},
+		// helper is hot only transitively, labeled with the root it
+		// descends from, not its direct caller.
+		{"hot", "helper", "reachable from hot.Serve"},
+		{"hot", "Keep", "reachable from hot.Serve"},
+		{"hot", "stash", "reachable from hot.Serve"},
+		// The directive above `f := p.step` must root the underlying
+		// method, not just the wrapper value.
+		{"hot", "step", "hot-path root (//sjvet:hotpath)"},
+	}
+	for _, tc := range hot {
+		obj := fixtureFunc(t, m, tc.pkg, tc.fn)
+		why, ok := h.Why(obj)
+		if !ok {
+			t.Errorf("%s.%s: expected hot, got cold", tc.pkg, tc.fn)
+			continue
+		}
+		if why != tc.why {
+			t.Errorf("%s.%s: why = %q, want %q", tc.pkg, tc.fn, why, tc.why)
+		}
+	}
+
+	// Directive scoping negatives: a directive inside a function literal
+	// does not root references made by the enclosing body on the adjacent
+	// line (helperCold), and a directive in the enclosing body does not
+	// root references inside a nested literal (colder). Register and
+	// Scoped themselves are never called from a root.
+	for _, fn := range []string{"helperCold", "colder", "apply", "Inward", "Register", "Scoped"} {
+		obj := fixtureFunc(t, m, "hot", fn)
+		if why, ok := h.Why(obj); ok {
+			t.Errorf("hot.%s: expected cold, got hot (%q)", fn, why)
+		}
+	}
+}
+
+// TestHotPathMulti checks the multi fixture's directive root and its callee.
+func TestHotPathMulti(t *testing.T) {
+	m := loadFixture(t, "multi")
+	h := BuildHotPaths(m, BuildInterproc(m))
+
+	pump := fixtureFunc(t, m, "hot", "Pump")
+	if why, ok := h.Why(pump); !ok || why != "hot-path root (//sjvet:hotpath)" {
+		t.Errorf("hot.Pump: why = %q, ok = %v, want directive root", why, ok)
+	}
+	record := fixtureFunc(t, m, "hot", "Record")
+	if why, ok := h.Why(record); !ok || why != "reachable from hot.Pump" {
+		t.Errorf("hot.Record: why = %q, ok = %v, want reachable from hot.Pump", why, ok)
+	}
+}
+
+// TestHotAnalyzerDeterminism loads and analyzes the src fixture twice with
+// only the hot-path analyzers and byte-compares the rendered findings, so
+// the new summary and reachability layers stay map-iteration-free.
+func TestHotAnalyzerDeterminism(t *testing.T) {
+	selected, err := SelectAnalyzers(Analyzers(), "hotalloc,retain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		m := loadFixture(t, "src")
+		return formatFindings(m, Run(m, selected))
+	}
+	r1, r2 := render(), render()
+	if r1 != r2 {
+		t.Errorf("hotalloc/retain output differs between runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", r1, r2)
+	}
+	if r1 == "" {
+		t.Error("hot-path analyzers rendered no findings; the hot fixture should be dirty")
+	}
+}

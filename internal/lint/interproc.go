@@ -29,9 +29,29 @@ const (
 	// callee that lets it escape. An escaping parameter may be retained
 	// beyond the call ("published").
 	ParamEscapes
-	// ParamToGoroutine: the parameter flows into a go statement or is
-	// captured by a function literal (which may run on another goroutine).
+	// ParamToGoroutine: the parameter flows into a go statement — it is
+	// referenced by code that outlives the call frame on another goroutine.
 	ParamToGoroutine
+	// ParamToGlobal: the parameter is stored into package-level state,
+	// directly or by a transitive callee — the strongest pin: it outlives
+	// every call frame.
+	ParamToGlobal
+	// ParamRetained: the parameter is stored into heap-reachable storage —
+	// a field, a slice/map element, a channel send, or a composite literal.
+	// Unlike a plain ParamEscapes return (where the caller keeps custody of
+	// the value it receives back), a retained parameter may be referenced
+	// after the call returns, which forbids the caller from recycling the
+	// buffer (arena/slab reuse would corrupt the retained view).
+	ParamRetained
+	// ParamBoxed: the parameter is converted to an interface (passed to an
+	// interface-typed parameter or explicitly converted), allocating a box
+	// when the value is not pointer-shaped.
+	ParamBoxed
+	// ParamCaptured: the parameter is referenced from a function literal.
+	// Weaker than ParamToGoroutine — many captures are read-only and die
+	// with the call (a sort.Slice comparator) — but a capturing literal
+	// that itself escapes pins the parameter with it.
+	ParamCaptured
 )
 
 // Summary is the dataflow summary of one declared function.
@@ -69,6 +89,17 @@ type Summary struct {
 	// UsesCtx: the context parameter is referenced somewhere in the body
 	// (threaded into a call, selected on, checked, or stored).
 	UsesCtx bool
+
+	// Allocs are the function's own heap allocation sites, in source order,
+	// each classified loop-carried or once-per-call (see escape.go).
+	Allocs []AllocSite
+	// Allocates: the function (or a transitive callee outside a function
+	// literal) performs at least one heap allocation per call.
+	Allocates bool
+	// AllocDetail describes the first allocation cause, chaining through
+	// callees: "makes a new []value.Value", "calls NewBuilder: makes a new
+	// []value.Value", ...
+	AllocDetail string
 }
 
 // RecvFacts returns the facts for the method receiver.
@@ -127,7 +158,8 @@ type FuncInfo struct {
 	Pkg     *Package
 	Summary Summary
 
-	calls []callRec
+	calls     []callRec
+	loopCalls []loopCall
 }
 
 // callRec records one static call site for the fixpoint fold: which
@@ -237,6 +269,7 @@ func BuildInterproc(m *Module) *Interproc {
 	}
 	for _, fi := range order {
 		collectIntra(fi)
+		collectAllocs(fi)
 	}
 	for _, scc := range sccOrder(ip, order) {
 		// Callee-first SCC order: facts below this component are final, so
@@ -331,6 +364,14 @@ func foldCalls(ip *Interproc, fi *FuncInfo) bool {
 		if cs.RunsForever && !rec.inLit && !s.RunsForever {
 			s.RunsForever = true
 			s.ForeverDetail = "calls " + name + ": " + cs.ForeverDetail
+			changed = true
+		}
+		if cs.Allocates && !rec.inLit && !s.Allocates {
+			// A closure that calls an allocating helper only allocates when
+			// the closure runs, so literals are excluded here; hotalloc sees
+			// their call sites through loopCalls instead.
+			s.Allocates = true
+			s.AllocDetail = "calls " + name + ": " + cs.AllocDetail
 			changed = true
 		}
 		if rec.recvRoot != nil {
@@ -462,9 +503,24 @@ func collectIntra(fi *FuncInfo) {
 	isGlobal := func(v *types.Var) bool {
 		return v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
 	}
-	markEscape := func(e ast.Expr) {
+	markEscape := func(e ast.Expr, facts ParamFacts) {
+		e = ast.Unparen(e)
+		// The result of append lands wherever the expression does, and so
+		// do the appended values: global = append(global, p) publishes p.
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					for _, a := range call.Args {
+						if v := argRoot(a); isParam(v) {
+							s.addFact(v, facts)
+						}
+					}
+					return
+				}
+			}
+		}
 		if v := argRoot(e); isParam(v) {
-			s.addFact(v, ParamEscapes)
+			s.addFact(v, facts)
 		}
 	}
 	recordWrite := func(lhs ast.Expr, define bool) {
@@ -503,7 +559,7 @@ func collectIntra(fi *FuncInfo) {
 				ast.Inspect(node.Body, func(cn ast.Node) bool {
 					if id, ok := cn.(*ast.Ident); ok {
 						if v, _ := info.ObjectOf(id).(*types.Var); isParam(v) {
-							s.addFact(v, ParamToGoroutine)
+							s.addFact(v, ParamCaptured)
 							if v == s.CtxParam {
 								s.UsesCtx = true
 							}
@@ -523,14 +579,19 @@ func collectIntra(fi *FuncInfo) {
 				for _, lhs := range node.Lhs {
 					recordWrite(lhs, node.Tok == token.DEFINE)
 				}
-				for _, rhs := range node.Rhs {
-					// Storing a parameter anywhere but a plain local
-					// variable publishes it.
-					for _, lhs := range node.Lhs {
-						if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain || isGlobal(rootVar(lhs)) {
-							markEscape(rhs)
-							break
-						}
+				// Storing a parameter anywhere but a plain local variable
+				// publishes it; the landing site grades the escape.
+				var pub ParamFacts
+				for _, lhs := range node.Lhs {
+					if isGlobal(rootVar(lhs)) {
+						pub |= ParamEscapes | ParamRetained | ParamToGlobal
+					} else if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+						pub |= ParamEscapes | ParamRetained
+					}
+				}
+				if pub != 0 {
+					for _, rhs := range node.Rhs {
+						markEscape(rhs, pub)
 					}
 				}
 			case *ast.IncDecStmt:
@@ -540,7 +601,7 @@ func collectIntra(fi *FuncInfo) {
 					s.Blocks = true
 					s.BlockDetail = "channel send"
 				}
-				markEscape(node.Value)
+				markEscape(node.Value, ParamEscapes|ParamRetained)
 			case *ast.UnaryExpr:
 				if node.Op == token.ARROW && !inLit && !s.Blocks {
 					s.Blocks = true
@@ -559,15 +620,17 @@ func collectIntra(fi *FuncInfo) {
 					}
 				}
 			case *ast.ReturnStmt:
+				// Returning hands custody back to the caller: an escape,
+				// but not a retention.
 				for _, res := range node.Results {
-					markEscape(res)
+					markEscape(res, ParamEscapes)
 				}
 			case *ast.CompositeLit:
 				for _, elt := range node.Elts {
 					if kv, ok := elt.(*ast.KeyValueExpr); ok {
 						elt = kv.Value
 					}
-					markEscape(elt)
+					markEscape(elt, ParamEscapes|ParamRetained)
 				}
 			case *ast.GoStmt:
 				for _, arg := range node.Call.Args {
@@ -605,6 +668,32 @@ func callIntra(fi *FuncInfo, call *ast.CallExpr, inLit bool,
 		if !inLit && !s.Blocks {
 			s.Blocks = true
 			s.BlockDetail = "pipeline." + name
+		}
+	}
+	// A parameter handed to an interface-typed slot is boxed, whoever the
+	// callee is; the expression type of call.Fun carries the signature for
+	// static and dynamic calls alike.
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil && !tv.IsType() {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			np := sig.Params().Len()
+			for i, arg := range call.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= np-1:
+					if call.Ellipsis.IsValid() {
+						continue
+					}
+					pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+				case i < np:
+					pt = sig.Params().At(i).Type()
+				}
+				if pt == nil || !types.IsInterface(pt) {
+					continue
+				}
+				if v := argRoot(arg); isParam(v) && !types.IsInterface(v.Type()) {
+					s.addFact(v, ParamBoxed)
+				}
+			}
 		}
 	}
 	obj := calleeObj(info, call)

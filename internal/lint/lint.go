@@ -23,6 +23,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report.
@@ -59,6 +60,10 @@ type Pass struct {
 	// once per Run over the whole module, so summaries see every package
 	// even when analysis is scoped to a few.
 	IP *Interproc
+	// Hot is the module-wide hot-path closure (see hotpath.go): the
+	// functions reachable from the serving-path roots, with the reason
+	// each one is hot.
+	Hot *HotPaths
 
 	findings *[]Finding
 }
@@ -82,6 +87,8 @@ func Analyzers() []*Analyzer {
 		FrameImmutAnalyzer(),
 		CtxFlowAnalyzer(),
 		GoroLeakAnalyzer(),
+		HotAllocAnalyzer(),
+		RetainAnalyzer(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -109,7 +116,31 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 // Findings are sorted by (file, line, column, analyzer, message): two runs
 // over the same sources emit byte-identical output.
 func RunPackages(m *Module, analyzers []*Analyzer, pkgs []*Package) []Finding {
+	findings, _ := RunPackagesTimed(m, analyzers, pkgs)
+	return findings
+}
+
+// AnalyzerTiming is the wall-clock cost of one analyzer summed over every
+// analyzed package (plus the shared "build/…" stages), for the CI budget
+// report: an analyzer whose cost regresses shows up here before it blows
+// the overall sjvet budget.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunPackagesTimed is RunPackages plus per-analyzer timings. The timing
+// rows are in a fixed order (shared build stages first, then the analyzers
+// in the given order); only the durations vary run to run.
+func RunPackagesTimed(m *Module, analyzers []*Analyzer, pkgs []*Package) ([]Finding, []AnalyzerTiming) {
+	start := time.Now()
 	ip := BuildInterproc(m)
+	ipElapsed := time.Since(start)
+	start = time.Now()
+	hot := BuildHotPaths(m, ip)
+	hotElapsed := time.Since(start)
+
+	perAnalyzer := make(map[string]time.Duration, len(analyzers))
 	var findings []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(m.Fset, pkg)
@@ -118,8 +149,10 @@ func RunPackages(m *Module, analyzers []*Analyzer, pkgs []*Package) []Finding {
 				continue
 			}
 			var raw []Finding
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, IP: ip, findings: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, IP: ip, Hot: hot, findings: &raw}
+			start = time.Now()
 			a.Run(pass)
+			perAnalyzer[a.Name] += time.Since(start)
 			for _, f := range raw {
 				if !sup.suppressed(f) {
 					findings = append(findings, f)
@@ -128,7 +161,45 @@ func RunPackages(m *Module, analyzers []*Analyzer, pkgs []*Package) []Finding {
 		}
 	}
 	SortFindings(findings)
-	return findings
+
+	timings := []AnalyzerTiming{
+		{Name: "build/interproc", Elapsed: ipElapsed},
+		{Name: "build/hotpath", Elapsed: hotElapsed},
+	}
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: perAnalyzer[a.Name]})
+	}
+	return findings, timings
+}
+
+// SelectAnalyzers filters the suite down to the named analyzers
+// (comma-separated), preserving order; an unknown name is an error listing
+// what exists.
+func SelectAnalyzers(all []*Analyzer, names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(AnalyzerNames(all), ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
 }
 
 // SortFindings orders findings by (file, line, column, analyzer, message) —

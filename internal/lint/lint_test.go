@@ -132,9 +132,9 @@ func TestJSONRoundTrip(t *testing.T) {
 
 // TestAnalyzersComplete pins the suite composition: the ScrubJay invariants
 // from the paper (and the PR-2/PR-3 lifecycle invariants) each have an
-// analyzer.
+// analyzer, plus the hot-path allocation discipline pair.
 func TestAnalyzersComplete(t *testing.T) {
-	want := []string{"ctxflow", "determinism", "frameimmut", "goroleak", "lockdiscipline", "purity", "unitsafety"}
+	want := []string{"ctxflow", "determinism", "frameimmut", "goroleak", "hotalloc", "lockdiscipline", "purity", "retain", "unitsafety"}
 	if got := AnalyzerNames(Analyzers()); !reflect.DeepEqual(got, want) {
 		t.Errorf("Analyzers() = %v, want %v", got, want)
 	}

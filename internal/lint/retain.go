@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// retainContract is the invariant retain findings cite.
+const retainContract = "a hot-path callee must not pin its caller's buffer: the planned arena/slab reuse recycles hot-path buffers after each batch, and a retained reference would observe the recycled bytes"
+
+// RetainAnalyzer flags hot-path calls that hand a caller-owned buffer (a
+// slice, pointer, or map) to a module function whose summary says the
+// parameter is pinned beyond the call: stored into package-level state,
+// handed to a goroutine or closure, or — for callees that return nothing
+// and so cannot be handing ownership back — retained in a field, element,
+// channel, or composite. Constructors that retain an argument inside the
+// value they return keep custody with the caller and are not reported.
+func RetainAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "retain",
+		Doc: "hot-path code must not pass buffers to callees that retain " +
+			"them (per function summary: stored globally, captured by a " +
+			"goroutine, or kept past a void call); " + retainContract + ".",
+		Run: runRetain,
+	}
+}
+
+func runRetain(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			why, hot := pass.Hot.Why(obj)
+			if !hot {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkRetainCall(pass, name, why, call)
+				return true
+			})
+		}
+	}
+}
+
+// checkRetainCall reports buffer-pinning arguments of one call site.
+func checkRetainCall(pass *Pass, caller, why string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	callee := pass.IP.StaticCallee(info, call)
+	if callee == nil {
+		return
+	}
+	sum := &callee.Summary
+	sig, _ := callee.Obj.Type().(*types.Signature)
+	void := sig != nil && sig.Results().Len() == 0
+
+	report := func(what string, facts ParamFacts) {
+		reason, ok := pinReason(facts, void)
+		if !ok {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s is on the hot path (%s) and passes %s to %s, which %s (function summary) — %s",
+			caller, why, what, callee.Obj.Name(), reason, retainContract)
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sum.RecvFacts() != 0 {
+		if bufferLike(typeOfExpr(info, sel.X)) {
+			report("its receiver "+exprLabel(sel.X), sum.RecvFacts())
+		}
+	}
+	for i, arg := range call.Args {
+		facts := sum.ArgFacts(i)
+		if facts == 0 {
+			continue
+		}
+		if !bufferLike(typeOfExpr(info, arg)) {
+			continue
+		}
+		report(exprLabel(arg), facts)
+	}
+}
+
+// pinReason grades the pinning facts, strongest first. ParamEscapes alone
+// (e.g. the value is returned) keeps custody with the caller and is fine;
+// ParamRetained only counts against void callees, because a callee with
+// results may legitimately be building the value it returns.
+func pinReason(facts ParamFacts, void bool) (string, bool) {
+	switch {
+	case facts&ParamToGlobal != 0:
+		return "stores it into package-level state", true
+	case facts&ParamToGoroutine != 0:
+		return "hands it to a goroutine or captures it in a closure", true
+	case facts&ParamRetained != 0 && void:
+		return "retains it beyond the call despite returning nothing", true
+	}
+	return "", false
+}
+
+// bufferLike reports whether t is storage the caller could want to reuse:
+// a slice, a pointer, or a map.
+func bufferLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// exprLabel renders a short, line-stable description of an argument
+// expression for the finding message.
+func exprLabel(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return "\"" + s + "\""
+}

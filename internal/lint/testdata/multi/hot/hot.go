@@ -1,0 +1,25 @@
+// Package hot is the multi-module fixture's serving path: one
+// directive-rooted loop with a per-row allocation (hotalloc) and one call
+// that hands a buffer to a globally-retaining callee (retain).
+package hot
+
+// history makes Record a retaining callee.
+var history [][]byte
+
+// Record pins the row in package-level state and returns nothing.
+func Record(row []byte) {
+	history = append(history, row)
+}
+
+// Pump drains the batch on the serving path.
+//
+//sjvet:hotpath -- the multi fixture's per-row loop
+func Pump(rows [][]byte) int {
+	total := 0
+	for _, r := range rows {
+		line := string(r) // per-row conversion: hotalloc
+		total += len(line)
+	}
+	Record(rows[0]) // global retention: retain
+	return total
+}

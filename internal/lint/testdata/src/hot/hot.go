@@ -1,0 +1,57 @@
+// Package hot exercises the hot-path analyzers: hotalloc (loop-carried
+// allocation on a //sjvet:hotpath-rooted function and its transitive
+// callees, plus a suppression) and retain (a hot-path callee pinning a
+// caller buffer in a field or in package-level state).
+package hot
+
+// lastBuf makes Keep a global-retaining callee.
+var lastBuf []byte
+
+// Keep pins its argument in package-level state: a retain finding at every
+// hot call site.
+func Keep(buf []byte) {
+	lastBuf = buf
+}
+
+type sink struct {
+	kept []byte
+}
+
+// stash retains the buffer in a field and returns nothing, so the caller
+// cannot be receiving ownership back.
+func (s *sink) stash(buf []byte) {
+	s.kept = buf
+}
+
+// Serve is the fixture's per-row loop, rooted by directive.
+//
+//sjvet:hotpath -- fixture hot-path root
+func Serve(rows [][]byte) int {
+	total := 0
+	for _, r := range rows {
+		key := string(r) // loop-carried conversion: hotalloc
+		total += len(key)
+		total += helper(r) // helper allocates per call: hotalloc
+	}
+	for i := 0; i < 3; i++ {
+		//sjvet:ignore hotalloc -- fixture: scratch grows to a high-water mark once
+		tmp := make([]byte, i)
+		total += len(tmp)
+	}
+	s := &sink{}
+	s.stash(rows[0]) // field retention by a void callee: retain
+	Keep(rows[0])    // global retention: retain
+	return total
+}
+
+// helper is hot only transitively (reachable from hot.Serve); its own
+// loop-carried make is reported at this declaration.
+func helper(r []byte) int {
+	n := 0
+	for _, b := range r {
+		chunk := make([]byte, 1)
+		chunk[0] = b
+		n += int(chunk[0])
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package hot
+
+// Directive-placement regression cases: a //sjvet:hotpath on a bound method
+// value must root the underlying func, and a directive inside a function
+// literal must not root references made by the enclosing body on an
+// adjacent line (the same innermost-function scoping //sjvet:ignore uses).
+
+type pump struct {
+	n int
+}
+
+// step allocates in a loop; it is hot only because Register roots it
+// through a method value.
+func (p *pump) step() {
+	for i := 0; i < 8; i++ {
+		x := make([]int, 4)
+		p.n += len(x)
+	}
+}
+
+// Register hands out a bound method value; the directive on the binding
+// line must root (*pump).step itself.
+func Register() func() {
+	p := &pump{}
+	//sjvet:hotpath -- the bound method runs per row in the fixture harness
+	f := p.step
+	return f
+}
+
+// helperCold must stay cold: the only directive near its reference lives
+// inside a function literal, and directives do not leak across function
+// scopes.
+func helperCold() int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		buf := make([]byte, 8)
+		n += len(buf)
+	}
+	return n
+}
+
+// apply exists so Scoped can reference helperCold on the source line
+// directly after a directive that lives inside a function literal.
+func apply(f func() int, n int) int {
+	return f() + n
+}
+
+// Scoped passes a literal whose body ends with a directive; the helperCold
+// reference on the very next source line belongs to Scoped's body, a
+// different scope, and must not be rooted.
+func Scoped() int {
+	return apply(func() int {
+		return 0
+		//sjvet:hotpath -- scoped to this literal; must not leak outward
+	}, helperCold())
+}
+
+// colder must also stay cold: the directive below sits in Inward's body,
+// and the colder reference on the next line sits inside a nested literal —
+// a different innermost function, so it is out of the directive's scope.
+func colder() int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		n += len(make([]string, 2))
+	}
+	return n
+}
+
+// Inward holds the outer-directive/inner-reference direction of the
+// scoping rule.
+func Inward() func() int {
+	//sjvet:hotpath -- outer directive; the ref below is inside a literal
+	return func() int { return colder() }
+}
