@@ -16,13 +16,19 @@
 #                        invariants"), over library code AND tests, with a
 #                        reviewed baseline (sjvet.baseline) and a SARIF
 #                        artifact (sjvet.sarif) for code-scanning upload
-#   * sjbench gates    — columnar >= row throughput (BENCH_columnar.json)
-#                        and the disabled-tracing overhead budget
-#                        (BENCH_obs.json, nil-span invariant)
+#   * sjbench gates    — columnar >= row throughput (BENCH_columnar.json),
+#                        the disabled-tracing overhead budget
+#                        (BENCH_obs.json, nil-span invariant), and the
+#                        distributed-shuffle bit-for-bit gate
+#                        (BENCH_shuffle.json, local vs 2-worker Fig-5)
 #   * smoke            — sjserved + sjload end to end: correctness burst,
 #                        admission control, graceful drain, then the
 #                        observability surface (traced query artifact,
-#                        GET /v1/trace/{id}, /metrics, pprof isolation)
+#                        GET /v1/trace/{id}, /metrics, pprof isolation),
+#                        then the distributed smoke: 2 sjworker processes,
+#                        a driver query whose shuffles cross TCP must match
+#                        the local run byte-for-byte, including with one
+#                        worker SIGKILLed mid-query at an exchange barrier
 #
 # Any nonzero exit fails the gate.
 set -eu
@@ -86,6 +92,13 @@ go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
 # itself must also be sjvet-clean on its own.
 echo "==> sjbench obs (disabled-tracing overhead gate)"
 go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json
+
+# Distributed-shuffle gate: the Fig-5 query through an in-process 2-worker
+# cluster (real TCP loopback exchanges) must produce byte-identical rows to
+# the local run (sjbench exits nonzero otherwise) — the bit-for-bit half of
+# the scheduler's determinism contract (DESIGN.md "Distributed execution").
+echo "==> sjbench shuffle (local vs distributed bit-for-bit gate)"
+go run ./cmd/sjbench -exp shuffle -out BENCH_shuffle.json
 echo "==> sjvet ./internal/obs"
 go run ./cmd/sjvet -baseline sjvet.baseline ./internal/obs
 
@@ -101,7 +114,7 @@ go run ./cmd/sjvet -baseline sjvet.baseline ./internal/obs
 echo "==> server smoke (sjserved + sjload)"
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
-go build -o "$SMOKE" ./cmd/sjserved ./cmd/sjload ./cmd/sjgen ./cmd/scrubjay
+go build -o "$SMOKE" ./cmd/sjserved ./cmd/sjload ./cmd/sjgen ./cmd/scrubjay ./cmd/sjworker
 "$SMOKE/sjgen" -out "$SMOKE/cat" -dat 1 -format jsonl \
   -racks 4 -nodes-per-rack 6 -amg-rack 2 -duration 1200 -seed 1 >/dev/null
 
@@ -198,5 +211,35 @@ if curl -sf "http://$ADDR/debug/pprof/" >/dev/null 2>&1; then
 fi
 kill -TERM "$SRV"
 wait "$SRV"
+
+# Distributed smoke: real sjworker processes. The same query runs three
+# ways — local, through the 2-worker cluster, and through the cluster with
+# worker 2 SIGKILLed mid-query (the driver's fault hook fires at the first
+# exchange's push/fetch barrier, so map outputs are already on the dead
+# worker and the fetch must discover the death, re-push to the survivor,
+# and retry). All three CSVs must be byte-identical.
+echo "  -> distributed shuffle: 2 sjworkers, bit-for-bit vs local, mid-query worker kill"
+"$SMOKE/scrubjay" query -catalog "$SMOKE/cat" $QUERY_ARGS \
+  -out "csv:$SMOKE/fig5-local.csv" >/dev/null
+"$SMOKE/sjworker" -addr 127.0.0.1:0 -addr-file "$SMOKE/w1.addr" 2>"$SMOKE/w1.log" &
+W1=$!
+"$SMOKE/sjworker" -addr 127.0.0.1:0 -addr-file "$SMOKE/w2.addr" 2>"$SMOKE/w2.log" &
+W2=$!
+W1ADDR=$(wait_addr "$SMOKE/w1.addr")
+W2ADDR=$(wait_addr "$SMOKE/w2.addr")
+"$SMOKE/scrubjay" query -catalog "$SMOKE/cat" $QUERY_ARGS \
+  -shuffle-workers "$W1ADDR,$W2ADDR" -out "csv:$SMOKE/fig5-dist.csv" >/dev/null
+cmp "$SMOKE/fig5-local.csv" "$SMOKE/fig5-dist.csv" \
+  || { echo "ci.sh: distributed result differs from local" >&2; exit 1; }
+SCRUBJAY_FAULT_KILL_PID=$W2 "$SMOKE/scrubjay" query -catalog "$SMOKE/cat" $QUERY_ARGS \
+  -shuffle-workers "$W1ADDR,$W2ADDR" -out "csv:$SMOKE/fig5-killed.csv" >/dev/null
+if kill -0 "$W2" 2>/dev/null; then
+  echo "ci.sh: fault injection never fired (worker 2 still alive)" >&2; exit 1
+fi
+cmp "$SMOKE/fig5-local.csv" "$SMOKE/fig5-killed.csv" \
+  || { echo "ci.sh: result after mid-query worker death differs from local" >&2; exit 1; }
+kill "$W1" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
 
 echo "ci.sh: all gates passed"

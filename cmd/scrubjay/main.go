@@ -24,10 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 
 	"scrubjay/internal/cache"
 	"scrubjay/internal/catalog"
+	"scrubjay/internal/cluster"
 	"scrubjay/internal/dataset"
 	"scrubjay/internal/derive"
 	"scrubjay/internal/engine"
@@ -146,6 +149,7 @@ func cmdQuery(args []string) error {
 	traceOut := fs.String("trace", "", "record a full execution trace and write the JSON artifact to this path")
 	serverURL := fs.String("server", "", "query a running sjserved instead of the local library")
 	columnar := fs.Bool("columnar", true, "execute on the columnar batch path (false = row-at-a-time reference path)")
+	shuffleWorkers := fs.String("shuffle-workers", "", "comma-separated sjworker exchange addresses; when set, shuffles run through the worker cluster")
 	fs.Parse(args)
 	if *catalogDir == "" && *serverURL == "" {
 		return fmt.Errorf("query: -catalog (or -server) is required")
@@ -181,6 +185,15 @@ func cmdQuery(args []string) error {
 	}
 
 	ctx := rdd.NewContext(0)
+	if *shuffleWorkers != "" {
+		sched, err := cluster.Connect(context.Background(), "scrubjay", *shuffleWorkers, faultOptions())
+		if err != nil {
+			return err
+		}
+		defer sched.Registry().Close()
+		ctx = ctx.WithPlacement(sched)
+		fmt.Fprintf(os.Stderr, "shuffle cluster: %d workers\n", len(sched.Registry().Workers()))
+	}
 	dict := semantics.DefaultDictionary()
 	cat, schemas, err := loadCatalog(ctx, *catalogDir)
 	if err != nil {
@@ -261,6 +274,31 @@ func cmdQuery(args []string) error {
 // serverQuery answers a query through a running sjserved: one /v1/plan
 // call for the derivation sequence (so -plan still works), then a
 // /v1/execute of that exact plan, streamed back as rows.
+// faultOptions builds the cluster options for -shuffle-workers, wiring in
+// the CI fault injection hook: when SCRUBJAY_FAULT_KILL_PID names a worker
+// process, it is SIGKILLed at the first exchange's push/fetch barrier —
+// after map outputs land on it, before any fetch — so the smoke test can
+// prove the scheduler discovers the death and retries onto a survivor
+// mid-query. Unset (the normal case), the options are zero.
+func faultOptions() cluster.Options {
+	opts := cluster.Options{}
+	pid, err := strconv.Atoi(os.Getenv("SCRUBJAY_FAULT_KILL_PID"))
+	if err != nil || pid <= 0 {
+		return opts
+	}
+	var once sync.Once
+	opts.PhaseHook = func(phase, _ string) {
+		if phase == "barrier" {
+			once.Do(func() {
+				if p, err := os.FindProcess(pid); err == nil {
+					p.Kill()
+				}
+			})
+		}
+	}
+	return opts
+}
+
 func serverQuery(serverURL string, q engine.Query, window float64, planOut, out string, show int) error {
 	cl := &server.Client{BaseURL: serverURL}
 	pr, err := cl.Plan(server.QueryRequest{Query: q, WindowSeconds: window})

@@ -13,6 +13,7 @@
 //	naive  Dual-binning vs naive interp join    (§5.3 ablation)
 //	columnar Row-path vs columnar join throughput (this repo's batch engine)
 //	obs    Tracing-overhead gate: natural join with tracing off vs on
+//	shuffle Local vs 2-worker distributed Fig-5 (bit-for-bit gate)
 //	all    Everything above
 //
 // The columnar experiment doubles as a regression gate: with -out it writes
@@ -246,6 +247,29 @@ func main() {
 		if !report.WithinBudget {
 			return fmt.Errorf("disabled-tracing hot path regressed past the %.0f%% budget: median off/collected ratio %.3f",
 				report.Budget*100, report.GateRatio)
+		}
+		return nil
+	})
+	run("shuffle", func() error {
+		scfg := cs
+		// Scale to the server suite's Fig-5 fixture: big enough that every
+		// shuffle moves real batches, small enough for a CI gate.
+		scfg.Racks, scfg.NodesPerRack, scfg.AMGRack = 4, 6, 2
+		scfg.DAT1DurationSec = 1800
+		scfg.Partitions = 4
+		report, err := bench.RunShuffleCompare(scfg, *reps)
+		if err != nil {
+			return err
+		}
+		report.Print(os.Stdout)
+		if *out != "" {
+			if err := report.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", *out)
+		}
+		if !report.Identical {
+			return fmt.Errorf("distributed Fig-5 output is not byte-identical to the local run")
 		}
 		return nil
 	})

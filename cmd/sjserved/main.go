@@ -19,6 +19,11 @@
 //	         [-window SEC] [-default-timeout-ms N] [-max-timeout-ms N]
 //	         [-drain-ms N] [-trace-ring N]
 //	         [-debug-addr HOST:PORT] [-debug-addr-file PATH]
+//	         [-shuffle-workers ADDR,ADDR,...]
+//
+// With -shuffle-workers, every query's shuffle exchanges move through the
+// listed sjworker shard processes (registration + heartbeat + retry via
+// internal/cluster); results are bit-for-bit identical to in-process runs.
 package main
 
 import (
@@ -32,10 +37,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"scrubjay/internal/cache"
+	"scrubjay/internal/cluster"
+	"scrubjay/internal/rdd"
 	"scrubjay/internal/server"
 )
 
@@ -47,6 +55,7 @@ type options struct {
 	workers        int
 	maxConcurrent  int
 	maxQueue       int
+	shuffleWorkers string
 	cacheDir       string
 	cacheBytes     int64
 	planCacheSize  int
@@ -68,6 +77,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "rdd workers per request (0 = GOMAXPROCS)")
 	flag.IntVar(&o.maxConcurrent, "max-concurrent", 4, "executor slots")
 	flag.IntVar(&o.maxQueue, "max-queue", 64, "bounded wait queue (negative = none)")
+	flag.StringVar(&o.shuffleWorkers, "shuffle-workers", "", "comma-separated sjworker exchange addresses; when set, shuffles run through the worker cluster")
 	flag.StringVar(&o.cacheDir, "cache", "", "derivation-result cache directory (optional)")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", 256<<20, "result-cache budget in bytes")
 	flag.IntVar(&o.planCacheSize, "plan-cache", 256, "plan-cache LRU capacity")
@@ -113,6 +123,22 @@ func run(o options) error {
 		log.Printf("result cache %s: %d entries, budget %d bytes", o.cacheDir, resultCache.Len(), o.cacheBytes)
 	}
 
+	var placement rdd.Placement
+	if o.shuffleWorkers != "" {
+		sched, err := cluster.Connect(context.Background(), "sjserved", o.shuffleWorkers, cluster.Options{})
+		if err != nil {
+			return err
+		}
+		defer sched.Registry().Close()
+		workers := sched.Registry().Workers()
+		ids := make([]string, len(workers))
+		for i, w := range workers {
+			ids[i] = w.ID()
+		}
+		log.Printf("shuffle cluster: %d workers (%s)", len(workers), strings.Join(ids, ", "))
+		placement = sched
+	}
+
 	s := server.New(store, server.Config{
 		Workers:        o.workers,
 		MaxConcurrent:  o.maxConcurrent,
@@ -124,6 +150,7 @@ func run(o options) error {
 		Cache:          resultCache,
 		RowMode:        !o.columnar,
 		TraceRing:      o.traceRing,
+		Placement:      placement,
 	})
 
 	ln, err := net.Listen("tcp", o.addr)

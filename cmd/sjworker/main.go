@@ -1,0 +1,55 @@
+// Command sjworker is a ScrubJay shard worker: it serves the TCP shuffle
+// exchange (internal/shuffle) that distributed queries move column batches
+// through. A driver (sjserved or the scrubjay CLI with -shuffle-workers)
+// registers workers by address, pushes map outputs to them, and fetches
+// merged destination partitions back; the worker owns the partition ranges
+// the driver's cluster scheduler assigns it.
+//
+// Usage:
+//
+//	sjworker -addr 127.0.0.1:7401
+//	sjworker -addr 127.0.0.1:0 -addr-file /tmp/w1.addr   # tests: bind any port
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scrubjay/internal/shuffle"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7401", "address to serve the shuffle exchange on (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "optional file to write the bound address to (for scripts that use -addr :0)")
+		id       = flag.String("id", "", "worker identity reported to drivers (default: the bound address)")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, *id); err != nil {
+		fmt.Fprintln(os.Stderr, "sjworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile, id string) error {
+	srv, err := shuffle.Serve(addr, id)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	fmt.Printf("sjworker %s listening on %s\n", srv.ID(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("sjworker %s: %v, shutting down\n", srv.ID(), s)
+	return srv.Close()
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"scrubjay/internal/cluster"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/shuffle"
+	"scrubjay/internal/value"
+)
+
+// The shuffle experiment runs the §7.2 Figure-5 query twice over the same
+// simulated DAT-1 inputs: once with in-process exchanges (the library
+// default) and once through a live 2-worker shuffle cluster, where every
+// exchange's column batches cross real TCP loopback via the sjworker
+// protocol. It doubles as a correctness gate: the two runs must produce
+// byte-identical JSON row sequences — the bit-for-bit contract the
+// distributed path promises — or the experiment fails.
+
+// ShuffleRun is one measured leg (local or distributed).
+type ShuffleRun struct {
+	WallMillis float64 `json:"wall_ms"`
+	OutputRows int64   `json:"output_rows"`
+}
+
+// ShuffleReport is the BENCH_shuffle.json document.
+type ShuffleReport struct {
+	Rows    int64      `json:"rows"`
+	Workers int        `json:"workers"`
+	Reps    int        `json:"reps"`
+	Local   ShuffleRun `json:"local"`
+	Dist    ShuffleRun `json:"dist"`
+	// LocalMillis / DistMillis duplicate the per-leg walls at the top level
+	// for one-glance CI logs.
+	LocalMillis float64 `json:"local_ms"`
+	DistMillis  float64 `json:"dist_ms"`
+	// Ratio is dist wall over local wall (>1 means the TCP hop costs time;
+	// on one host it always should, since the cluster adds serialization
+	// and loopback round-trips without adding machines).
+	Ratio float64 `json:"ratio"`
+	// Exchanges and ShuffleBytes count what actually crossed the cluster —
+	// if Exchanges is 0 the distributed path silently never ran.
+	Exchanges    int64 `json:"exchanges"`
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// Identical is the gate: every output row byte-identical, in order.
+	Identical bool `json:"identical"`
+}
+
+// shuffleLeg executes the Fig-5 pipeline reps times on a fresh context
+// (with the placement attached when non-nil) and keeps the fastest wall.
+// The catalog is materialized to in-memory rows before the timer so the
+// measurement is derivation + exchange, not facility simulation.
+func shuffleLeg(cfg CaseStudyConfig, reps int, p rdd.Placement) ([]value.Row, ShuffleRun, error) {
+	ctx := rdd.NewContext(cfg.Workers)
+	if p != nil {
+		ctx = ctx.WithPlacement(p)
+	}
+	dict := semantics.DefaultDictionary()
+	cat, schemas, _ := DAT1Catalog(ctx, cfg)
+	for name, ds := range cat {
+		cat[name] = materializeRows(ctx, ds)
+	}
+	e := engine.New(dict, schemas, engine.DefaultOptions())
+	plan, err := e.Solve(context.Background(), Fig5Query())
+	if err != nil {
+		return nil, ShuffleRun{}, err
+	}
+	var rows []value.Row
+	var best ShuffleRun
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
+		if err != nil {
+			return nil, ShuffleRun{}, err
+		}
+		got := out.Collect()
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		if r == 0 || wall < best.WallMillis {
+			best = ShuffleRun{WallMillis: wall, OutputRows: int64(len(got))}
+		}
+		rows = got
+	}
+	return rows, best, nil
+}
+
+// rowsIdentical checks the bit-for-bit contract the way the served API
+// exposes rows: each row's JSON encoding must match byte for byte, in the
+// same order.
+func rowsIdentical(a, b []value.Row) (bool, error) {
+	if len(a) != len(b) {
+		return false, nil
+	}
+	for i := range a {
+		ja, err := json.Marshal(a[i])
+		if err != nil {
+			return false, err
+		}
+		jb, err := json.Marshal(b[i])
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(ja, jb) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RunShuffleCompare runs the local and 2-worker legs and builds the report.
+func RunShuffleCompare(cfg CaseStudyConfig, reps int) (ShuffleReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	const workers = 2
+
+	met := obs.NewRegistry()
+	reg := cluster.NewRegistry("sjbench", 10*time.Second, 2)
+	defer reg.Close()
+	servers := make([]*shuffle.Server, 0, workers)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		srv, err := shuffle.Serve("127.0.0.1:0", fmt.Sprintf("bench-w%d", i))
+		if err != nil {
+			return ShuffleReport{}, err
+		}
+		servers = append(servers, srv)
+		if _, err := reg.Register(context.Background(), srv.Addr()); err != nil {
+			return ShuffleReport{}, err
+		}
+	}
+	sched := cluster.NewScheduler(reg, cluster.Options{Metrics: met})
+
+	localRows, local, err := shuffleLeg(cfg, reps, nil)
+	if err != nil {
+		return ShuffleReport{}, fmt.Errorf("local leg: %w", err)
+	}
+	distRows, dist, err := shuffleLeg(cfg, reps, sched)
+	if err != nil {
+		return ShuffleReport{}, fmt.Errorf("distributed leg: %w", err)
+	}
+	same, err := rowsIdentical(localRows, distRows)
+	if err != nil {
+		return ShuffleReport{}, err
+	}
+
+	rep := ShuffleReport{
+		Rows:         local.OutputRows,
+		Workers:      workers,
+		Reps:         reps,
+		Local:        local,
+		Dist:         dist,
+		LocalMillis:  local.WallMillis,
+		DistMillis:   dist.WallMillis,
+		Exchanges:    met.Counter("cluster_exchanges_total").Load(),
+		ShuffleBytes: met.Counter("cluster_shuffle_bytes_total").Load(),
+		Identical:    same,
+	}
+	if local.WallMillis > 0 {
+		rep.Ratio = dist.WallMillis / local.WallMillis
+	}
+	if rep.Exchanges == 0 {
+		return rep, fmt.Errorf("no exchange crossed the cluster: the distributed path never ran")
+	}
+	return rep, nil
+}
+
+// Print renders the comparison for the console.
+func (r ShuffleReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "fig-5 query, %d output rows, best of %d\n", r.Rows, r.Reps)
+	fmt.Fprintf(w, "  %-22s %10.1f ms\n", "local (in-process)", r.LocalMillis)
+	fmt.Fprintf(w, "  %-22s %10.1f ms  (%d exchanges, %d bytes over TCP)\n",
+		fmt.Sprintf("distributed (%dw)", r.Workers), r.DistMillis, r.Exchanges, r.ShuffleBytes)
+	fmt.Fprintf(w, "  dist/local ratio = %.2fx; byte-identical output = %v\n", r.Ratio, r.Identical)
+}
+
+// WriteFile lands the report as indented JSON via temp + rename.
+func (r ShuffleReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Connect is the one-call setup the binaries use: parse a comma-separated
+// worker address list, register every worker, start the heartbeat, and
+// return a ready Scheduler. Close the returned scheduler's Registry when
+// done.
+func Connect(ctx context.Context, driverName, addrList string, opts Options) (*Scheduler, error) {
+	addrs := strings.Split(addrList, ",")
+	reg := NewRegistry(driverName, 5*time.Second, 4)
+	n := 0
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if _, err := reg.Register(ctx, a); err != nil {
+			reg.Close()
+			return nil, err
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses in %q", addrList)
+	}
+	reg.StartHeartbeat(500*time.Millisecond, 3)
+	return NewScheduler(reg, opts), nil
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrubjay/internal/obs"
+	"scrubjay/internal/shuffle"
+)
+
+// Options tunes the Scheduler. Zero values select the defaults noted.
+type Options struct {
+	// FetchConcurrency bounds in-flight destination pushes and fetches —
+	// the exchange backpressure (default 8).
+	FetchConcurrency int
+	// TaskRetries is how many times one destination's push/fetch task is
+	// re-executed on a fresh worker after a failure (default 3).
+	TaskRetries int
+	// StragglerAfter launches a backup re-execution of a fetch task on
+	// another worker when the primary has not answered within this window;
+	// the first result wins (default 2s, <0 disables).
+	StragglerAfter time.Duration
+	// ChunkBytes caps one put payload; larger (src, dst) buckets ship as
+	// sequenced chunks (default shuffle.DefaultChunkBytes).
+	ChunkBytes int
+	// Metrics, when set, receives exchange counters and fetch latencies.
+	Metrics *obs.Registry
+	// PhaseHook, when set, is called at "push", "barrier", and "fetch" of
+	// every exchange — the seam fault-injection tests use to kill a worker
+	// at a deterministic point mid-query.
+	PhaseHook func(phase, stage string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FetchConcurrency < 1 {
+		o.FetchConcurrency = 8
+	}
+	if o.TaskRetries < 1 {
+		o.TaskRetries = 3
+	}
+	if o.StragglerAfter == 0 {
+		o.StragglerAfter = 2 * time.Second
+	}
+	if o.ChunkBytes < 1 {
+		o.ChunkBytes = shuffle.DefaultChunkBytes
+	}
+	return o
+}
+
+// Scheduler plans shuffle exchanges onto the registry's live workers. It
+// implements rdd.Placement.
+//
+// Invariants the rdd layer relies on:
+//
+//   - Deterministic merge order: the payload returned for destination d is
+//     the concatenation of enc[src][d] in ascending (src, seq) order, no
+//     matter which worker served it or how many retries it took. Workers
+//     sort stored chunks by (src, seq) at fetch time.
+//   - At-most-once task visibility: a destination's payload is committed to
+//     the caller exactly once. Retries and straggler backups re-execute the
+//     task (re-push + fetch — puts are idempotent on workers), but only the
+//     first completed result is visible; the loser is discarded.
+//   - Push-before-fetch: all destinations are fully pushed (barrier) before
+//     any fetch is issued, so a worker never serves a partial merge.
+type Scheduler struct {
+	reg  *Registry
+	opts Options
+	seq  atomic.Int64
+
+	exchanges  *obs.Counter
+	retries    *obs.Counter
+	stragglers *obs.Counter
+	bytesOut   *obs.Counter
+	fetchUS    *obs.Histogram
+}
+
+// NewScheduler builds a scheduler over reg.
+func NewScheduler(reg *Registry, opts Options) *Scheduler {
+	s := &Scheduler{reg: reg, opts: opts.withDefaults()}
+	if m := s.opts.Metrics; m != nil {
+		s.exchanges = m.Counter("cluster_exchanges_total")
+		s.retries = m.Counter("cluster_task_retries_total")
+		s.stragglers = m.Counter("cluster_straggler_backups_total")
+		s.bytesOut = m.Counter("cluster_shuffle_bytes_total")
+		s.fetchUS = m.Histogram("cluster_fetch_latency", "us")
+	}
+	return s
+}
+
+// Registry returns the scheduler's worker registry.
+func (s *Scheduler) Registry() *Registry { return s.reg }
+
+func (s *Scheduler) hook(phase, stage string) {
+	if s.opts.PhaseHook != nil {
+		s.opts.PhaseHook(phase, stage)
+	}
+}
+
+// Exchange implements rdd.Placement: push every (src, dst) bucket to the
+// destination's owner worker, barrier, then fetch each destination's merged
+// payload. Worker failures reassign the destination to the next live worker
+// and re-execute its task from the driver-retained encoded buckets.
+func (s *Scheduler) Exchange(ctx context.Context, stage string, numOut int, enc [][][]byte) ([][]byte, error) {
+	live := s.reg.Live()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("cluster: no live workers")
+	}
+	if s.exchanges != nil {
+		s.exchanges.Inc()
+	}
+	id := fmt.Sprintf("%s#%d", stage, s.seq.Add(1))
+	owners := make([]*Worker, numOut)
+	for d := range owners {
+		owners[d] = live[d%len(live)]
+	}
+
+	sem := make(chan struct{}, s.opts.FetchConcurrency)
+	runBounded := func(f func()) func() {
+		return func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f()
+		}
+	}
+
+	// Push phase: per destination, serially push that destination's chunks
+	// from every source; destinations proceed in parallel under the
+	// backpressure semaphore. A failure reassigns the destination and
+	// re-pushes it in full (puts are idempotent, re-sent chunks overwrite).
+	s.hook("push", stage)
+	errs := make([]error, numOut)
+	var wg sync.WaitGroup
+	for d := 0; d < numOut; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runBounded(func() {
+				w, err := s.pushWithRetry(ctx, id, stage, d, owners[d], enc)
+				owners[d], errs[d] = w, err
+			})()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.dropAsync(id)
+			return nil, err
+		}
+	}
+	s.hook("barrier", stage)
+
+	// Fetch phase: per destination, fetch the merged payload from its
+	// owner, with retry-on-new-worker and straggler backup.
+	out := make([][]byte, numOut)
+	for d := 0; d < numOut; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runBounded(func() {
+				out[d], errs[d] = s.fetchWithRecovery(ctx, id, stage, d, owners[d], enc)
+			})()
+		}()
+	}
+	wg.Wait()
+	s.hook("fetch", stage)
+	s.dropAsync(id)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// pushWithRetry pushes destination d's buckets to w, reassigning to the
+// next live worker on failure. Returns the worker that holds the data.
+func (s *Scheduler) pushWithRetry(ctx context.Context, id, stage string, d int, w *Worker, enc [][][]byte) (*Worker, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.TaskRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return w, err
+		}
+		if attempt > 0 {
+			if s.retries != nil {
+				s.retries.Inc()
+			}
+			next := s.replacement(w)
+			if next == nil {
+				return w, fmt.Errorf("cluster: push %s dst %d: no live workers left: %w", stage, d, lastErr)
+			}
+			w = next
+		}
+		if err := s.pushDstTo(ctx, id, d, w, enc); err != nil {
+			lastErr = err
+			s.failWorker(w, err)
+			continue
+		}
+		return w, nil
+	}
+	return w, fmt.Errorf("cluster: push %s dst %d: retries exhausted: %w", stage, d, lastErr)
+}
+
+// pushDstTo ships every (src, seq) chunk for destination d to worker w on
+// one pooled connection.
+func (s *Scheduler) pushDstTo(ctx context.Context, id string, d int, w *Worker, enc [][][]byte) error {
+	c, err := w.get(ctx)
+	if err != nil {
+		return err
+	}
+	for src := range enc {
+		payload := enc[src][d]
+		if len(payload) == 0 {
+			continue
+		}
+		for seq := 0; len(payload) > 0; seq++ {
+			chunk := payload
+			if len(chunk) > s.opts.ChunkBytes {
+				chunk = chunk[:s.opts.ChunkBytes]
+			}
+			if err := c.Put(ctx, id, d, src, seq, chunk); err != nil {
+				c.Close()
+				return err
+			}
+			if s.bytesOut != nil {
+				s.bytesOut.Add(int64(len(chunk)))
+			}
+			payload = payload[len(chunk):]
+		}
+	}
+	w.put(c)
+	return nil
+}
+
+// fetchWithRecovery fetches destination d from owner, re-executing the task
+// (re-push to a replacement, fetch) on failure, and racing a straggler
+// backup when the primary stalls. Only the first completed payload is
+// committed (at-most-once visibility).
+func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d int, owner *Worker, enc [][][]byte) ([]byte, error) {
+	type result struct {
+		payload []byte
+		err     error
+		worker  *Worker
+	}
+	results := make(chan result, s.opts.TaskRetries+2)
+	attempt := func(w *Worker, repush bool) {
+		if repush {
+			if err := s.pushDstTo(ctx, id, d, w, enc); err != nil {
+				results <- result{nil, err, w}
+				return
+			}
+		}
+		start := time.Now()
+		payload, err := s.fetchFrom(ctx, id, d, w)
+		if err == nil && s.fetchUS != nil {
+			s.fetchUS.ObserveDuration(time.Since(start))
+		}
+		results <- result{payload, err, w}
+	}
+
+	outstanding := 1
+	launches := 1
+	go attempt(owner, false)
+
+	var straggler <-chan time.Time
+	if s.opts.StragglerAfter > 0 {
+		straggler = time.After(s.opts.StragglerAfter)
+	}
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-straggler:
+			straggler = nil
+			if launches > s.opts.TaskRetries {
+				continue
+			}
+			if next := s.replacement(owner); next != nil {
+				if s.stragglers != nil {
+					s.stragglers.Inc()
+				}
+				launches++
+				outstanding++
+				go attempt(next, true)
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				return r.payload, nil // first success commits; losers are discarded
+			}
+			lastErr = r.err
+			s.failWorker(r.worker, r.err)
+			if launches <= s.opts.TaskRetries {
+				if next := s.replacement(r.worker); next != nil {
+					if s.retries != nil {
+						s.retries.Inc()
+					}
+					launches++
+					outstanding++
+					go attempt(next, true)
+				}
+			}
+			if outstanding == 0 {
+				return nil, fmt.Errorf("cluster: fetch %s dst %d failed: %w", stage, d, lastErr)
+			}
+		}
+	}
+}
+
+func (s *Scheduler) fetchFrom(ctx context.Context, id string, d int, w *Worker) ([]byte, error) {
+	c, err := w.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.Fetch(ctx, id, d)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	w.put(c)
+	return payload, nil
+}
+
+// failWorker marks w failed unless the error is a context cancellation —
+// a query deadline is the driver's fault, not the worker's.
+func (s *Scheduler) failWorker(w *Worker, err error) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.reg.MarkFailed(w)
+}
+
+// replacement picks a live worker other than exclude (or any live worker
+// when exclude is the only one left). Nil when the fleet is empty.
+func (s *Scheduler) replacement(exclude *Worker) *Worker {
+	live := s.reg.Live()
+	for _, w := range live {
+		if w != exclude {
+			return w
+		}
+	}
+	if len(live) > 0 {
+		return live[0]
+	}
+	return nil
+}
+
+// dropAsync frees worker-side shuffle state in the background.
+func (s *Scheduler) dropAsync(id string) {
+	workers := s.reg.Live()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.reg.opTimeout)
+		defer cancel()
+		for _, w := range workers {
+			if c, err := w.get(ctx); err == nil {
+				if c.Drop(ctx, id) == nil {
+					w.put(c)
+				} else {
+					c.Close()
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scrubjay/internal/obs"
+	"scrubjay/internal/shuffle"
+)
+
+// testCluster spins up n in-process shuffle servers and a registry over
+// them, returning the scheduler and the servers (indexed by registration
+// order) for fault injection.
+func testCluster(t *testing.T, n int, opts Options) (*Scheduler, []*shuffle.Server) {
+	t.Helper()
+	servers := make([]*shuffle.Server, n)
+	reg := NewRegistry("driver-test", 2*time.Second, 2)
+	t.Cleanup(reg.Close)
+	for i := range servers {
+		srv, err := shuffle.Serve("127.0.0.1:0", fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { srv.Close() })
+		if _, err := reg.Register(context.Background(), srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewScheduler(reg, opts), servers
+}
+
+// testEnc builds a deterministic enc[src][dst] payload matrix.
+func testEnc(srcs, dsts int) [][][]byte {
+	enc := make([][][]byte, srcs)
+	for s := range enc {
+		enc[s] = make([][]byte, dsts)
+		for d := range enc[s] {
+			enc[s][d] = []byte(fmt.Sprintf("<s%d-d%d>", s, d))
+		}
+	}
+	return enc
+}
+
+// wantMerged is the contract: payloads concatenated in ascending src order.
+func wantMerged(srcs, d int) string {
+	var b strings.Builder
+	for s := 0; s < srcs; s++ {
+		fmt.Fprintf(&b, "<s%d-d%d>", s, d)
+	}
+	return b.String()
+}
+
+func TestExchangeMergeOrder(t *testing.T) {
+	sched, _ := testCluster(t, 2, Options{})
+	const srcs, dsts = 5, 7
+	out, err := sched.Exchange(context.Background(), "stage-a", dsts, testEnc(srcs, dsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dsts; d++ {
+		if got, want := string(out[d]), wantMerged(srcs, d); got != want {
+			t.Fatalf("dst %d: %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestExchangeChunking forces multi-chunk puts and checks the (src, seq)
+// merge survives chunk boundaries.
+func TestExchangeChunking(t *testing.T) {
+	sched, _ := testCluster(t, 2, Options{ChunkBytes: 3})
+	enc := [][][]byte{
+		{[]byte("aaaaaaaaaa")}, // src 0 → dst 0: 4 chunks
+		{[]byte("bbbbb")},      // src 1 → dst 0: 2 chunks
+	}
+	out, err := sched.Exchange(context.Background(), "stage-chunk", 1, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out[0]); got != "aaaaaaaaaabbbbb" {
+		t.Fatalf("merged %q", got)
+	}
+}
+
+func TestExchangeEmptyBuckets(t *testing.T) {
+	sched, _ := testCluster(t, 2, Options{})
+	enc := [][][]byte{
+		{nil, []byte("x")},
+		{nil, nil},
+	}
+	out, err := sched.Exchange(context.Background(), "stage-empty", 2, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 0 || string(out[1]) != "x" {
+		t.Fatalf("got %q / %q", out[0], out[1])
+	}
+}
+
+// TestWorkerDeathBetweenPhases kills one worker at the push/fetch barrier —
+// the deterministic injection point PhaseHook exists for — and requires the
+// exchange to retry onto the survivor and still produce the exact merge.
+func TestWorkerDeathBetweenPhases(t *testing.T) {
+	var sched *Scheduler
+	var servers []*shuffle.Server
+	killed := false
+	metrics := obs.NewRegistry()
+	sched, servers = testCluster(t, 2, Options{
+		StragglerAfter: -1, // isolate the retry path
+		Metrics:        metrics,
+		PhaseHook: func(phase, stage string) {
+			if phase == "barrier" && !killed {
+				killed = true
+				servers[0].Close()
+				sched.Registry().MarkFailed(sched.Registry().Workers()[0])
+			}
+		},
+	})
+	const srcs, dsts = 3, 4
+	out, err := sched.Exchange(context.Background(), "stage-kill", dsts, testEnc(srcs, dsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dsts; d++ {
+		if got, want := string(out[d]), wantMerged(srcs, d); got != want {
+			t.Fatalf("dst %d after worker death: %q, want %q", d, got, want)
+		}
+	}
+	if !killed {
+		t.Fatal("phase hook never fired")
+	}
+}
+
+// TestWorkerDeathDetectedByFetch is the harder variant: the worker dies at
+// the barrier but is NOT pre-marked — the fetch itself must discover the
+// failure, mark the worker, re-push to a survivor, and recover.
+func TestWorkerDeathDetectedByFetch(t *testing.T) {
+	var servers []*shuffle.Server
+	killed := false
+	var sched *Scheduler
+	sched, servers = testCluster(t, 2, Options{
+		StragglerAfter: -1,
+		PhaseHook: func(phase, stage string) {
+			if phase == "barrier" && !killed {
+				killed = true
+				servers[1].Close()
+			}
+		},
+	})
+	const srcs, dsts = 2, 2
+	out, err := sched.Exchange(context.Background(), "stage-kill2", dsts, testEnc(srcs, dsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dsts; d++ {
+		if got, want := string(out[d]), wantMerged(srcs, d); got != want {
+			t.Fatalf("dst %d: %q, want %q", d, got, want)
+		}
+	}
+	live := sched.Registry().Live()
+	if len(live) != 1 || live[0].ID() != "w0" {
+		t.Fatalf("expected only w0 live, got %d workers", len(live))
+	}
+}
+
+func TestAllWorkersDead(t *testing.T) {
+	sched, servers := testCluster(t, 2, Options{StragglerAfter: -1})
+	for _, srv := range servers {
+		srv.Close()
+	}
+	for _, w := range sched.Registry().Workers() {
+		sched.Registry().MarkFailed(w)
+	}
+	_, err := sched.Exchange(context.Background(), "stage-dead", 1, testEnc(1, 1))
+	if err == nil {
+		t.Fatal("exchange with no live workers succeeded")
+	}
+}
+
+func TestExchangeCancellation(t *testing.T) {
+	sched, _ := testCluster(t, 1, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sched.Exchange(ctx, "stage-cancel", 2, testEnc(2, 2))
+	if err == nil {
+		t.Fatal("cancelled exchange succeeded")
+	}
+}
+
+// TestHeartbeatMarksDeadWorker verifies the registry prober notices a dead
+// worker and removes it from scheduling without any exchange traffic.
+func TestHeartbeatMarksDeadWorker(t *testing.T) {
+	sched, servers := testCluster(t, 2, Options{})
+	reg := sched.Registry()
+	reg.StartHeartbeat(20*time.Millisecond, 2)
+	defer reg.StopHeartbeat()
+	servers[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(reg.Live()) == 1 {
+			if reg.Live()[0].ID() != "w0" {
+				t.Fatalf("wrong survivor %s", reg.Live()[0].ID())
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("heartbeat never marked the dead worker")
+}
+
+// TestLargePayloadRoundTrip pushes a payload spanning many chunks through a
+// real exchange and checks byte equality end to end.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	sched, _ := testCluster(t, 2, Options{ChunkBytes: 64 << 10})
+	big := bytes.Repeat([]byte("0123456789abcdef"), 64<<10) // 1 MiB
+	enc := [][][]byte{{big}}
+	out, err := sched.Exchange(context.Background(), "stage-big", 1, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[0], big) {
+		t.Fatalf("large payload corrupted: %d bytes, want %d", len(out[0]), len(big))
+	}
+}

@@ -28,9 +28,9 @@ type keyedFrame struct {
 // partitions. Batches arrive at each destination in source-partition
 // order, matching the row-level shuffle's ordering contract.
 func hashExchange(frames *rdd.RDD[*frame.Frame], cols []string, convs []func(value.Value) value.Value, numOut int, stage string) *rdd.RDD[keyedFrame] {
-	keyed := rdd.Map(frames, func(f *frame.Frame) keyedFrame {
+	keyed := rdd.WithWire(rdd.Map(frames, func(f *frame.Frame) keyedFrame {
 		return keyedFrame{f: f, h: f.HashOn(cols, convs)}
-	})
+	}), keyedFrameWire)
 	return rdd.ExchangePartitions(keyed, numOut, stage, func(_ int, in []keyedFrame) [][]keyedFrame {
 		out := make([][]keyedFrame, numOut)
 		if numOut == 1 {

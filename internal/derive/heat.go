@@ -149,7 +149,7 @@ func (d *DeriveHeat) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*da
 		}
 	}
 	out := d.out()
-	grouped := rdd.GroupByKey(in.Rows(), func(r value.Row) string {
+	grouped := rdd.GroupByKey(rdd.WithWire(in.Rows(), rowWire), func(r value.Row) string {
 		return r.KeyStringOn(groupCols)
 	})
 	rows := rdd.FlatMap(grouped, func(g rdd.Group[value.Row]) []value.Row {

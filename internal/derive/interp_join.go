@@ -221,7 +221,7 @@ func (j *InterpolationJoin) Apply(left, right *dataset.Dataset, dict *semantics.
 		}
 	}).WithName(right.Name() + "|interp-tag")
 
-	cog := rdd.CoGroup(leftTagged, rightTagged,
+	cog := rdd.CoGroup(rdd.WithWire(leftTagged, interpTaggedWire), rdd.WithWire(rightTagged, interpTaggedWire),
 		func(e interpTagged) string { return e.key },
 		func(e interpTagged) string { return e.key })
 
@@ -263,7 +263,7 @@ func (j *InterpolationJoin) Apply(left, right *dataset.Dataset, dict *semantics.
 // side's residual domain columns, and each residual group interpolates into
 // one output row.
 func interpAssemble(cands *rdd.RDD[interpCand], rightResidual, lerpCols, nearestCols, dropRight []string) *rdd.RDD[value.Row] {
-	perLeft := rdd.GroupByKey(cands, func(c interpCand) string {
+	perLeft := rdd.GroupByKey(rdd.WithWire(cands, interpCandWire), func(c interpCand) string {
 		return strconv.FormatInt(c.id, 10)
 	})
 	return rdd.FlatMap(perLeft, func(g rdd.Group[interpCand]) []value.Row {

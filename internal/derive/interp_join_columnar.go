@@ -137,8 +137,8 @@ func interpCandidatesColumnar(left, right *dataset.Dataset, ltCol, rtCol string,
 		}
 		return out
 	}
-	lx := rdd.ExchangePartitions(leftTagged, numOut, leftTagged.Name(), split, nil)
-	rx := rdd.ExchangePartitions(rightTagged, numOut, rightTagged.Name(), split, nil)
+	lx := rdd.ExchangePartitions(rdd.WithWire(leftTagged, interpTaggedCWire), numOut, leftTagged.Name(), split, nil)
+	rx := rdd.ExchangePartitions(rdd.WithWire(rightTagged, interpTaggedCWire), numOut, rightTagged.Name(), split, nil)
 
 	return rdd.ZipPartitions(lx, rx, func(part int, ls, rs []interpTaggedC) []interpCand {
 		// Verified first-seen classes over the left entries: a class is one
@@ -214,7 +214,7 @@ func interpCandidatesColumnar(left, right *dataset.Dataset, ltCol, rtCol string,
 // produce identical row streams.
 func interpAssembleColumnar(cands *rdd.RDD[interpCand], rightResidual, lerpCols, nearestCols, dropRight []string) *rdd.RDD[value.Row] {
 	numOut := cands.NumPartitions()
-	ex := rdd.ExchangePartitions(cands, numOut, cands.Name(), func(_ int, in []interpCand) [][]interpCand {
+	ex := rdd.ExchangePartitions(rdd.WithWire(cands, interpCandWire), numOut, cands.Name(), func(_ int, in []interpCand) [][]interpCand {
 		out := make([][]interpCand, numOut)
 		for _, c := range in {
 			d := int(uint64(c.id) % uint64(numOut))

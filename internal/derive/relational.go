@@ -352,7 +352,7 @@ func (a *AggregateBy) Apply(in *dataset.Dataset, dict *semantics.Dictionary) (*d
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].col < ops[j].col })
 
-	grouped := rdd.GroupByKey(in.Rows(), func(r value.Row) string {
+	grouped := rdd.GroupByKey(rdd.WithWire(in.Rows(), rowWire), func(r value.Row) string {
 		return r.KeyStringOn(groupBy)
 	})
 	rows := rdd.Map(grouped, func(g rdd.Group[value.Row]) value.Row {

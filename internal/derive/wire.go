@@ -1,0 +1,190 @@
+package derive
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scrubjay/internal/frame"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/shuffle"
+	"scrubjay/internal/value"
+)
+
+// Wire codecs for every element type the derivation kernels shuffle. Each
+// shuffle call site attaches the matching wire via rdd.WithWire, which makes
+// that exchange eligible for the distributed path (internal/cluster) when
+// the Context carries a Placement; without one, the wires are inert and the
+// in-process exchange runs unchanged. Elements are self-delimiting, so a
+// merged destination payload decodes by looping until exhausted.
+//
+// All codecs round-trip exactly — the same canonical binary forms
+// (value.AppendBinary, the shuffle batch codec) that keep distributed runs
+// bit-for-bit identical to in-process ones.
+
+// rowWire carries bare value.Row elements (aggregate, heat, rate shuffles).
+var rowWire = &rdd.Wire[value.Row]{
+	Append: func(buf []byte, r value.Row) []byte { return r.AppendBinary(buf) },
+	Decode: value.DecodeRow,
+}
+
+// keyedFrameWire carries columnar hash-exchange batches: the frame plus its
+// per-row composite key hashes.
+var keyedFrameWire = &rdd.Wire[keyedFrame]{
+	Append: func(buf []byte, kf keyedFrame) []byte { return shuffle.AppendBatch(buf, kf.f, kf.h) },
+	Decode: func(b []byte) (keyedFrame, int, error) {
+		f, h, n, err := shuffle.DecodeBatch(b)
+		if err != nil {
+			return keyedFrame{}, 0, err
+		}
+		if h == nil {
+			h = make([]uint64, 0, f.NumRows())
+		}
+		return keyedFrame{f: f, h: h}, n, nil
+	},
+}
+
+// frameWire carries bare *frame.Frame batches.
+var frameWire = &rdd.Wire[*frame.Frame]{
+	Append: shuffle.AppendFrame,
+	Decode: shuffle.DecodeFrame,
+}
+
+// keyedRowWire carries the natural join's pre-keyed rows.
+var keyedRowWire = &rdd.Wire[keyedRow]{
+	Append: func(buf []byte, kr keyedRow) []byte {
+		buf = appendWireString(buf, kr.key)
+		return kr.row.AppendBinary(buf)
+	},
+	Decode: func(b []byte) (keyedRow, int, error) {
+		key, n, err := decodeWireString(b)
+		if err != nil {
+			return keyedRow{}, 0, err
+		}
+		row, rn, err := value.DecodeRow(b[n:])
+		if err != nil {
+			return keyedRow{}, 0, err
+		}
+		return keyedRow{key: key, row: row}, n + rn, nil
+	},
+}
+
+// interpTaggedWire carries the row-path interpolation join's tagged copies.
+var interpTaggedWire = &rdd.Wire[interpTagged]{
+	Append: func(buf []byte, e interpTagged) []byte {
+		buf = appendWireString(buf, e.key)
+		buf = binary.AppendVarint(buf, e.id)
+		buf = binary.AppendVarint(buf, e.t)
+		buf = binary.AppendVarint(buf, e.binA)
+		return e.row.AppendBinary(buf)
+	},
+	Decode: func(b []byte) (interpTagged, int, error) {
+		var e interpTagged
+		key, pos, err := decodeWireString(b)
+		if err != nil {
+			return e, 0, err
+		}
+		e.key = key
+		for _, dst := range []*int64{&e.id, &e.t, &e.binA} {
+			v, n := binary.Varint(b[pos:])
+			if n <= 0 {
+				return e, 0, fmt.Errorf("derive: truncated interpTagged field")
+			}
+			*dst = v
+			pos += n
+		}
+		row, n, err := value.DecodeRow(b[pos:])
+		if err != nil {
+			return e, 0, err
+		}
+		e.row = row
+		return e, pos + n, nil
+	},
+}
+
+// interpTaggedCWire carries the columnar interpolation join's tagged copies.
+var interpTaggedCWire = &rdd.Wire[interpTaggedC]{
+	Append: func(buf []byte, e interpTaggedC) []byte {
+		buf = binary.AppendUvarint(buf, e.kh)
+		buf = binary.AppendVarint(buf, e.id)
+		buf = binary.AppendVarint(buf, e.t)
+		buf = binary.AppendVarint(buf, e.binA)
+		buf = binary.AppendVarint(buf, e.binSelf)
+		buf = append(buf, e.tag)
+		return e.row.AppendBinary(buf)
+	},
+	Decode: func(b []byte) (interpTaggedC, int, error) {
+		var e interpTaggedC
+		kh, pos := binary.Uvarint(b)
+		if pos <= 0 {
+			return e, 0, fmt.Errorf("derive: truncated interpTaggedC hash")
+		}
+		e.kh = kh
+		for _, dst := range []*int64{&e.id, &e.t, &e.binA, &e.binSelf} {
+			v, n := binary.Varint(b[pos:])
+			if n <= 0 {
+				return e, 0, fmt.Errorf("derive: truncated interpTaggedC field")
+			}
+			*dst = v
+			pos += n
+		}
+		if pos >= len(b) {
+			return e, 0, fmt.Errorf("derive: truncated interpTaggedC tag")
+		}
+		e.tag = b[pos]
+		pos++
+		row, n, err := value.DecodeRow(b[pos:])
+		if err != nil {
+			return e, 0, err
+		}
+		e.row = row
+		return e, pos + n, nil
+	},
+}
+
+// interpCandWire carries candidate pairs into the regroup-by-left-id
+// exchange (shared by the row and columnar interpolation paths).
+var interpCandWire = &rdd.Wire[interpCand]{
+	Append: func(buf []byte, c interpCand) []byte {
+		buf = binary.AppendVarint(buf, c.id)
+		buf = binary.AppendVarint(buf, c.lt)
+		buf = binary.AppendVarint(buf, c.rt)
+		buf = c.lrow.AppendBinary(buf)
+		return c.rrow.AppendBinary(buf)
+	},
+	Decode: func(b []byte) (interpCand, int, error) {
+		var c interpCand
+		pos := 0
+		for _, dst := range []*int64{&c.id, &c.lt, &c.rt} {
+			v, n := binary.Varint(b[pos:])
+			if n <= 0 {
+				return c, 0, fmt.Errorf("derive: truncated interpCand field")
+			}
+			*dst = v
+			pos += n
+		}
+		lrow, n, err := value.DecodeRow(b[pos:])
+		if err != nil {
+			return c, 0, err
+		}
+		pos += n
+		rrow, n, err := value.DecodeRow(b[pos:])
+		if err != nil {
+			return c, 0, err
+		}
+		c.lrow, c.rrow = lrow, rrow
+		return c, pos + n, nil
+	},
+}
+
+func appendWireString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeWireString(b []byte) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return "", 0, fmt.Errorf("derive: truncated wire string")
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}

@@ -1,0 +1,89 @@
+package frame
+
+import (
+	"fmt"
+
+	"scrubjay/internal/value"
+)
+
+// Raw column access for the shuffle wire codec (internal/shuffle). A
+// Column's storage is private so kernels cannot violate frame immutability;
+// the codec needs to read the vectors verbatim and to rebuild a column from
+// decoded vectors without a per-cell boxing round trip. These accessors
+// return the live slices — callers must treat them as read-only, exactly
+// like Ints/Floats/Strs.
+
+// BoxedValues exposes the boxed payload of a mixed/list/null-bearing column
+// (kind == value.KindNull). Nil for typed columns. Read-only.
+func (c *Column) BoxedValues() []value.Value { return c.boxd }
+
+// PresenceBits exposes the presence bitmap words (LSB-first within each
+// word, 64 cells per word). Nil when every cell is present. Read-only.
+func (c *Column) PresenceBits() []uint64 { return c.pres }
+
+// RawFrame builds a frame from decoded columns with an explicit row count.
+// Unlike New it can express a frame that has rows but no columns (FromRows
+// over rows whose maps are empty produces one), which the wire codec must
+// round-trip exactly. The cols slice is retained.
+func RawFrame(n int, cols []Column) (*Frame, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("frame: raw frame: negative row count %d", n)
+	}
+	for i := range cols {
+		if cols[i].n != n {
+			return nil, fmt.Errorf("frame: raw frame: column %q has %d rows, want %d", cols[i].name, cols[i].n, n)
+		}
+	}
+	return newFrame(cols, n), nil
+}
+
+// RawColumn rebuilds a column from raw storage vectors, the inverse of the
+// accessors above. It validates that exactly the vectors the kind requires
+// are present with the right lengths, so a corrupt or truncated wire
+// payload surfaces as an error rather than an out-of-range panic later.
+// The slices are retained, not copied: the caller hands over ownership.
+func RawColumn(name string, kind value.Kind, n int, ints []int64, flts []float64, strs []string, ends []int64, boxd []value.Value, pres []uint64) (Column, error) {
+	if n < 0 {
+		return Column{}, fmt.Errorf("frame: raw column %q: negative length %d", name, n)
+	}
+	if pres != nil && len(pres) != (n+63)/64 {
+		return Column{}, fmt.Errorf("frame: raw column %q: presence bitmap has %d words, want %d", name, len(pres), (n+63)/64)
+	}
+	want := func(cond bool, what string) error {
+		if !cond {
+			return fmt.Errorf("frame: raw column %q (kind %v): bad %s vector", name, kind, what)
+		}
+		return nil
+	}
+	c := Column{name: name, kind: kind, n: n, pres: pres}
+	switch kind {
+	case value.KindNull:
+		if err := want(len(boxd) == n && ints == nil && flts == nil && strs == nil && ends == nil, "boxed"); err != nil {
+			return Column{}, err
+		}
+		c.boxd = boxd
+	case value.KindBool, value.KindInt, value.KindTime:
+		if err := want(len(ints) == n && flts == nil && strs == nil && ends == nil && boxd == nil, "int"); err != nil {
+			return Column{}, err
+		}
+		c.ints = ints
+	case value.KindFloat:
+		if err := want(len(flts) == n && ints == nil && strs == nil && ends == nil && boxd == nil, "float"); err != nil {
+			return Column{}, err
+		}
+		c.flts = flts
+	case value.KindString:
+		if err := want(len(strs) == n && ints == nil && flts == nil && ends == nil && boxd == nil, "string"); err != nil {
+			return Column{}, err
+		}
+		c.strs = strs
+	case value.KindSpan:
+		if err := want(len(ints) == n && len(ends) == n && flts == nil && strs == nil && boxd == nil, "span"); err != nil {
+			return Column{}, err
+		}
+		c.ints, c.ends = ints, ends
+	default:
+		return Column{}, fmt.Errorf("frame: raw column %q: unknown kind %d", name, kind)
+	}
+	return c, nil
+}

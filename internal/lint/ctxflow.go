@@ -8,12 +8,17 @@ import (
 
 // ctxflowPackages are the layers whose blocking paths must thread the
 // caller's cancellable context (PR-2 invariant: cancellation propagates
-// engine → pipeline → rdd → server with no gaps a stuck query can hide in).
+// engine → pipeline → rdd → server with no gaps a stuck query can hide in;
+// the distributed layers — shuffle, cluster, sjworker — extend the chain
+// across the exchange RPCs).
 var ctxflowPackages = map[string]bool{
 	"engine":   true,
 	"pipeline": true,
 	"rdd":      true,
 	"server":   true,
+	"shuffle":  true,
+	"cluster":  true,
+	"sjworker": true,
 }
 
 // CtxFlowAnalyzer flags context-propagation breaks in the execution layers:

@@ -5,12 +5,16 @@ import (
 	"strings"
 )
 
-// goroleakPackages are the long-lived layers (PR-2's daemon and the rdd
-// worker pool) where a leaked goroutine accumulates across queries instead
-// of dying with the process.
+// goroleakPackages are the long-lived layers (PR-2's daemon, the rdd
+// worker pool, and the distributed exchange — shuffle servers, the cluster
+// registry/scheduler, and the sjworker process) where a leaked goroutine
+// accumulates across queries instead of dying with the process.
 var goroleakPackages = map[string]bool{
-	"rdd":    true,
-	"server": true,
+	"rdd":      true,
+	"server":   true,
+	"shuffle":  true,
+	"cluster":  true,
+	"sjworker": true,
 }
 
 // GoroLeakAnalyzer flags goroutines with no termination edge. Every `go`

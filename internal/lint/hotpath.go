@@ -43,6 +43,10 @@ var hotRoots = map[string]map[string]bool{
 	"server": {
 		"execStream": true, "streamFrameRows": true,
 	},
+	"shuffle": {
+		"AppendFrame": true, "DecodeFrame": true,
+		"AppendBatch": true, "DecodeBatch": true,
+	},
 }
 
 // HotPaths is the queryable hot-function set.
@@ -105,6 +109,8 @@ func BuildHotPaths(m *Module, ip *Interproc) *HotPaths {
 						kind = "rdd task body"
 					case "server":
 						kind = "streaming path"
+					case "shuffle":
+						kind = "shuffle codec"
 					}
 					addRoot(ip.FuncOf(obj), "hot-path root ("+kind+")")
 				}

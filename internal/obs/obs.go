@@ -78,9 +78,14 @@ const (
 	AttrRowsOut     = "rows_out"
 	AttrShuffle     = "shuffle"
 	AttrShuffleRows = "shuffle_rows"
-	AttrPartitions  = "partitions"
-	AttrPartition   = "partition"
-	AttrCacheHit    = "cache_hit"
-	AttrPlanHash    = "plan_hash"
-	AttrError       = "error"
+	// AttrShuffleBytes is the encoded payload volume a distributed exchange
+	// pushed through the cluster data plane (internal/shuffle wire bytes).
+	AttrShuffleBytes = "shuffle_bytes"
+	// AttrWorker identifies the shard worker a distributed task ran against.
+	AttrWorker     = "worker"
+	AttrPartitions = "partitions"
+	AttrPartition  = "partition"
+	AttrCacheHit   = "cache_hit"
+	AttrPlanHash   = "plan_hash"
+	AttrError      = "error"
 )

@@ -242,15 +242,19 @@ func Execute(ctx context.Context, rc *rdd.Context, p *Plan, cat Catalog, dict *s
 		return nil, err
 	}
 	// Derivations abort deep inside rdd actions by panicking with
-	// *rdd.Canceled; surface that as an ordinary error here so callers
+	// *rdd.Canceled (timeout/cancel) or *rdd.ExecFailure (a distributed
+	// exchange died); surface those as ordinary errors here so callers
 	// (the CLI, the serving layer) never see the panic.
 	defer func() {
 		if r := recover(); r != nil {
-			if c, ok := r.(*rdd.Canceled); ok {
-				ds, err = nil, fmt.Errorf("pipeline: %w", c)
-				return
+			switch e := r.(type) {
+			case *rdd.Canceled:
+				ds, err = nil, fmt.Errorf("pipeline: %w", e)
+			case *rdd.ExecFailure:
+				ds, err = nil, fmt.Errorf("pipeline: %w", e)
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	return execNode(ctx, rc, p.Root, cat, dict, opts)

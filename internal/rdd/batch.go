@@ -40,17 +40,20 @@ func ExchangePartitions[T any](r *RDD[T], numOut int, stage string, split func(p
 		}
 		atomic.AddInt64(&moved, w)
 	})
-	dst := make([][]T, numOut)
-	for d := 0; d < numOut; d++ {
-		var n int
-		for s := range buckets {
-			n += len(buckets[s][d])
+	dst, distributed := exchangeVia(r.ctx, r.wire, stage, numOut, buckets)
+	if !distributed {
+		dst = make([][]T, numOut)
+		for d := 0; d < numOut; d++ {
+			var n int
+			for s := range buckets {
+				n += len(buckets[s][d])
+			}
+			part := make([]T, 0, n)
+			for s := range buckets {
+				part = append(part, buckets[s][d]...)
+			}
+			dst[d] = part
 		}
-		part := make([]T, 0, n)
-		for s := range buckets {
-			part = append(part, buckets[s][d]...)
-		}
-		dst[d] = part
 	}
 	out := FromPartitions(r.ctx, dst)
 	out.name = stage + "|exchange"

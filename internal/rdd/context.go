@@ -38,6 +38,10 @@ type Context struct {
 	// in-flight action aborts with a *Canceled panic (see Guard).
 	goCtx context.Context
 
+	// placement, when non-nil, routes wire-eligible shuffle exchanges
+	// through a physical cluster (see Placement and WithPlacement).
+	placement Placement
+
 	// scope is the current span stages record under (nil = untraced).
 	// mroot is the private collector root ResetMetrics installs, the tree
 	// SnapshotMetrics derives Metrics from.
@@ -63,7 +67,7 @@ func NewContext(workers int) *Context {
 // for plan execution). The current trace scope carries over; the metrics
 // collector does not (call ResetMetrics on the new Context to collect).
 func (c *Context) WithGoContext(ctx context.Context) *Context {
-	nc := &Context{workers: c.workers, goCtx: ctx}
+	nc := &Context{workers: c.workers, goCtx: ctx, placement: c.placement}
 	nc.scope.Store(c.scope.Load())
 	return nc
 }
@@ -105,21 +109,25 @@ func (c *Canceled) Error() string { return fmt.Sprintf("rdd: execution canceled:
 // Unwrap exposes the context error to errors.Is/As.
 func (c *Canceled) Unwrap() error { return c.Cause }
 
-// Guard runs fn, converting the cancellation abort of a bound Context into
-// an ordinary error. Use it around actions (Collect, Count, ...) on RDDs
-// whose Context came from WithGoContext:
+// Guard runs fn, converting the cancellation abort of a bound Context (or
+// the failure abort of a distributed exchange) into an ordinary error. Use
+// it around actions (Collect, Count, ...) on RDDs whose Context came from
+// WithGoContext or WithPlacement:
 //
 //	rows, err := rdd.Guard(func() []value.Row { return ds.Collect() })
 //
-// Non-cancellation panics propagate unchanged.
+// Other panics propagate unchanged.
 func Guard[T any](fn func() T) (out T, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			if c, ok := p.(*Canceled); ok {
-				err = c
-				return
+			switch e := p.(type) {
+			case *Canceled:
+				err = e
+			case *ExecFailure:
+				err = e
+			default:
+				panic(p)
 			}
-			panic(p)
 		}
 	}()
 	out = fn()

@@ -24,6 +24,10 @@ type RDD[T any] struct {
 	// write state outliving one invocation.
 	compute func(part int) []T
 
+	// wire, when set (WithWire), makes the next shuffle boundary over this
+	// RDD eligible for distributed exchange through the Context's Placement.
+	wire *Wire[T]
+
 	// Caching: once materialized, partitions are served from memory.
 	cacheMu sync.Mutex
 	caching bool

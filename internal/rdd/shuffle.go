@@ -48,6 +48,13 @@ func shuffleExchange[T any](r *RDD[T], key func(T) string, numOut int, stage str
 		buckets[i] = local
 		atomic.AddInt64(&moved, int64(len(srcParts[i])))
 	})
+	// Distributed path: when the Context has a Placement and the RDD a wire
+	// codec, the buckets cross the cluster data plane instead. The merged
+	// payloads preserve (src, seq) order, so both paths produce identical
+	// destination partitions element for element.
+	if dst, ok := exchangeVia(r.ctx, r.wire, stage, numOut, buckets); ok {
+		return dst, moved
+	}
 	dst := make([][]T, numOut)
 	for d := 0; d < numOut; d++ {
 		var n int

@@ -55,6 +55,10 @@ type Config struct {
 	// (default 64; negative disables tracing entirely, leaving queries on
 	// the nil-span fast path).
 	TraceRing int
+	// Placement, when non-nil, routes shuffle exchanges through a live
+	// worker cluster (internal/cluster.Scheduler) instead of in-process
+	// slice copies. Query results are bit-for-bit identical either way.
+	Placement rdd.Placement
 }
 
 func (c Config) withDefaults() Config {
@@ -194,8 +198,10 @@ func (s *Server) rejectAdmission(w http.ResponseWriter, err error) {
 }
 
 // errStatus classifies a search/execution error: deadline → 504, client
-// cancellation → 499, anything else (no derivation path, bad plan) → 422.
+// cancellation → 499, a distributed-exchange failure → 500, anything else
+// (no derivation path, bad plan) → 422.
 func (s *Server) errStatus(err error) int {
+	var execFail *rdd.ExecFailure
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.canceled.Add(1)
@@ -203,6 +209,9 @@ func (s *Server) errStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		s.met.canceled.Add(1)
 		return statusClientClosed
+	case errors.As(err, &execFail):
+		s.met.failed.Add(1)
+		return http.StatusInternalServerError
 	default:
 		s.met.failed.Add(1)
 		return http.StatusUnprocessableEntity
@@ -415,6 +424,9 @@ func (s *Server) serveExecute(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pipeline.Plan, hit bool, searchMicros int64, limit int, start time.Time, tr *obs.Tracer, qspan *obs.Span) {
 	exec := qspan.Child(obs.KindExec, "execute")
 	rc := rdd.NewContext(s.cfg.Workers).WithGoContext(ctx)
+	if s.cfg.Placement != nil {
+		rc = rc.WithPlacement(s.cfg.Placement)
+	}
 	rc.SetSpan(exec)
 	cat, _, version := s.store.Snapshot(rc, !s.cfg.RowMode)
 	result, err := pipeline.Execute(ctx, rc, plan, cat, s.cfg.Dict, pipeline.ExecOptions{Cache: s.cfg.Cache})

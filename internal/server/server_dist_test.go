@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scrubjay/internal/cluster"
+	"scrubjay/internal/obs"
+	"scrubjay/internal/shuffle"
+)
+
+// distCluster builds a live 2-worker shuffle cluster for a server test.
+func distCluster(t *testing.T, opts cluster.Options) (*cluster.Scheduler, []*shuffle.Server) {
+	t.Helper()
+	reg := cluster.NewRegistry("server-test", 2*time.Second, 2)
+	t.Cleanup(reg.Close)
+	servers := make([]*shuffle.Server, 2)
+	for i := range servers {
+		srv, err := shuffle.Serve("127.0.0.1:0", fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { srv.Close() })
+		if _, err := reg.Register(t.Context(), srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cluster.NewScheduler(reg, opts), servers
+}
+
+// TestFig5BitForBitDistributed extends the TestFig5BitForBit family to a
+// live 2-worker cluster: the served query's shuffles cross real TCP through
+// sjworker-equivalent shuffle servers, and every row must still be
+// byte-identical JSON, in the same order, as the in-process library run —
+// on both the columnar and the row execution path.
+func TestFig5BitForBitDistributed(t *testing.T) {
+	met := obs.NewRegistry()
+	sched, _ := distCluster(t, cluster.Options{Metrics: met})
+	runFig5(t, Config{Workers: 2, Placement: sched}, true)
+	runFig5(t, Config{Workers: 2, RowMode: true, Placement: sched}, false)
+	if n := met.Counter("cluster_exchanges_total").Load(); n == 0 {
+		t.Fatal("no exchange crossed the cluster: the distributed path never ran")
+	} else {
+		t.Logf("exchanges=%d bytes=%d", n, met.Counter("cluster_shuffle_bytes_total").Load())
+	}
+}
+
+// TestFig5BitForBitDistributedWorkerFailure injects a worker death at the
+// first exchange's push/fetch barrier — after map outputs land, before any
+// fetch — and requires the scheduler's retry (re-push to the survivor,
+// re-fetch) to complete the query with the identical bit-for-bit result.
+func TestFig5BitForBitDistributedWorkerFailure(t *testing.T) {
+	var mu sync.Mutex
+	killed := false
+	var servers []*shuffle.Server
+	sched, srvs := distCluster(t, cluster.Options{
+		StragglerAfter: -1, // exercise the retry path, not the backup race
+		PhaseHook: func(phase, stage string) {
+			mu.Lock()
+			defer mu.Unlock()
+			if phase == "barrier" && !killed {
+				killed = true
+				servers[1].Close() // unannounced death: the fetch must discover it
+			}
+		},
+	})
+	servers = srvs
+	runFig5(t, Config{Workers: 2, Placement: sched}, true)
+	mu.Lock()
+	defer mu.Unlock()
+	if !killed {
+		t.Fatal("fault injection never fired: no exchange reached the barrier")
+	}
+	if live := sched.Registry().Live(); len(live) != 1 {
+		t.Fatalf("expected 1 surviving worker, have %d", len(live))
+	}
+}

@@ -1,0 +1,122 @@
+package shuffle
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn is one driver-side connection to a worker's exchange service. A Conn
+// is not safe for concurrent use — internal/cluster pools several per worker
+// and hands each goroutine its own. Every operation applies a deadline of
+// min(ctx deadline, opTimeout) to the whole request/response round trip, so
+// a hung worker surfaces as an error instead of wedging a fetch slot.
+type Conn struct {
+	nc        net.Conn
+	workerID  string
+	opTimeout time.Duration
+}
+
+// Dial connects to a worker exchange service and performs the hello
+// handshake, verifying the protocol version.
+func Dial(ctx context.Context, addr, driverName string, opTimeout time.Duration) (*Conn, error) {
+	d := net.Dialer{}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, opTimeout: opTimeout}
+	req := appendString([]byte{opHello}, driverName)
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shuffle: hello to %s: %w", addr, err)
+	}
+	id, n, err := readString(resp)
+	if err != nil || len(resp) != n+1 {
+		nc.Close()
+		return nil, fmt.Errorf("shuffle: malformed hello response from %s", addr)
+	}
+	if v := resp[n]; v != ProtoVersion {
+		nc.Close()
+		return nil, fmt.Errorf("shuffle: worker %s speaks protocol %d, driver %d", addr, v, ProtoVersion)
+	}
+	c.workerID = id
+	return c, nil
+}
+
+// WorkerID returns the identity the worker reported in the handshake.
+func (c *Conn) WorkerID() string { return c.workerID }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// Put pushes one map-output chunk: payload bytes for (shuffleID, dst),
+// sequenced (src, seq). Idempotent on the worker.
+func (c *Conn) Put(ctx context.Context, shuffleID string, dst, src, seq int, payload []byte) error {
+	req := appendString([]byte{opPut}, shuffleID)
+	req = binary.AppendUvarint(req, uint64(dst))
+	req = binary.AppendUvarint(req, uint64(src))
+	req = binary.AppendUvarint(req, uint64(seq))
+	req = append(req, payload...)
+	_, err := c.roundTrip(ctx, req)
+	return err
+}
+
+// Fetch returns the merged payload for destination partition dst of
+// shuffleID: all stored chunks concatenated in (src, seq) order.
+func (c *Conn) Fetch(ctx context.Context, shuffleID string, dst int) ([]byte, error) {
+	req := appendString([]byte{opFetch}, shuffleID)
+	req = binary.AppendUvarint(req, uint64(dst))
+	return c.roundTrip(ctx, req)
+}
+
+// Drop frees all worker-side state for shuffleID. Best-effort cleanup.
+func (c *Conn) Drop(ctx context.Context, shuffleID string) error {
+	_, err := c.roundTrip(ctx, appendString([]byte{opDrop}, shuffleID))
+	return err
+}
+
+// Ping checks liveness and returns the worker's stored bytes and live
+// shuffle count. Used by the registry heartbeat.
+func (c *Conn) Ping(ctx context.Context) (storedBytes int64, shuffles int, err error) {
+	resp, err := c.roundTrip(ctx, []byte{opPing})
+	if err != nil {
+		return 0, 0, err
+	}
+	stored, n, err := readUvarint(resp)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, _, err := readUvarint(resp[n:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(stored), int(count), nil
+}
+
+func (c *Conn) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	deadline := time.Now().Add(c.opTimeout)
+	if c.opTimeout <= 0 {
+		deadline = time.Now().Add(5 * time.Second)
+	}
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.nc.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := writeMessage(c.nc, req); err != nil {
+		return nil, err
+	}
+	body, err := readMessage(c.nc, DefaultMaxMessage)
+	if err != nil {
+		return nil, err
+	}
+	return parseResponse(body)
+}

@@ -1,0 +1,189 @@
+package shuffle
+
+import (
+	"testing"
+	"time"
+
+	"scrubjay/internal/frame"
+	"scrubjay/internal/value"
+)
+
+// testFrames is the round-trip corpus: every column kind, presence bitmaps,
+// boxed columns (mixed kinds and lists), empty frames, and the
+// rows-without-columns shape FromRows produces for empty maps.
+func testFrames(t *testing.T) map[string]*frame.Frame {
+	t.Helper()
+	frames := map[string]*frame.Frame{
+		"empty":   frame.FromRows(nil),
+		"no-cols": frame.FromRows([]value.Row{{}, {}, {}}),
+		"typed": frame.FromRows([]value.Row{
+			{"b": value.Bool(true), "i": value.Int(-42), "f": value.Float(3.5), "s": value.Str("rack"), "t": value.Time(time.Unix(100, 5)), "sp": value.Span(10, 20)},
+			{"b": value.Bool(false), "i": value.Int(1 << 40), "f": value.Float(-0.25), "s": value.Str(""), "t": value.TimeNanos(-7), "sp": value.Span(-5, 5)},
+		}),
+		"presence": frame.FromRows([]value.Row{
+			{"x": value.Int(1)},
+			{"y": value.Str("only-y")},
+			{"x": value.Int(3), "y": value.Str("both")},
+		}),
+		"boxed": frame.FromRows([]value.Row{
+			{"m": value.Int(1), "l": value.StrList("a", "b")},
+			{"m": value.Str("mixed"), "l": value.List(value.Int(1), value.Null(), value.Float(2.5))},
+			{"m": value.Null(), "l": value.Null()},
+		}),
+	}
+	// A tall frame exercises multi-word presence bitmaps (>64 rows).
+	tall := make([]value.Row, 130)
+	for i := range tall {
+		r := value.Row{"i": value.Int(int64(i))}
+		if i%3 == 0 {
+			r["sparse"] = value.Float(float64(i) / 2)
+		}
+		tall[i] = r
+	}
+	frames["tall-presence"] = frame.FromRows(tall)
+	return frames
+}
+
+func framesEqual(t *testing.T, name string, a, b *frame.Frame) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("%s: shape mismatch: (%d,%d) vs (%d,%d)", name, a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for ci := 0; ci < a.NumCols(); ci++ {
+		ca, cb := a.ColAt(ci), b.ColAt(ci)
+		if ca.Name() != cb.Name() || ca.Kind() != cb.Kind() {
+			t.Fatalf("%s: column %d header mismatch: %s/%v vs %s/%v", name, ci, ca.Name(), ca.Kind(), cb.Name(), cb.Kind())
+		}
+		for i := 0; i < a.NumRows(); i++ {
+			if ca.Present(i) != cb.Present(i) {
+				t.Fatalf("%s: %s[%d] presence mismatch", name, ca.Name(), i)
+			}
+			va, vb := ca.Value(i), cb.Value(i)
+			if !va.Equal(vb) {
+				t.Fatalf("%s: %s[%d] = %v, decoded %v", name, ca.Name(), i, va, vb)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for name, f := range testFrames(t) {
+		buf := AppendFrame(nil, f)
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%s: decoded %d of %d bytes", name, n, len(buf))
+		}
+		framesEqual(t, name, f, got)
+	}
+}
+
+// TestFrameRoundTripConcatenated checks the self-delimiting property the
+// exchange relies on: concatenated encodings decode back one by one.
+func TestFrameRoundTripConcatenated(t *testing.T) {
+	all := testFrames(t)
+	var buf []byte
+	var order []*frame.Frame
+	for _, f := range all {
+		buf = AppendFrame(buf, f)
+		order = append(order, f)
+	}
+	for i, want := range order {
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		framesEqual(t, "concat", want, got)
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	f := testFrames(t)["typed"]
+	hashes := make([]uint64, f.NumRows())
+	for i := range hashes {
+		hashes[i] = uint64(i)*0x9e3779b97f4a7c15 + 7
+	}
+	for _, h := range [][]uint64{hashes, nil} {
+		buf := AppendBatch(nil, f, h)
+		got, gh, n, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decoded %d of %d bytes", n, len(buf))
+		}
+		framesEqual(t, "batch", f, got)
+		if len(gh) != len(h) {
+			t.Fatalf("hash count %d, want %d", len(gh), len(h))
+		}
+		for i := range h {
+			if gh[i] != h[i] {
+				t.Fatalf("hash[%d] = %d, want %d", i, gh[i], h[i])
+			}
+		}
+	}
+}
+
+func TestBatchHashLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched hash vector")
+		}
+	}()
+	AppendBatch(nil, testFrames(t)["typed"], []uint64{1})
+}
+
+// TestDecodeTruncated feeds every strict prefix of every valid encoding to
+// the decoder: all must error, none may panic or succeed.
+func TestDecodeTruncated(t *testing.T) {
+	for name, f := range testFrames(t) {
+		buf := AppendFrame(nil, f)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, n, err := DecodeFrame(buf[:cut]); err == nil && n != cut {
+				t.Fatalf("%s: prefix %d/%d decoded without error", name, cut, len(buf))
+			}
+		}
+		bbuf := AppendBatch(nil, f, nil)
+		for cut := 0; cut < len(bbuf); cut++ {
+			if _, _, n, err := DecodeBatch(bbuf[:cut]); err == nil && n != cut {
+				t.Fatalf("%s: batch prefix %d/%d decoded without error", name, cut, len(bbuf))
+			}
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad-marker":     {0x00, 0x01},
+		"batch-as-frame": AppendBatch(nil, frame.FromRows(nil), nil),
+		"huge-rows":      append([]byte{frameMarker}, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x01),
+		"huge-cols":      append([]byte{frameMarker}, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: DecodeFrame accepted corrupt input", name)
+		}
+	}
+	if _, _, _, err := DecodeBatch(AppendFrame(nil, frame.FromRows(nil))); err == nil {
+		t.Error("DecodeBatch accepted a bare frame")
+	}
+}
+
+// TestDecodeBitFlips flips each byte of a valid encoding; decoding must
+// never panic (errors and value changes are fine — this guards crash
+// safety, the round-trip tests guard exactness).
+func TestDecodeBitFlips(t *testing.T) {
+	buf := AppendFrame(nil, testFrames(t)["presence"])
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x5a
+		DecodeFrame(mut) // must not panic
+	}
+}

@@ -1,0 +1,248 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Server is the worker side of the exchange: it stores map-output chunks
+// pushed by the driver and serves merged destination partitions back. The
+// scheduler guarantees push-before-fetch per destination (it barriers the
+// push phase of a shuffle before issuing any fetch), so the server needs no
+// completeness tracking of its own — the merge is purely the deterministic
+// (src, seq)-ordered concatenation that makes distributed runs bit-for-bit
+// identical to in-process ones.
+//
+// Puts are idempotent: re-pushing a chunk after a retry overwrites the
+// identical bytes, so a task observed twice is visible at most once.
+type Server struct {
+	id string
+	ln net.Listener
+
+	mu       sync.Mutex
+	shuffles map[string]map[int]map[uint64][]byte // shuffleID -> dst -> src<<32|seq -> chunk
+	conns    map[net.Conn]struct{}
+	bytes    int64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a worker exchange service listening on addr (e.g.
+// "127.0.0.1:0") identifying itself as id in handshakes; an empty id
+// defaults to the bound address.
+func Serve(addr, id string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if id == "" {
+		id = ln.Addr().String()
+	}
+	s := &Server{id: id, ln: ln, shuffles: make(map[string]map[int]map[uint64][]byte), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ID returns the worker identity used in handshakes.
+func (s *Server) ID() string { return s.id }
+
+// Close stops the listener, tears down open connections, and waits for the
+// serving goroutines to drain. An in-flight request may be cut mid-stream;
+// the driver treats that like any other worker failure.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Stats reports stored payload bytes and live shuffle count.
+func (s *Server) Stats() (storedBytes int64, shuffles int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes, len(s.shuffles)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers framed requests in order until the peer hangs up or a
+// framing error makes the stream unrecoverable. Application-level errors
+// are answered with statusErr and the connection stays usable.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		req, err := readMessage(conn, DefaultMaxMessage)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := writeMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req []byte) []byte {
+	if len(req) == 0 {
+		return errResponse(fmt.Errorf("empty request"))
+	}
+	op, body := req[0], req[1:]
+	switch op {
+	case opHello:
+		if _, _, err := readString(body); err != nil {
+			return errResponse(err)
+		}
+		resp := appendString([]byte{statusOK}, s.id)
+		return append(resp, ProtoVersion)
+	case opPut:
+		return s.handlePut(body)
+	case opFetch:
+		return s.handleFetch(body)
+	case opDrop:
+		id, _, err := readString(body)
+		if err != nil {
+			return errResponse(err)
+		}
+		s.mu.Lock()
+		if byDst, ok := s.shuffles[id]; ok {
+			for _, chunks := range byDst {
+				for _, c := range chunks {
+					s.bytes -= int64(len(c))
+				}
+			}
+			delete(s.shuffles, id)
+		}
+		s.mu.Unlock()
+		return []byte{statusOK}
+	case opPing:
+		stored, n := s.Stats()
+		resp := []byte{statusOK}
+		resp = binary.AppendUvarint(resp, uint64(stored))
+		return binary.AppendUvarint(resp, uint64(n))
+	default:
+		return errResponse(fmt.Errorf("unknown opcode 0x%02x", op))
+	}
+}
+
+func (s *Server) handlePut(body []byte) []byte {
+	id, n, err := readString(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	body = body[n:]
+	dst, n, err := readUvarint(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	body = body[n:]
+	src, n, err := readUvarint(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	body = body[n:]
+	seq, n, err := readUvarint(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	chunk := body[n:]
+	if src > 1<<31 || seq > 1<<31 || dst > 1<<31 {
+		return errResponse(fmt.Errorf("put indices out of range (dst=%d src=%d seq=%d)", dst, src, seq))
+	}
+	key := src<<32 | seq
+	// Copy: chunk aliases the request buffer owned by this read loop.
+	stored := append([]byte(nil), chunk...)
+
+	s.mu.Lock()
+	byDst, ok := s.shuffles[id]
+	if !ok {
+		byDst = make(map[int]map[uint64][]byte)
+		s.shuffles[id] = byDst
+	}
+	chunks, ok := byDst[int(dst)]
+	if !ok {
+		chunks = make(map[uint64][]byte)
+		byDst[int(dst)] = chunks
+	}
+	if old, dup := chunks[key]; dup {
+		s.bytes -= int64(len(old))
+	}
+	chunks[key] = stored
+	s.bytes += int64(len(stored))
+	s.mu.Unlock()
+	return []byte{statusOK}
+}
+
+func (s *Server) handleFetch(body []byte) []byte {
+	id, n, err := readString(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	body = body[n:]
+	dst, _, err := readUvarint(body)
+	if err != nil {
+		return errResponse(err)
+	}
+
+	s.mu.Lock()
+	var chunks map[uint64][]byte
+	if byDst, ok := s.shuffles[id]; ok {
+		chunks = byDst[int(dst)]
+	}
+	keys := make([]uint64, 0, len(chunks))
+	total := 0
+	for k, c := range chunks {
+		keys = append(keys, k)
+		total += len(c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	resp := make([]byte, 1, 1+total)
+	resp[0] = statusOK
+	for _, k := range keys {
+		resp = append(resp, chunks[k]...)
+	}
+	s.mu.Unlock()
+	return resp
+}

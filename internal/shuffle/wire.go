@@ -1,0 +1,123 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// TCP exchange protocol. Every message is a 4-byte big-endian length
+// followed by that many body bytes; the first body byte of a request is the
+// opcode, of a response the status. Payloads inside messages reuse the
+// uvarint/length-prefix conventions of the batch codec.
+//
+// Requests:
+//
+//	hello  driverName                    -> ok workerID protoVersion
+//	put    shuffleID dst src seq bytes   -> ok
+//	fetch  shuffleID dst                 -> ok payload   (chunks merged in
+//	                                        (src, seq) order — the worker's
+//	                                        shuffle-read merge task)
+//	drop   shuffleID                     -> ok           (frees the state)
+//	ping                                 -> ok storedBytes shuffleCount
+//
+// A worker answers requests on one connection strictly in order; the
+// driver keeps a small pool of connections per worker for parallelism.
+const (
+	ProtoVersion = 1
+
+	opHello byte = 1
+	opPut   byte = 2
+	opFetch byte = 3
+	opDrop  byte = 4
+	opPing  byte = 5
+
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// DefaultMaxMessage bounds one framed message (a put chunk plus headers, or
+// a whole fetched partition). Exchanges chunk their puts well below this;
+// the cap exists so a corrupt length prefix cannot ask for gigabytes.
+const DefaultMaxMessage = 64 << 20
+
+// DefaultChunkBytes is the put chunking threshold: one (src, dst) payload
+// is shipped as ceil(len/chunk) sequenced puts.
+const DefaultChunkBytes = 4 << 20
+
+// writeMessage frames and writes one message body.
+func writeMessage(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readMessage reads one framed message body, enforcing the size cap.
+func readMessage(r io.Reader, maxLen int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxLen) {
+		return nil, fmt.Errorf("shuffle: message of %d bytes exceeds cap %d", n, maxLen)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString consumes a length-prefixed string.
+func readString(b []byte) (string, int, error) {
+	l, sz := binary.Uvarint(b)
+	if sz <= 0 || l > uint64(len(b)-sz) {
+		return "", 0, fmt.Errorf("shuffle: truncated string field")
+	}
+	return string(b[sz : sz+int(l)]), sz + int(l), nil
+}
+
+// readUvarint consumes one uvarint.
+func readUvarint(b []byte) (uint64, int, error) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("shuffle: truncated varint field")
+	}
+	return v, sz, nil
+}
+
+// errResponse renders an error response body.
+func errResponse(err error) []byte {
+	return appendString([]byte{statusErr}, err.Error())
+}
+
+// parseResponse splits a response body into its payload, surfacing a
+// statusErr body as an error.
+func parseResponse(body []byte) ([]byte, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("shuffle: empty response")
+	}
+	switch body[0] {
+	case statusOK:
+		return body[1:], nil
+	case statusErr:
+		msg, _, err := readString(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: undecodable error response")
+		}
+		return nil, fmt.Errorf("shuffle: worker error: %s", msg)
+	default:
+		return nil, fmt.Errorf("shuffle: bad response status 0x%02x", body[0])
+	}
+}
