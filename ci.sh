@@ -99,6 +99,14 @@ go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json
 # the scheduler's determinism contract (DESIGN.md "Distributed execution").
 echo "==> sjbench shuffle (local vs distributed bit-for-bit gate)"
 go run ./cmd/sjbench -exp shuffle -out BENCH_shuffle.json
+
+# Cost-based planning gate: the chain workload's statistics must flip the
+# join order to the provably cheaper plan with an identical row multiset
+# and no wall-clock regression, and the Fig-5 workload's warm plan must
+# cost no more than the heuristic's (sjbench exits nonzero otherwise) —
+# the planner half of the statistics-store contract (DESIGN.md).
+echo "==> sjbench plan (cold vs warm cost-based planning gate)"
+go run ./cmd/sjbench -exp plan -out BENCH_plan.json
 echo "==> sjvet ./internal/obs"
 go run ./cmd/sjvet -baseline sjvet.baseline ./internal/obs
 

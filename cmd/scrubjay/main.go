@@ -39,6 +39,7 @@ import (
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
 	"scrubjay/internal/server"
+	"scrubjay/internal/stats"
 	"scrubjay/internal/wrappers"
 )
 
@@ -145,7 +146,8 @@ func cmdQuery(args []string) error {
 	cacheDir := fs.String("cache", "", "enable the derivation-result cache in this directory")
 	show := fs.Int("show", 10, "print up to this many result rows")
 	explain := fs.Bool("explain", false, "print the engine's search trace")
-	explainJSON := fs.Bool("explain-json", false, "print the engine's search trace as structured JSON")
+	explainJSON := fs.Bool("explain-json", false, "print the search trace plus per-step estimated and actual costs as JSON")
+	statsPath := fs.String("stats", "", "statistics store file: loaded (or created) before planning, observations saved back after execution")
 	traceOut := fs.String("trace", "", "record a full execution trace and write the JSON artifact to this path")
 	serverURL := fs.String("server", "", "query a running sjserved instead of the local library")
 	columnar := fs.Bool("columnar", true, "execute on the columnar batch path (false = row-at-a-time reference path)")
@@ -175,6 +177,9 @@ func cmdQuery(args []string) error {
 		if *explain || *explainJSON {
 			fmt.Fprintln(os.Stderr, "scrubjay: -explain is unavailable in -server mode (search runs remotely; fetch the trace instead)")
 		}
+		if *statsPath != "" {
+			fmt.Fprintln(os.Stderr, "scrubjay: ignoring -stats in -server mode (the server owns its statistics store)")
+		}
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "scrubjay: ignoring -trace in -server mode (use `scrubjay trace ID -server URL`)")
 		}
@@ -199,20 +204,34 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// -stats: load (or start) the statistics store and profile the catalog
+	// into it, so the engine costs candidates against real cardinalities.
+	// Observations from this run are merged and saved back afterwards.
+	var st *stats.Store
+	if *statsPath != "" {
+		if st, err = stats.LoadFile(*statsPath); err != nil {
+			return err
+		}
+		catalog.Ingest(st, cat, schemas)
+	}
+
 	if *columnar {
 		cat = columnarCatalog(cat)
 	}
 
-	// With -trace, the whole run records under a query span; without it,
-	// tr is nil and every span below is the free nil span.
+	// -trace, -explain-json, and -stats all record the run under a query
+	// span (the latter two need executed-step actuals); otherwise tr is nil
+	// and every span below is the free nil span.
 	var tr *obs.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *explainJSON || st != nil {
 		tr = obs.NewTracer("local", nil)
 	}
 	qspan := tr.Start(obs.KindQuery, "query")
 
 	opts := engine.DefaultOptions()
 	opts.WindowSeconds = *window
+	opts.Stats = st
 	e := engine.New(dict, schemas, opts)
 	search := qspan.Child(obs.KindSearch, "plan-search")
 	plan, trace, err := e.SolveTraced(context.Background(), q)
@@ -221,14 +240,14 @@ func cmdQuery(args []string) error {
 	if *explain && trace != nil {
 		fmt.Printf("search trace:\n%s", trace)
 	}
-	if *explainJSON && trace != nil {
-		data, jerr := json.MarshalIndent(trace, "", "  ")
-		if jerr != nil {
-			return jerr
-		}
-		fmt.Printf("%s\n", data)
-	}
 	if err != nil {
+		// The search failed: with -explain-json there are no steps to
+		// report, so emit the search trace alone.
+		if *explainJSON && trace != nil {
+			if data, jerr := json.MarshalIndent(trace, "", "  "); jerr == nil {
+				fmt.Printf("%s\n", data)
+			}
+		}
 		return err
 	}
 	qspan.SetStr(obs.AttrPlanHash, plan.Hash())
@@ -258,8 +277,26 @@ func cmdQuery(args []string) error {
 	emitErr := emit(result, *out, *show)
 	exec.End()
 	qspan.End()
+	var art *obs.Artifact
 	if tr != nil {
-		data, err := tr.Artifact().Encode()
+		art = tr.Artifact()
+	}
+	if st != nil && art != nil {
+		n := stats.Recorder{Store: st}.Record(plan, art.Root, nil)
+		if err := st.Save(*statsPath); err != nil {
+			return err
+		}
+		fmt.Printf("stats: %d observations recorded, epoch %d, saved to %s\n", n, st.Epoch(), *statsPath)
+	}
+	if *explainJSON {
+		data, jerr := json.MarshalIndent(explainReport(q, plan, trace, art, st), "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Printf("%s\n", data)
+	}
+	if art != nil && *traceOut != "" {
+		data, err := art.Encode()
 		if err != nil {
 			return err
 		}
@@ -269,6 +306,70 @@ func cmdQuery(args []string) error {
 		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	return emitErr
+}
+
+// explainStep pairs one executed plan step's estimated cost (stamped by the
+// cost-based planner when a statistics store is attached) with the actual
+// observed from the execution trace.
+type explainStep struct {
+	Name     string                 `json:"name"`
+	Estimate *pipeline.StepEstimate `json:"estimate,omitempty"`
+	Actual   *stats.StepActual      `json:"actual,omitempty"`
+}
+
+// explainDoc is the -explain-json output: the engine's search trace plus
+// per-step estimate-vs-actual rows in execution order.
+type explainDoc struct {
+	Query      string        `json:"query"`
+	PlanHash   string        `json:"plan_hash"`
+	StatsEpoch int64         `json:"stats_epoch,omitempty"`
+	Search     *engine.Trace `json:"search,omitempty"`
+	Steps      []explainStep `json:"steps,omitempty"`
+}
+
+func explainReport(q engine.Query, plan *pipeline.Plan, trace *engine.Trace, art *obs.Artifact, st *stats.Store) explainDoc {
+	doc := explainDoc{
+		Query:      fmt.Sprintf("%s", q),
+		PlanHash:   plan.Hash(),
+		StatsEpoch: st.Epoch(),
+		Search:     trace,
+	}
+	// Non-source nodes in execution (post) order — the same order
+	// stats.Actuals reconstructs step actuals from the trace.
+	var nodes []*pipeline.Node
+	var walk func(*pipeline.Node)
+	walk = func(n *pipeline.Node) {
+		if n == nil || n.Kind == pipeline.KindSource {
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+		nodes = append(nodes, n)
+	}
+	walk(plan.Root)
+	var actuals []stats.StepActual
+	if art != nil {
+		var srcRows map[string]int64
+		if st != nil {
+			srcRows = map[string]int64{}
+			for _, s := range stats.NodeSources(plan.Root) {
+				if t, ok := st.Table(s); ok {
+					srcRows[s] = t.Rows
+				}
+			}
+		}
+		actuals = stats.Actuals(plan, art.Root, srcRows)
+	}
+	for i, n := range nodes {
+		step := explainStep{Name: n.Derivation, Estimate: n.Estimate}
+		if i < len(actuals) {
+			a := actuals[i]
+			step.Actual = &a
+		}
+		doc.Steps = append(doc.Steps, step)
+	}
+	return doc
 }
 
 // serverQuery answers a query through a running sjserved: one /v1/plan

@@ -273,6 +273,48 @@ func main() {
 		}
 		return nil
 	})
+	run("plan", func() error {
+		preps := *reps
+		if preps < 3 {
+			preps = 3 // best-of-3 minimum for the wall-clock gate
+		}
+		pcfg := cs
+		// Same scale as the shuffle gate's Fig-5 fixture.
+		pcfg.Racks, pcfg.NodesPerRack, pcfg.AMGRack = 4, 6, 2
+		pcfg.DAT1DurationSec = 1800
+		pcfg.Partitions = 4
+		report, err := bench.RunPlanCompare(pcfg, 60_000, preps)
+		if err != nil {
+			return err
+		}
+		report.Print(os.Stdout)
+		if *out != "" {
+			if err := report.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", *out)
+		}
+		for _, c := range report.Workloads {
+			if !c.Identical {
+				return fmt.Errorf("plan %s: warm plan produced a different row multiset", c.Name)
+			}
+			if !c.WarmCostNotHigher {
+				return fmt.Errorf("plan %s: cost-based plan estimates more CPU than the heuristic plan", c.Name)
+			}
+		}
+		for _, c := range report.Workloads {
+			if c.Name == "chain" {
+				if !c.Switched {
+					return fmt.Errorf("plan chain: statistics did not flip the join order")
+				}
+				if !c.WarmNotSlower {
+					return fmt.Errorf("plan chain: cost-based plan ran slower (warm %.1fms > cold %.1fms)",
+						c.Warm.WallMillis, c.Cold.WallMillis)
+				}
+			}
+		}
+		return nil
+	})
 	run("naive", func() error {
 		// Sweep rows to expose the crossover: the naive all-pairs baseline
 		// is quadratic per key group, the dual-binning algorithm linear.

@@ -15,7 +15,7 @@
 //
 //	sjserved -catalog DIR [-addr HOST:PORT] [-addr-file PATH]
 //	         [-workers N] [-max-concurrent N] [-max-queue N]
-//	         [-cache DIR] [-cache-bytes N] [-plan-cache N]
+//	         [-cache DIR] [-cache-bytes N] [-plan-cache N] [-stats FILE]
 //	         [-window SEC] [-default-timeout-ms N] [-max-timeout-ms N]
 //	         [-drain-ms N] [-trace-ring N]
 //	         [-debug-addr HOST:PORT] [-debug-addr-file PATH]
@@ -45,6 +45,7 @@ import (
 	"scrubjay/internal/cluster"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/server"
+	"scrubjay/internal/stats"
 )
 
 // options collects every flag so run stays testable without a flag set.
@@ -57,6 +58,7 @@ type options struct {
 	maxQueue       int
 	shuffleWorkers string
 	cacheDir       string
+	statsPath      string
 	cacheBytes     int64
 	planCacheSize  int
 	window         float64
@@ -79,6 +81,7 @@ func main() {
 	flag.IntVar(&o.maxQueue, "max-queue", 64, "bounded wait queue (negative = none)")
 	flag.StringVar(&o.shuffleWorkers, "shuffle-workers", "", "comma-separated sjworker exchange addresses; when set, shuffles run through the worker cluster")
 	flag.StringVar(&o.cacheDir, "cache", "", "derivation-result cache directory (optional)")
+	flag.StringVar(&o.statsPath, "stats", "", "statistics store file: enables cost-based planning, saved back on drain (optional)")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", 256<<20, "result-cache budget in bytes")
 	flag.IntVar(&o.planCacheSize, "plan-cache", 256, "plan-cache LRU capacity")
 	flag.Float64Var(&o.window, "window", 120, "default interpolation-join window in seconds")
@@ -123,6 +126,20 @@ func run(o options) error {
 		log.Printf("result cache %s: %d entries, budget %d bytes", o.cacheDir, resultCache.Len(), o.cacheBytes)
 	}
 
+	// -stats: load the persistent statistics store. server.New profiles the
+	// already-loaded catalog into it (AttachStats) and the query path feeds
+	// executed-step observations back; the store is saved on drain.
+	var statsStore *stats.Store
+	if o.statsPath != "" {
+		var err error
+		statsStore, err = stats.LoadFile(o.statsPath)
+		if err != nil {
+			return err
+		}
+		t, d := statsStore.Len()
+		log.Printf("statistics store %s: %d tables, %d derivations, epoch %d", o.statsPath, t, d, statsStore.Epoch())
+	}
+
 	var placement rdd.Placement
 	if o.shuffleWorkers != "" {
 		sched, err := cluster.Connect(context.Background(), "sjserved", o.shuffleWorkers, cluster.Options{})
@@ -151,6 +168,7 @@ func run(o options) error {
 		RowMode:        !o.columnar,
 		TraceRing:      o.traceRing,
 		Placement:      placement,
+		Stats:          statsStore,
 	})
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -218,6 +236,13 @@ func run(o options) error {
 	}
 	if err := s.Flush(); err != nil {
 		return fmt.Errorf("flushing result cache: %w", err)
+	}
+	if statsStore != nil {
+		if err := statsStore.Save(o.statsPath); err != nil {
+			return fmt.Errorf("saving statistics store: %w", err)
+		}
+		t, d := statsStore.Len()
+		log.Printf("statistics store saved: %d tables, %d derivations, epoch %d", t, d, statsStore.Epoch())
 	}
 	log.Printf("drained cleanly, bye")
 	return nil

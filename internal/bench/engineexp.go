@@ -76,11 +76,14 @@ func RunMemoAblation(catalogSize, solves int) (MemoAblationResult, error) {
 
 	withOpts := engine.DefaultOptions()
 	eWith := engine.New(dict, schemas, withOpts)
+	hits := 0
 	start := time.Now()
 	for i := 0; i < solves; i++ {
 		if _, err := eWith.Solve(context.Background(), q); err != nil {
 			return MemoAblationResult{}, err
 		}
+		// MemoHits is per-solve; accumulate across the run.
+		hits += eWith.MemoHits()
 	}
 	withDur := time.Since(start)
 
@@ -100,6 +103,6 @@ func RunMemoAblation(catalogSize, solves int) (MemoAblationResult, error) {
 		Solves:      solves,
 		WithMemo:    withDur,
 		WithoutMemo: withoutDur,
-		MemoHits:    eWith.MemoHits(),
+		MemoHits:    hits,
 	}, nil
 }

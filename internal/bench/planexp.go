@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"scrubjay/internal/dataset"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
+	"scrubjay/internal/value"
+)
+
+// The plan experiment measures what the cost-based planner buys: each
+// workload is solved cold (no statistics — the structural heuristic) and
+// warm (a store fed by profiling the catalog and recording the cold run's
+// executed spans), then both plans execute over the same data. The chain
+// workload is constructed so the heuristic's tie-break picks the expensive
+// join order and real cardinalities flip it; Fig-5 shows the same loop on
+// the paper's query. Both warm plans must cost no more than the cold plan
+// under the same statistics, produce the identical row multiset, and (the
+// chain gate) run no slower on the wall clock.
+
+// PlanLeg is one measured solve+execute of a workload.
+type PlanLeg struct {
+	PlanHash   string   `json:"plan_hash"`
+	Steps      []string `json:"steps"`
+	WallMillis float64  `json:"wall_ms"`
+	// EstRows / EstCPU are the root estimate when this plan is costed
+	// against the warm statistics store (the cold plan is costed post hoc
+	// under the same store, so the two are comparable).
+	EstRows int64 `json:"est_rows"`
+	EstCPU  int64 `json:"est_cpu"`
+}
+
+// PlanCompare is one workload's cold-vs-warm outcome.
+type PlanCompare struct {
+	Name string  `json:"name"`
+	Cold PlanLeg `json:"cold"`
+	Warm PlanLeg `json:"warm"`
+	// Switched reports whether statistics changed the chosen plan.
+	Switched bool `json:"switched"`
+	// Identical is the correctness gate: both plans produced the same row
+	// multiset.
+	Identical bool `json:"identical"`
+	// WarmCostNotHigher gates the planner's model: under the warm store the
+	// chosen plan's estimated CPU must not exceed the heuristic plan's.
+	WarmCostNotHigher bool `json:"warm_cost_not_higher"`
+	// WarmNotSlower is the wall-clock outcome (warm_ms <= cold_ms).
+	WarmNotSlower bool `json:"warm_not_slower"`
+	// StatsObservations counts span-derived observations recorded from the
+	// cold run into the warm store.
+	StatsObservations int `json:"stats_observations"`
+}
+
+// PlanReport is the BENCH_plan.json document.
+type PlanReport struct {
+	Reps      int           `json:"reps"`
+	ChainRows int           `json:"chain_rows"`
+	Workloads []PlanCompare `json:"workloads"`
+}
+
+// joinOrderCatalog builds the join-order workload: a wide fact table
+// chain_jobs (job, node) with its value column, a mid mapping chain_layout
+// (node, rack), and a tiny mapping chain_racks (rack, location). Answering
+// {job, rack_location} requires both joins; joining the two mappings first
+// touches ~2 orders of magnitude fewer rows than starting from the fact
+// table, but the structural heuristic has no way to see that.
+func joinOrderCatalog(ctx *rdd.Context, rows, partitions int) (pipeline.Catalog, map[string]semantics.Schema) {
+	const nodes, racks = 300, 30
+	jobsSchema := semantics.NewSchema(
+		"job_id", semantics.IDDomain("job"),
+		"node", semantics.IDDomain("compute_node"),
+		"job_name", semantics.ValueEntry("application", "identifier"),
+	)
+	layoutSchema := semantics.NewSchema(
+		"node", semantics.IDDomain("compute_node"),
+		"rack", semantics.IDDomain("rack"),
+	)
+	racksSchema := semantics.NewSchema(
+		"rack", semantics.IDDomain("rack"),
+		"location", semantics.IDDomain("rack_location"),
+	)
+	jobs := make([]value.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		jobs = append(jobs, value.NewRow(
+			"job_id", value.Str(fmt.Sprintf("job%06d", i)),
+			"node", value.Str(fmt.Sprintf("n%03d", i%nodes)),
+			"job_name", value.Str(fmt.Sprintf("app%d", i%7)),
+		))
+	}
+	layout := make([]value.Row, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		layout = append(layout, value.NewRow(
+			"node", value.Str(fmt.Sprintf("n%03d", i)),
+			"rack", value.Str(fmt.Sprintf("r%02d", i%racks)),
+		))
+	}
+	rackRows := make([]value.Row, 0, racks)
+	for i := 0; i < racks; i++ {
+		rackRows = append(rackRows, value.NewRow(
+			"rack", value.Str(fmt.Sprintf("r%02d", i)),
+			"location", value.Str(fmt.Sprintf("row%d", i%4)),
+		))
+	}
+	cat := pipeline.Catalog{
+		"chain_jobs":   dataset.FromRows(ctx, "chain_jobs", jobs, jobsSchema, partitions),
+		"chain_layout": dataset.FromRows(ctx, "chain_layout", layout, layoutSchema, 1),
+		"chain_racks":  dataset.FromRows(ctx, "chain_racks", rackRows, racksSchema, 1),
+	}
+	schemas := map[string]semantics.Schema{
+		"chain_jobs":   jobsSchema,
+		"chain_layout": layoutSchema,
+		"chain_racks":  racksSchema,
+	}
+	return cat, schemas
+}
+
+func chainQuery() engine.Query {
+	return engine.Query{
+		Domains: []string{"job", "rack_location"},
+		Values:  []engine.QueryValue{{Dimension: "application"}},
+	}
+}
+
+// timedExecute runs the plan reps times and keeps the fastest wall; a final
+// traced run (outside the timings) captures the span tree for the recorder.
+func timedExecute(ctx *rdd.Context, plan *pipeline.Plan, cat pipeline.Catalog, dict *semantics.Dictionary, reps int) ([]value.Row, float64, *obs.SpanRecord, error) {
+	var rows []value.Row
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		got := out.Collect()
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		if r == 0 || wall < best {
+			best = wall
+		}
+		rows = got
+	}
+	tr := obs.NewTracer("bench-plan", nil)
+	qspan := tr.Start(obs.KindQuery, "query")
+	exec := qspan.Child(obs.KindExec, "execute")
+	ctx.SetSpan(exec)
+	out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	out.Collect()
+	ctx.SetSpan(nil)
+	exec.End()
+	qspan.End()
+	return rows, best, tr.Artifact().Root, nil
+}
+
+// rowMultisetEqual compares two result sets order-insensitively by their
+// JSON encodings.
+func rowMultisetEqual(a, b []value.Row) (bool, error) {
+	if len(a) != len(b) {
+		return false, nil
+	}
+	enc := func(rows []value.Row) ([]string, error) {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			j, err := json.Marshal(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = string(j)
+		}
+		sort.Strings(out)
+		return out, nil
+	}
+	ea, err := enc(a)
+	if err != nil {
+		return false, err
+	}
+	eb, err := enc(b)
+	if err != nil {
+		return false, err
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// comparePlans runs one workload cold and warm and assembles the outcome.
+func comparePlans(name string, ctx *rdd.Context, cat pipeline.Catalog, schemas map[string]semantics.Schema, q engine.Query, reps int) (PlanCompare, error) {
+	dict := semantics.DefaultDictionary()
+	cold := engine.New(dict, schemas, engine.DefaultOptions())
+	coldPlan, err := cold.Solve(context.Background(), q)
+	if err != nil {
+		return PlanCompare{}, fmt.Errorf("%s cold solve: %w", name, err)
+	}
+	coldRows, coldWall, coldRoot, err := timedExecute(ctx, coldPlan, cat, dict, reps)
+	if err != nil {
+		return PlanCompare{}, fmt.Errorf("%s cold execute: %w", name, err)
+	}
+
+	// Warm the store the way a served deployment would: profile the catalog
+	// tables, then feed the cold run's executed spans through the recorder.
+	st := stats.NewStore()
+	for dsName, ds := range cat {
+		st.SetTable(dsName, stats.TableStats{Rows: ds.Count()})
+	}
+	observed := stats.Recorder{Store: st}.Record(coldPlan, coldRoot, nil)
+
+	warmOpts := engine.DefaultOptions()
+	warmOpts.Stats = st
+	warm := engine.New(dict, schemas, warmOpts)
+	warmPlan, err := warm.Solve(context.Background(), q)
+	if err != nil {
+		return PlanCompare{}, fmt.Errorf("%s warm solve: %w", name, err)
+	}
+	warmRows, warmWall, _, err := timedExecute(ctx, warmPlan, cat, dict, reps)
+	if err != nil {
+		return PlanCompare{}, fmt.Errorf("%s warm execute: %w", name, err)
+	}
+
+	same, err := rowMultisetEqual(coldRows, warmRows)
+	if err != nil {
+		return PlanCompare{}, err
+	}
+	// Cost the heuristic's plan under the same statistics the warm search
+	// used, so the estimated-cost comparison is apples to apples.
+	coldEst := engine.CostPlan(coldPlan, st)
+	warmEst := warmPlan.Root.Estimate
+	cmp := PlanCompare{
+		Name:              name,
+		Cold:              PlanLeg{PlanHash: coldPlan.Hash(), Steps: coldPlan.Steps(), WallMillis: coldWall},
+		Warm:              PlanLeg{PlanHash: warmPlan.Hash(), Steps: warmPlan.Steps(), WallMillis: warmWall},
+		Switched:          coldPlan.Hash() != warmPlan.Hash(),
+		Identical:         same,
+		WarmNotSlower:     warmWall <= coldWall,
+		StatsObservations: observed,
+	}
+	if coldEst != nil {
+		cmp.Cold.EstRows, cmp.Cold.EstCPU = coldEst.Rows, coldEst.CPU
+	}
+	if warmEst != nil {
+		cmp.Warm.EstRows, cmp.Warm.EstCPU = warmEst.Rows, warmEst.CPU
+	}
+	cmp.WarmCostNotHigher = coldEst != nil && warmEst != nil && warmEst.CPU <= coldEst.CPU
+	return cmp, nil
+}
+
+// RunPlanCompare runs the chain and Fig-5 workloads cold vs warm.
+func RunPlanCompare(cfg CaseStudyConfig, chainRows, reps int) (PlanReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := PlanReport{Reps: reps, ChainRows: chainRows}
+
+	ctx := rdd.NewContext(cfg.Workers)
+	cat, schemas := joinOrderCatalog(ctx, chainRows, cfg.Partitions)
+	chain, err := comparePlans("chain", ctx, cat, schemas, chainQuery(), reps)
+	if err != nil {
+		return rep, err
+	}
+	rep.Workloads = append(rep.Workloads, chain)
+
+	fctx := rdd.NewContext(cfg.Workers)
+	fcat, fschemas, _ := DAT1Catalog(fctx, cfg)
+	for name, ds := range fcat {
+		fcat[name] = materializeRows(fctx, ds)
+	}
+	fig5, err := comparePlans("fig5", fctx, fcat, fschemas, Fig5Query(), reps)
+	if err != nil {
+		return rep, err
+	}
+	rep.Workloads = append(rep.Workloads, fig5)
+	return rep, nil
+}
+
+// Print renders the comparison for the console.
+func (r PlanReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "cost-based planning, best of %d (chain fact table: %d rows)\n", r.Reps, r.ChainRows)
+	for _, c := range r.Workloads {
+		fmt.Fprintf(w, "%s:\n", c.Name)
+		fmt.Fprintf(w, "  %-28s %10.1f ms  est_cpu=%-10d %s\n", "cold (structural heuristic)", c.Cold.WallMillis, c.Cold.EstCPU, c.Cold.PlanHash[:12])
+		fmt.Fprintf(w, "  %-28s %10.1f ms  est_cpu=%-10d %s\n", "warm (cost-based)", c.Warm.WallMillis, c.Warm.EstCPU, c.Warm.PlanHash[:12])
+		fmt.Fprintf(w, "  switched=%v identical=%v warm_cost_not_higher=%v warm_not_slower=%v (%d span observations)\n",
+			c.Switched, c.Identical, c.WarmCostNotHigher, c.WarmNotSlower, c.StatsObservations)
+	}
+}
+
+// WriteFile lands the report as indented JSON via temp + rename.
+func (r PlanReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

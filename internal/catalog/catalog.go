@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"scrubjay/internal/kvstore"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
 	"scrubjay/internal/wrappers"
 )
 
@@ -82,4 +84,22 @@ func Load(ctx *rdd.Context, dir string) (pipeline.Catalog, map[string]semantics.
 		return nil, nil, fmt.Errorf("catalog %s contains no datasets", dir)
 	}
 	return cat, schemas, nil
+}
+
+// Ingest profiles every catalog dataset into a statistics store: row
+// cardinality plus per-column NDV and value ranges, keyed by dataset name.
+// Datasets are profiled in sorted name order so the resulting store (and
+// its epoch) is deterministic for a given catalog. A nil store is a no-op.
+func Ingest(st *stats.Store, cat pipeline.Catalog, schemas map[string]semantics.Schema) {
+	if st == nil {
+		return
+	}
+	names := make([]string, 0, len(cat))
+	for n := range cat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st.IngestRows(n, cat[n].Collect(), schemas[n])
+	}
 }

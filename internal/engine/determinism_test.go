@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
+)
+
+// shuffledSchemas rebuilds the schema map with randomized insertion order,
+// perturbing Go's map iteration layout. The engine must not care.
+func shuffledSchemas(rng *rand.Rand, src map[string]semantics.Schema) map[string]semantics.Schema {
+	names := make([]string, 0, len(src))
+	for n := range src {
+		names = append(names, n) //sjvet:ignore determinism -- the test shuffles names immediately below; nondeterministic order is the fixture's whole purpose
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	out := make(map[string]semantics.Schema, len(src))
+	for _, n := range names {
+		out[n] = src[n]
+	}
+	return out
+}
+
+// populatedStore builds a statistics store with table cardinalities and an
+// observed join, so costed decisions are exercised, not just defaults.
+func populatedStore() *stats.Store {
+	s := stats.NewStore()
+	s.SetTable("job_queue_log", stats.TableStats{Rows: 120})
+	s.SetTable("node_layout", stats.TableStats{Rows: 24})
+	s.SetTable("rack_temperatures", stats.TableStats{Rows: 4800})
+	s.Observe("natural_join|job_queue_log|node_layout",
+		stats.DerivationStats{Observations: 3, RowsIn: 900, RowsOut: 870, Micros: 4000})
+	return s
+}
+
+// TestSolveDeterministicProperty: Solve must return a byte-identical plan
+// across 50 runs under shuffled schema-map iteration order — with no stats
+// store, with an empty store, and with a populated store (where cost
+// tie-breaks are active and must themselves be deterministic).
+func TestSolveDeterministicProperty(t *testing.T) {
+	cases := []struct {
+		name  string
+		store func() *stats.Store
+	}{
+		{"no_store", func() *stats.Store { return nil }},
+		{"empty_store", stats.NewStore},
+		{"populated_store", populatedStore},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for run := 0; run < 50; run++ {
+				opts := DefaultOptions()
+				opts.Stats = tc.store()
+				e := New(semantics.DefaultDictionary(), shuffledSchemas(rng, fig5Schemas()), opts)
+				plan, err := e.Solve(context.Background(), fig5Query())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := plan.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if string(got) != string(want) {
+					t.Fatalf("run %d produced a different plan:\n%s\nvs first run:\n%s", run, got, want)
+				}
+			}
+		})
+	}
+}

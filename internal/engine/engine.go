@@ -14,12 +14,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"scrubjay/internal/derive"
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
 )
 
 // QueryValue names one value dimension of interest, with optional units the
@@ -63,6 +65,11 @@ type Options struct {
 	MaxVariants int
 	// DisableMemo turns off pairwise memoization (for the ablation bench).
 	DisableMemo bool
+	// Stats supplies observed statistics for physical costing. When nil the
+	// engine runs the pure structural search (zero costing overhead and
+	// byte-identical plans to the historical heuristic); when set, candidate
+	// costs break structural ties and estimates annotate the final plan.
+	Stats *stats.Store
 }
 
 // DefaultOptions matches the paper's facility data cadences: two-minute
@@ -84,8 +91,14 @@ type Engine struct {
 	// pairMemo caches CombinePair results across queries, keyed by the
 	// participating dataset-name sets (§5.2 memoization).
 	pairMemo map[string]*combineResult
-	// memoHits counts cache hits, surfaced for the ablation benchmark.
+	// memoHits counts cache hits within the current Solve (reset at the top
+	// of every solve; surfaced via MemoHits and the search trace).
 	memoHits int
+	// est is the physical-cost estimator, nil unless Options.Stats is set.
+	est *estimator
+	// lastEpoch is the stats-store epoch the memo tables were built against;
+	// an epoch change invalidates them (learned facts re-cost candidates).
+	lastEpoch int64
 }
 
 // New builds an engine over a catalog of schemas.
@@ -99,16 +112,21 @@ func New(dict *semantics.Dictionary, schemas map[string]semantics.Schema, opts O
 	if opts.Candidate.ExplodePeriodSeconds <= 0 {
 		opts.Candidate.ExplodePeriodSeconds = 60
 	}
-	return &Engine{
+	e := &Engine{
 		dict:     dict,
 		schemas:  schemas,
 		opts:     opts,
 		pairMemo: map[string]*combineResult{},
 	}
+	if opts.Stats != nil {
+		e.est = newEstimator(opts.Stats)
+		e.lastEpoch = opts.Stats.Epoch()
+	}
+	return e
 }
 
 // MemoHits reports how many pairwise combinations were answered from the
-// memo table.
+// memo table during the most recent Solve.
 func (e *Engine) MemoHits() int { return e.memoHits }
 
 // variant is one reachable (plan, schema) state for a dataset or a combined
@@ -165,16 +183,22 @@ type group struct {
 
 func (g *group) key() string { return strings.Join(g.names, ",") }
 
-// combineResult is a memoized pairwise combination outcome. The bucket
-// ranks the pair across candidate pairs (join precision class + exactly
-// matched dimensions only); fine breaks ties among variant pairs within the
-// combination (queried value dimensions present, join-ready representation,
-// fewer derivation steps).
+// combineResult is a memoized pairwise combination outcome. The search is
+// two-phase: the logical phase ranks candidates structurally — bucket (join
+// precision class + exactly matched dimensions) across pairs, fine (queried
+// value dimensions present, join-ready representation, fewer steps) within
+// a pair — and the physical phase breaks remaining ties by estimated cost,
+// but only when the estimate is informed by real statistics. class keeps
+// the precision class so the physical phase can restrict itself to choices
+// that cannot change results (natural joins commute; interpolation probe
+// direction does not).
 type combineResult struct {
 	ok      bool
 	variant variant
 	bucket  int
 	fine    int
+	class   int
+	cost    Cost
 }
 
 // Precision classes (§5.2: prefer the highest-precision data available).
@@ -261,16 +285,22 @@ func (e *Engine) tryCombine(a, b variant, wanted map[string]bool) (combineResult
 			// per-job, per-node, per-instant data probes the rack heat.
 			fine += len(a.schema.DomainDimensions()) - len(b.schema.DomainDimensions())
 		}
-		return combineResult{
+		node := pipeline.CombineNode(c, a.node, b.node)
+		r := combineResult{
 			ok: true,
 			variant: variant{
-				node:   pipeline.CombineNode(c, a.node, b.node),
+				node:   node,
 				schema: s,
 				steps:  a.steps + b.steps + 1,
 			},
 			bucket: class + bucketPerShared*len(shared),
 			fine:   fine,
+			class:  class,
 		}
+		if e.est != nil {
+			r.cost = e.est.cost(node)
+		}
+		return r
 	}
 	nj := &derive.NaturalJoin{}
 	njSchema, njErr := nj.DeriveSchema(a.schema, b.schema, e.dict)
@@ -287,14 +317,28 @@ func (e *Engine) tryCombine(a, b variant, wanted map[string]bool) (combineResult
 	return combineResult{}, false
 }
 
-func better(a, b combineResult) bool {
+// better orders candidate combinations within one pair of groups: the
+// structural heuristic first (precision bucket, then fine preference), and
+// only on full structural ties the estimated cost — restricted to natural
+// joins, whose operand order cannot change the result multiset. Flipping an
+// interpolation join flips which side keeps its rows, so the physical phase
+// never touches it. Remaining ties keep the first candidate, preserving the
+// historical deterministic order.
+func (e *Engine) better(a, b combineResult) bool {
 	if !b.ok {
 		return a.ok
 	}
 	if a.bucket != b.bucket {
 		return a.bucket > b.bucket
 	}
-	return a.fine > b.fine
+	if a.fine != b.fine {
+		return a.fine > b.fine
+	}
+	if a.class != classInterp && b.class != classInterp &&
+		a.cost.Informed && b.cost.Informed {
+		return a.cost.Total() < b.cost.Total()
+	}
+	return false
 }
 
 // combinePair finds the best combination between any variant of ga and any
@@ -311,12 +355,12 @@ func (e *Engine) combinePair(ga, gb *group, wanted map[string]bool, wantedKey st
 	best := combineResult{}
 	for _, va := range ga.variants {
 		for _, vb := range gb.variants {
-			if r, ok := e.tryCombine(va, vb, wanted); ok && better(r, best) {
+			if r, ok := e.tryCombine(va, vb, wanted); ok && e.better(r, best) {
 				best = r
 			}
 			// Direction matters for interpolation joins (the left side is
 			// the probe that keeps its rows); try the reverse too.
-			if r, ok := e.tryCombine(vb, va, wanted); ok && better(r, best) {
+			if r, ok := e.tryCombine(vb, va, wanted); ok && e.better(r, best) {
 				best = r
 			}
 		}
@@ -409,6 +453,9 @@ func (e *Engine) finalize(g *group, q Query) (*pipeline.Plan, error) {
 				schema = ns
 			}
 		}
+		if e.est != nil {
+			e.est.annotate(node)
+		}
 		return &pipeline.Plan{Root: node}, nil
 	}
 	return nil, fmt.Errorf("engine: combined result does not satisfy %s", q)
@@ -431,6 +478,26 @@ func (e *Engine) SolveTraced(ctx context.Context, q Query) (*pipeline.Plan, *Tra
 }
 
 func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan, error) {
+	// Per-solve state: memo hits count this search only, and memo tables
+	// built against an older statistics epoch are stale — learned facts
+	// change candidate costs, so cached combination outcomes must re-rank.
+	e.memoHits = 0
+	if e.est != nil {
+		if ep := e.opts.Stats.Epoch(); ep != e.lastEpoch {
+			e.pairMemo = map[string]*combineResult{}
+			e.est.reset()
+			e.lastEpoch = ep
+			tr.eventf("stats", "statistics epoch moved to %d: combination memo invalidated", ep)
+		}
+	}
+	plan, err := e.solveInner(ctx, q, tr)
+	if err == nil {
+		tr.eventf("memo", "pairwise combination memo hits this solve: %d", e.memoHits)
+	}
+	return plan, err
+}
+
+func (e *Engine) solveInner(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan, error) {
 	if len(q.Domains) == 0 && len(q.Values) == 0 {
 		return nil, fmt.Errorf("engine: empty query")
 	}
@@ -480,6 +547,13 @@ func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan,
 			rest = append(rest, g)
 		}
 	}
+	// With informed statistics, try cheap bridging datasets first; without,
+	// keep catalog order (the sort is stable and uninformed keys are equal).
+	if e.est != nil {
+		sort.SliceStable(rest, func(i, j int) bool {
+			return e.bridgeCost(rest[i]) < e.bridgeCost(rest[j])
+		})
+	}
 	if len(df) == 0 {
 		return nil, fmt.Errorf("engine: no dataset contributes to %s", q)
 	}
@@ -526,12 +600,42 @@ func (e *Engine) solve(ctx context.Context, q Query, tr *Trace) (*pipeline.Plan,
 	}
 }
 
-// agglomerate greedily combines the highest-precision pair of groups,
-// re-runs the transformation closure over each combined schema (joins can
-// unlock new derivations, e.g. active frequency after joining CPU specs),
-// and stops as soon as a combined group satisfies the query. Pair selection
-// is strictly-better, so ties resolve to the earliest pair in catalog
-// order, keeping plans deterministic.
+// bridgeCost keys the bridging-extension order: a bridging dataset's
+// estimated source cost when informed, +Inf (order-preserving) otherwise.
+// The base variant (step 0 of the closure) is the raw source.
+func (e *Engine) bridgeCost(g *group) float64 {
+	if len(g.variants) == 0 {
+		return math.Inf(1)
+	}
+	c := e.est.cost(g.variants[0].node)
+	if !c.Informed {
+		return math.Inf(1)
+	}
+	return c.Total()
+}
+
+// pairBetter orders candidate pairs across the agglomeration frontier: the
+// precision bucket first (the logical phase), then estimated cost when both
+// estimates are informed (the physical phase). Ties keep the earlier pair
+// in catalog order, so plans stay deterministic and, absent statistics,
+// byte-identical to the historical heuristic.
+func (e *Engine) pairBetter(a, b *combineResult) bool {
+	if a.bucket != b.bucket {
+		return a.bucket > b.bucket
+	}
+	if a.cost.Informed && b.cost.Informed {
+		return a.cost.Total() < b.cost.Total()
+	}
+	return false
+}
+
+// agglomerate greedily combines the best pair of groups — highest
+// precision, then cheapest by informed cost estimate — re-runs the
+// transformation closure over each combined schema (joins can unlock new
+// derivations, e.g. active frequency after joining CPU specs), and stops as
+// soon as a combined group satisfies the query. Pair selection is
+// strictly-better, so ties resolve to the earliest pair in catalog order,
+// keeping plans deterministic.
 func (e *Engine) agglomerate(ctx context.Context, initial []*group, wanted map[string]bool, wantedKey string, q Query, tr *Trace) (*pipeline.Plan, error) {
 	work := append([]*group(nil), initial...)
 	for len(work) > 1 {
@@ -543,13 +647,18 @@ func (e *Engine) agglomerate(ctx context.Context, initial []*group, wanted map[s
 		for i := 0; i < len(work); i++ {
 			for j := i + 1; j < len(work); j++ {
 				res := e.combinePair(work[i], work[j], wanted, wantedKey)
-				if res.ok && (bestRes == nil || res.bucket > bestRes.bucket) {
+				if res.ok && (bestRes == nil || e.pairBetter(res, bestRes)) {
 					bestI, bestJ, bestRes = i, j, res
 				}
 			}
 		}
 		if bestRes == nil {
 			return nil, fmt.Errorf("engine: datasets cannot be related: no combinable pair among %d groups", len(work))
+		}
+		if bestRes.cost.Informed {
+			tr.eventf("cost", "picked pair {%s}+{%s}: estimated rows %.0f, cpu %.0f, shuffle %.0f B",
+				work[bestI].key(), work[bestJ].key(),
+				bestRes.cost.Rows, bestRes.cost.CPU, bestRes.cost.ShuffleBytes)
 		}
 		tr.eventf("combine", "combine {%s} with {%s} via %s -> domains [%s]",
 			work[bestI].key(), work[bestJ].key(), className(bestRes.bucket),

@@ -254,8 +254,17 @@ func TestSolveMemoization(t *testing.T) {
 	if _, err := e.Solve(context.Background(), fig5Query()); err != nil {
 		t.Fatal(err)
 	}
-	if e.MemoHits() <= first {
-		t.Errorf("second solve should hit the memo table: %d -> %d", first, e.MemoHits())
+	second := e.MemoHits()
+	if second <= first {
+		t.Errorf("second solve should hit the memo table: %d -> %d", first, second)
+	}
+	// MemoHits is per-solve, not cumulative: a third identical solve
+	// reports the same fresh count, not first+2*second.
+	if _, err := e.Solve(context.Background(), fig5Query()); err != nil {
+		t.Fatal(err)
+	}
+	if e.MemoHits() != second {
+		t.Errorf("MemoHits should reset per solve: third solve reported %d, want %d", e.MemoHits(), second)
 	}
 	// With memoization disabled, no hits accrue.
 	opts := DefaultOptions()

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
+)
+
+// goldenCases is the Fig-5 query family: every solvable query shape the
+// engine tests exercise against the case-study catalogs. The golden files
+// under testdata/golden pin the exact plan bytes the structural heuristic
+// produced before cost-based planning existed; Solve with no statistics
+// store must keep producing them byte for byte.
+func goldenCases() []struct {
+	name    string
+	schemas map[string]semantics.Schema
+	query   Query
+} {
+	bridging := map[string]semantics.Schema{
+		"cpu_metrics": semantics.NewSchema(
+			"cpu", semantics.IDDomain("cpu"),
+			"ipc", semantics.ValueEntry("instructions/time_duration", "count/seconds"),
+		),
+		"rack_power": semantics.NewSchema(
+			"rack", semantics.IDDomain("rack"),
+			"power", semantics.ValueEntry("power", "watts"),
+		),
+		"cpu_rack_map": semantics.NewSchema(
+			"cpu_id", semantics.IDDomain("cpu"),
+			"rack_id", semantics.IDDomain("rack"),
+		),
+	}
+	return []struct {
+		name    string
+		schemas map[string]semantics.Schema
+		query   Query
+	}{
+		{"fig5", fig5Schemas(), fig5Query()},
+		{"fig7", fig7Schemas(), fig7Query()},
+		{"single_source", fig5Schemas(), Query{
+			Domains: []string{"rack"},
+			Values:  []QueryValue{{Dimension: "temperature"}},
+		}},
+		{"single_transform", fig5Schemas(), Query{
+			Domains: []string{"rack"},
+			Values:  []QueryValue{{Dimension: "temperature_difference"}},
+		}},
+		{"unit_conversion", fig5Schemas(), Query{
+			Domains: []string{"rack"},
+			Values:  []QueryValue{{Dimension: "temperature", Units: "degrees_fahrenheit"}},
+		}},
+		{"bridging", bridging, Query{
+			Domains: []string{"cpu", "rack"},
+			Values:  []QueryValue{{Dimension: "instructions/time_duration"}, {Dimension: "power"}},
+		}},
+	}
+}
+
+// TestSolveGoldenPlans pins the no-stats engine to the pre-cost-model
+// heuristic: byte-identical plan JSON for the whole query family.
+// Regenerate with SJ_UPDATE=1 only for a deliberate plan change.
+func TestSolveGoldenPlans(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(semantics.DefaultDictionary(), tc.schemas, DefaultOptions())
+			plan, err := e.Solve(context.Background(), tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if os.Getenv("SJ_UPDATE") == "1" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with SJ_UPDATE=1 to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("plan bytes changed for %s:\ngot:\n%s\nwant:\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestSolveEmptyStatsMatchesGolden proves the cost model is inert without
+// history: an engine holding an empty (but present) statistics store must
+// pick exactly the golden plans — estimates are annotated, but no choice
+// changes. Structural identity is compared via the canonical plan hash,
+// which excludes estimate annotations by design.
+func TestSolveEmptyStatsMatchesGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cold := New(semantics.DefaultDictionary(), tc.schemas, DefaultOptions())
+			coldPlan, err := cold.Solve(context.Background(), tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Stats = stats.NewStore()
+			warm := New(semantics.DefaultDictionary(), tc.schemas, opts)
+			warmPlan, err := warm.Solve(context.Background(), tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldPlan.Hash() != warmPlan.Hash() {
+				t.Errorf("empty stats store changed the plan:\ncold:\n%s\nwarm:\n%s", coldPlan, warmPlan)
+			}
+			if warmPlan.Root.Estimate == nil {
+				t.Error("stats-equipped engine should annotate estimates on the plan root")
+			}
+		})
+	}
+}

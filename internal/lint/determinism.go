@@ -15,6 +15,7 @@ var deterministicPackages = map[string]bool{
 	"pipeline":  true,
 	"dataset":   true,
 	"frame":     true, // columnar kernels feed the same replayable sequences
+	"stats":     true, // the statistics store steers plan choice; its encode/epoch logic must replay identically
 }
 
 // randConstructors are math/rand package-level functions that build seeded

@@ -88,4 +88,9 @@ const (
 	AttrCacheHit   = "cache_hit"
 	AttrPlanHash   = "plan_hash"
 	AttrError      = "error"
+	// AttrEstRows/AttrEstCPU/AttrEstShuffleBytes carry the planner's cost
+	// prediction on a step span, so traces show estimated next to actual.
+	AttrEstRows         = "est_rows"
+	AttrEstCPU          = "est_cpu"
+	AttrEstShuffleBytes = "est_shuffle_bytes"
 )

@@ -297,3 +297,60 @@ func TestTimeline(t *testing.T) {
 		t.Error("nil artifact timeline")
 	}
 }
+
+// TestTimelineDerivedActuals covers the renderer's derived columns: byte
+// attrs humanized, step lines aggregating shuffle volume from their stage
+// descendants, and stages without an own row count summing their tasks'.
+func TestTimelineDerivedActuals(t *testing.T) {
+	tr := NewTracer("t-derived", StepClock(time.Millisecond))
+	root := tr.Start(KindQuery, "q")
+	exec := root.Child(KindExec, "execute")
+	step := exec.Child(KindStep, "natural_join")
+	step.SetInt(AttrEstRows, 40)
+	step.SetInt(AttrEstShuffleBytes, 4096)
+	write := step.Child(KindStage, "jobs|cogroup-left|shuffle-write")
+	write.SetInt(AttrShuffleRows, 20)
+	write.SetInt(AttrShuffleBytes, 3*1024*1024)
+	// No rows_out on the stage itself: derived from the tasks below.
+	for p := 0; p < 2; p++ {
+		task := write.ChildAt(KindTask, "", write.Start())
+		task.SetInt(AttrPartition, int64(p))
+		task.SetInt(AttrRowsOut, 10)
+		task.EndAt(task.Start())
+	}
+	write.End()
+	read := step.Child(KindStage, "natural_join(jobs,layout)")
+	read.SetInt(AttrShuffleRows, 22)
+	read.SetInt(AttrShuffleBytes, 512)
+	read.SetInt(AttrRowsOut, 40)
+	read.End()
+	step.End()
+	exec.End()
+	root.End()
+
+	out := tr.Artifact().Timeline()
+	for _, want := range []string{
+		"est_rows=40",
+		"est_shuffle_bytes=4.0KiB", // humanized estimate on the step
+		"shuffled_rows=42",         // 20 + 22 aggregated onto the step line
+		"shuffled=3.0MiB",          // (3MiB + 512B) aggregated, humanized
+		"shuffle_bytes=3.0MiB",     // the write stage's own attr, humanized
+		"shuffle_bytes=512B",
+		"rows_out=20", // derived for the write stage from its two tasks
+		"rows_out=40", // the read stage's own attr, untouched
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The derived values must survive an encode/decode round trip (attrs
+	// become float64) unchanged.
+	enc, _ := tr.Artifact().Encode()
+	back, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Timeline() != out {
+		t.Errorf("decoded timeline differs:\n%s\nvs\n%s", back.Timeline(), out)
+	}
+}

@@ -39,12 +39,53 @@ func (r *SpanRecord) timeline(b *strings.Builder, depth int) {
 	if pad < len(label) {
 		pad = len(label)
 	}
-	fmt.Fprintf(b, "%s%-*s total=%-9s self=%-9s%s\n",
+	fmt.Fprintf(b, "%s%-*s total=%-9s self=%-9s%s%s\n",
 		strings.Repeat("  ", depth), pad, label,
-		fmtMicros(r.DurationMicros), fmtMicros(self), attrSummary(r))
+		fmtMicros(r.DurationMicros), fmtMicros(self), attrSummary(r), derivedSummary(r))
 	for _, c := range r.Children {
 		c.timeline(b, depth+1)
 	}
+}
+
+// derivedSummary renders actuals a span does not carry itself but its
+// subtree does: a derivation step aggregates the rows and bytes its stages
+// pushed through shuffles, and a stage missing its own row count sums its
+// tasks' — so every step line shows actual data volume next to the
+// planner's est_* attributes.
+func derivedSummary(r *SpanRecord) string {
+	var b strings.Builder
+	switch r.Kind {
+	case KindStep:
+		var rows, bytes int64
+		for _, st := range r.FindAll(KindStage) {
+			rows += st.AttrInt(AttrShuffleRows)
+			bytes += st.AttrInt(AttrShuffleBytes)
+		}
+		if rows > 0 {
+			fmt.Fprintf(&b, " shuffled_rows=%d", rows)
+		}
+		if bytes > 0 {
+			fmt.Fprintf(&b, " shuffled=%s", fmtBytes(bytes))
+		}
+	case KindStage:
+		if _, ok := r.Attrs[AttrRowsOut]; !ok {
+			var rows int64
+			seen := false
+			for _, tk := range r.Children {
+				if tk.Kind != KindTask {
+					continue
+				}
+				if _, ok := tk.Attrs[AttrRowsOut]; ok {
+					rows += tk.AttrInt(AttrRowsOut)
+					seen = true
+				}
+			}
+			if seen {
+				fmt.Fprintf(&b, " rows_out=%d", rows)
+			}
+		}
+	}
+	return b.String()
 }
 
 // attrSummary renders the span's attributes and event count as a sorted
@@ -60,6 +101,11 @@ func attrSummary(r *SpanRecord) string {
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
+		// Byte-volume attrs render humanized; everything else verbatim.
+		if k == AttrShuffleBytes || k == AttrEstShuffleBytes {
+			fmt.Fprintf(&b, " %s=%s", k, fmtBytes(r.AttrInt(k)))
+			continue
+		}
 		switch v := r.Attrs[k].(type) {
 		case float64:
 			fmt.Fprintf(&b, " %s=%d", k, int64(v))
@@ -77,4 +123,20 @@ func attrSummary(r *SpanRecord) string {
 // formatting ("1.234ms", "2.5s", ...).
 func fmtMicros(us int64) string {
 	return (time.Duration(us) * time.Microsecond).String()
+}
+
+// fmtBytes humanizes a byte count (B, KiB, MiB, GiB) with one decimal above
+// the unit boundary.
+func fmtBytes(n int64) string {
+	const k = 1024
+	switch {
+	case n >= k*k*k:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(k*k*k))
+	case n >= k*k:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(k*k))
+	case n >= k:
+		return fmt.Sprintf("%.1fKiB", float64(n)/k)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

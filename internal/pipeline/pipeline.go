@@ -45,6 +45,28 @@ type Node struct {
 	Params     map[string]any `json:"params,omitempty"`
 	// Inputs are the child steps: one for transforms, two for combines.
 	Inputs []*Node `json:"inputs,omitempty"`
+	// Estimate is the planner's predicted cost for this step, annotated when
+	// the engine runs with a statistics store. Advisory only: it is excluded
+	// from the canonical hash (identical derivations cache-share regardless
+	// of what the planner predicted) and execution never reads it.
+	Estimate *StepEstimate `json:"estimate,omitempty"`
+}
+
+// StepEstimate is the planner's cost prediction for one plan step.
+type StepEstimate struct {
+	// Rows is the predicted output row count.
+	Rows int64 `json:"rows"`
+	// CPU is the predicted cumulative per-row work (arbitrary units ~ rows
+	// processed across the subtree).
+	CPU int64 `json:"cpu"`
+	// ShuffleBytes is the predicted distributed-exchange volume.
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	// Informed reports whether real statistics (rather than conservative
+	// defaults) backed the prediction.
+	Informed bool `json:"informed,omitempty"`
+	// StatsInputs lists the statistics-store facts the prediction used
+	// (e.g. "table:node_layout", "deriv:natural_join|...").
+	StatsInputs []string `json:"stats_inputs,omitempty"`
 }
 
 // Plan is a complete derivation sequence.
@@ -299,7 +321,7 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 		if err != nil {
 			return nil, err
 		}
-		out, err = applyStep(rc, n.Derivation, func() (*dataset.Dataset, error) {
+		out, err = applyStep(rc, n, func() (*dataset.Dataset, error) {
 			return t.Apply(in, dict)
 		})
 		if err != nil {
@@ -318,7 +340,7 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 		if err != nil {
 			return nil, err
 		}
-		out, err = applyStep(rc, n.Derivation, func() (*dataset.Dataset, error) {
+		out, err = applyStep(rc, n, func() (*dataset.Dataset, error) {
 			return c.Apply(left, right, dict)
 		})
 		if err != nil {
@@ -338,10 +360,19 @@ func execNode(ctx context.Context, rc *rdd.Context, n *Node, cat Catalog, dict *
 // applyStep runs one derivation under a step span: the rdd Context is
 // re-scoped to the step so the derivation's stages nest beneath it, and
 // restored afterwards (also on *rdd.Canceled panics, via defer). Untraced
-// contexts take the nil-span fast path — no span, no allocation.
-func applyStep(rc *rdd.Context, name string, apply func() (*dataset.Dataset, error)) (*dataset.Dataset, error) {
+// contexts take the nil-span fast path — no span, no allocation. Planner
+// estimates annotated on the node are stamped onto the span so traces carry
+// predicted next to actual cost.
+func applyStep(rc *rdd.Context, n *Node, apply func() (*dataset.Dataset, error)) (*dataset.Dataset, error) {
 	save := rc.Span()
-	step := save.Child(obs.KindStep, name)
+	step := save.Child(obs.KindStep, n.Derivation)
+	if est := n.Estimate; est != nil && step != nil {
+		step.SetInt(obs.AttrEstRows, est.Rows)
+		step.SetInt(obs.AttrEstCPU, est.CPU)
+		if est.ShuffleBytes > 0 {
+			step.SetInt(obs.AttrEstShuffleBytes, est.ShuffleBytes)
+		}
+	}
 	rc.SetSpan(step)
 	defer func() {
 		rc.SetSpan(save)

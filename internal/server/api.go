@@ -65,10 +65,15 @@ type PlanResponse struct {
 	CacheHit bool `json:"cache_hit"`
 	// SearchMicros is the cost of the search that produced the plan (the
 	// original search when CacheHit).
-	SearchMicros   int64           `json:"search_micros"`
-	CatalogVersion int64           `json:"catalog_version"`
-	Steps          []string        `json:"steps"`
-	Plan           json.RawMessage `json:"plan"`
+	SearchMicros   int64 `json:"search_micros"`
+	CatalogVersion int64 `json:"catalog_version"`
+	// StatsEpoch is the statistics-store epoch the plan was costed
+	// against; 0 when the server runs without cost-based planning. Plan
+	// step estimates (rows, cpu, shuffle bytes, stats inputs) appear
+	// inline in Plan when a statistics store is attached.
+	StatsEpoch int64           `json:"stats_epoch,omitempty"`
+	Steps      []string        `json:"steps"`
+	Plan       json.RawMessage `json:"plan"`
 }
 
 // StreamHeader is the first JSON line of a row stream.

@@ -16,21 +16,25 @@ type metrics struct {
 	canceled *obs.Counter // deadline/cancellation aborts
 	rowsOut  *obs.Counter // rows streamed to clients
 	reloads  *obs.Counter // catalog registrations
-	lat      *obs.Histogram
+	// statsObserved counts derivation observations fed back into the
+	// statistics store by the post-query recorder.
+	statsObserved *obs.Counter
+	lat           *obs.Histogram
 }
 
 func newMetrics() metrics {
 	reg := obs.NewRegistry()
 	return metrics{
-		reg:      reg,
-		queries:  reg.Counter("queries_total"),
-		executed: reg.Counter("executed_total"),
-		rejected: reg.Counter("rejected_total"),
-		failed:   reg.Counter("failed_total"),
-		canceled: reg.Counter("canceled_total"),
-		rowsOut:  reg.Counter("rows_streamed_total"),
-		reloads:  reg.Counter("catalog_reloads_total"),
-		lat:      reg.Histogram("latency", "micros"),
+		reg:           reg,
+		queries:       reg.Counter("queries_total"),
+		executed:      reg.Counter("executed_total"),
+		rejected:      reg.Counter("rejected_total"),
+		failed:        reg.Counter("failed_total"),
+		canceled:      reg.Counter("canceled_total"),
+		rowsOut:       reg.Counter("rows_streamed_total"),
+		reloads:       reg.Counter("catalog_reloads_total"),
+		statsObserved: reg.Counter("stats_observations_total"),
+		lat:           reg.Histogram("latency", "micros"),
 	}
 }
 
@@ -51,6 +55,11 @@ func (s *Server) registerGauges() {
 		}
 		return 0
 	})
+	if s.cfg.Stats != nil {
+		reg.GaugeFunc("stats_epoch", func() int64 { return s.cfg.Stats.Epoch() })
+		reg.GaugeFunc("stats_tables", func() int64 { t, _ := s.cfg.Stats.Len(); return int64(t) })
+		reg.GaugeFunc("stats_derivations", func() int64 { _, d := s.cfg.Stats.Len(); return int64(d) })
+	}
 }
 
 // renderMetrics produces the GET /metrics body.

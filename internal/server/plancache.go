@@ -42,8 +42,11 @@ func newPlanCache(capacity int) *planCache {
 }
 
 // planKey canonicalizes a query for cache lookup: domain and value order
-// must not matter (the engine treats them as sets).
-func planKey(version int64, window float64, q engine.Query) string {
+// must not matter (the engine treats them as sets). The key carries the
+// catalog version and the statistics epoch, so both a hot catalog reload
+// and newly learned statistics invalidate cached plans — and nothing else
+// does.
+func planKey(version, statsEpoch int64, window float64, q engine.Query) string {
 	domains := append([]string(nil), q.Domains...)
 	sort.Strings(domains)
 	values := make([]string, 0, len(q.Values))
@@ -52,7 +55,7 @@ func planKey(version int64, window float64, q engine.Query) string {
 	}
 	sort.Strings(values)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%g|%s|%s", version, window, strings.Join(domains, ","), strings.Join(values, ","))
+	fmt.Fprintf(&b, "%d|%d|%g|%s|%s", version, statsEpoch, window, strings.Join(domains, ","), strings.Join(values, ","))
 	return b.String()
 }
 

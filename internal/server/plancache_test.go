@@ -10,21 +10,21 @@ import (
 )
 
 func TestPlanKeyCanonical(t *testing.T) {
-	a := planKey(3, 120, engine.Query{
+	a := planKey(3, 0, 120, engine.Query{
 		Domains: []string{"job", "rack"},
 		Values:  []engine.QueryValue{{Dimension: "application"}, {Dimension: "temperature", Units: "degrees_celsius"}},
 	})
-	b := planKey(3, 120, engine.Query{
+	b := planKey(3, 0, 120, engine.Query{
 		Domains: []string{"rack", "job"},
 		Values:  []engine.QueryValue{{Dimension: "temperature", Units: "degrees_celsius"}, {Dimension: "application"}},
 	})
 	if a != b {
 		t.Errorf("order-sensitive keys:\n%s\n%s", a, b)
 	}
-	if planKey(4, 120, engine.Query{Domains: []string{"job"}}) == planKey(3, 120, engine.Query{Domains: []string{"job"}}) {
+	if planKey(4, 0, 120, engine.Query{Domains: []string{"job"}}) == planKey(3, 0, 120, engine.Query{Domains: []string{"job"}}) {
 		t.Error("catalog version must be part of the key")
 	}
-	if planKey(3, 60, engine.Query{Domains: []string{"job"}}) == planKey(3, 120, engine.Query{Domains: []string{"job"}}) {
+	if planKey(3, 0, 60, engine.Query{Domains: []string{"job"}}) == planKey(3, 0, 120, engine.Query{Domains: []string{"job"}}) {
 		t.Error("window must be part of the key")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
 	"scrubjay/internal/value"
 	"scrubjay/internal/wrappers"
 )
@@ -59,6 +60,13 @@ type Config struct {
 	// worker cluster (internal/cluster.Scheduler) instead of in-process
 	// slice copies. Query results are bit-for-bit identical either way.
 	Placement rdd.Placement
+	// Stats, when non-nil, turns on cost-based planning: registered
+	// datasets are profiled into it, the engine costs candidate plans
+	// against it, executed query traces feed observations back through a
+	// stats.Recorder, and the plan cache keys on its epoch. Strictly
+	// opt-in — a nil store leaves planning byte-identical to the
+	// structural heuristic.
+	Stats *stats.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +126,11 @@ func New(store *Store, cfg Config) *Server {
 		met:    newMetrics(),
 		traces: obs.NewTraceRing(cfg.TraceRing),
 	}
+	// Profile the catalog into the statistics store (no-op when disabled).
+	// Datasets loaded before New and ones registered after both ingest:
+	// AttachStats profiles what is already there and Register keeps it
+	// current.
+	store.AttachStats(cfg.Stats)
 	s.registerGauges()
 	return s
 }
@@ -240,7 +253,7 @@ func (s *Server) timeout(millis int64) time.Duration {
 // and mirrors the engine's decisions onto it as events.
 func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query, counted bool, search *obs.Span) (planCacheEntry, int64, bool, error) {
 	schemas, version := s.store.Schemas()
-	key := planKey(version, window, q)
+	key := planKey(version, s.cfg.Stats.Epoch(), window, q)
 	lookup := s.plans.get
 	if counted {
 		lookup = s.plans.getQuiet
@@ -251,6 +264,7 @@ func (s *Server) resolvePlan(ctx context.Context, window float64, q engine.Query
 	}
 	opts := engine.DefaultOptions()
 	opts.WindowSeconds = window
+	opts.Stats = s.cfg.Stats
 	eng := engine.New(s.cfg.Dict, schemas, opts)
 	t0 := time.Now()
 	var plan *pipeline.Plan
@@ -281,6 +295,7 @@ func (s *Server) planResponse(e planCacheEntry, version int64, hit bool) (PlanRe
 		CacheHit:       hit,
 		SearchMicros:   e.searchMicros,
 		CatalogVersion: version,
+		StatsEpoch:     s.cfg.Stats.Epoch(),
 		Steps:          e.plan.Steps(),
 		Plan:           data,
 	}, nil
@@ -315,7 +330,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, planOnly boo
 	if !execute {
 		// Plan-only requests hit the cache before the admitter: a cached
 		// plan costs no CPU worth queueing for.
-		key := planKey(s.store.Version(), window, req.Query)
+		key := planKey(s.store.Version(), s.cfg.Stats.Epoch(), window, req.Query)
 		e, hit := s.plans.get(key)
 		if !hit {
 			if err := s.adm.acquire(ctx); err != nil {
@@ -491,6 +506,15 @@ func (s *Server) execStream(ctx context.Context, w http.ResponseWriter, plan *pi
 		f.Flush()
 	}
 	s.finishTrace(tr, qspan, "")
+	// Close the feedback loop: a successful traced execution feeds its
+	// observed per-step rows, time, and shuffle volume back into the
+	// statistics store, so the next plan search is better informed.
+	if s.cfg.Stats != nil && tr != nil {
+		if art := tr.Artifact(); art != nil {
+			n := stats.Recorder{Store: s.cfg.Stats}.Record(plan, art.Root, nil)
+			s.met.statsObserved.Add(int64(n))
+		}
+	}
 	s.met.executed.Add(1)
 	s.met.rowsOut.Add(int64(emitted))
 	s.met.lat.ObserveDuration(time.Since(start))

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"scrubjay/internal/stats"
+)
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerStatsFeedback proves the serving-side statistics loop end to
+// end: attaching a store profiles the catalog, executed queries feed
+// observations back through the recorder, plans carry estimates, and the
+// plan cache keys on the stats epoch so a moved epoch forces a re-search.
+func TestServerStatsFeedback(t *testing.T) {
+	st := stats.NewStore()
+	s := New(testStore(t), Config{Workers: 2, Stats: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// AttachStats profiled the two registered datasets at construction.
+	tables, _ := st.Len()
+	if tables != 2 {
+		t.Fatalf("tables profiled = %d, want 2", tables)
+	}
+	jobs, ok := st.Table("jobs")
+	if !ok || jobs.Rows != 2 {
+		t.Fatalf("jobs table stats = %+v ok=%v, want 2 rows", jobs, ok)
+	}
+	epoch0 := st.Epoch()
+
+	// Executing a query must record derivation observations.
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: testQuery()})
+	_, rows, trailer := readStream(t, resp)
+	if trailer.Error != "" || len(rows) == 0 {
+		t.Fatalf("query failed: %+v (%d rows)", trailer, len(rows))
+	}
+	_, derivs := st.Len()
+	if derivs == 0 {
+		t.Fatal("executed query recorded no derivation observations")
+	}
+	if st.Epoch() == epoch0 {
+		t.Error("first observations should move the stats epoch")
+	}
+
+	// The plan must carry estimates informed by the profiled tables.
+	var pr PlanResponse
+	resp = postJSON(t, ts.URL+"/v1/plan", QueryRequest{Query: testQuery()})
+	decodeJSON(t, resp, &pr)
+	if pr.StatsEpoch != st.Epoch() {
+		t.Errorf("StatsEpoch = %d, want %d", pr.StatsEpoch, st.Epoch())
+	}
+	if !strings.Contains(string(pr.Plan), `"estimate"`) {
+		t.Errorf("plan JSON carries no step estimates:\n%s", pr.Plan)
+	}
+
+	// Same epoch: the plan cache must hit.
+	var pr2 PlanResponse
+	resp = postJSON(t, ts.URL+"/v1/plan", QueryRequest{Query: testQuery()})
+	decodeJSON(t, resp, &pr2)
+	if !pr2.CacheHit {
+		t.Error("repeat plan at a stable epoch should hit the plan cache")
+	}
+
+	// A moved epoch must invalidate the cached plan (fresh search).
+	st.SetTable("synthetic", stats.TableStats{Rows: 99})
+	if st.Epoch() == pr2.StatsEpoch {
+		t.Fatal("SetTable of a new table should move the epoch")
+	}
+	var pr3 PlanResponse
+	resp = postJSON(t, ts.URL+"/v1/plan", QueryRequest{Query: testQuery()})
+	decodeJSON(t, resp, &pr3)
+	if pr3.CacheHit {
+		t.Error("plan cache should miss after the stats epoch moved")
+	}
+	if pr3.StatsEpoch == pr2.StatsEpoch {
+		t.Error("plan response should report the new stats epoch")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"scrubjay/internal/pipeline"
 	"scrubjay/internal/rdd"
 	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
 	"scrubjay/internal/value"
 )
 
@@ -27,6 +28,9 @@ type Store struct {
 	// version counts catalog mutations; it prefixes every plan-cache key,
 	// so a hot reload naturally invalidates cached plans.
 	version int64
+	// stats, when attached, receives table statistics for every
+	// registered dataset — the ingest half of cost-based planning.
+	stats *stats.Store
 }
 
 type storedDataset struct {
@@ -78,13 +82,43 @@ func (s *Store) Register(name string, rows []value.Row, schema semantics.Schema,
 	rc := rdd.NewContext(1)
 	frames := dataset.FromRowsColumnar(rc, name, rows, schema, parts).Frames().Collect()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok && !replace {
+		s.mu.Unlock()
 		return fmt.Errorf("store: dataset %q already registered (set replace)", name)
 	}
 	s.datasets[name] = &storedDataset{rows: rows, schema: schema, parts: parts, frames: frames}
 	s.version++
+	st := s.stats
+	s.mu.Unlock()
+	// Profile outside the lock: ingest scans every row, and the stats store
+	// has its own synchronization.
+	st.IngestRows(name, rows, schema)
 	return nil
+}
+
+// AttachStats connects a statistics store: every already-registered dataset
+// is profiled immediately and future registrations profile on the way in.
+// A nil store detaches (and is the default — serving without statistics
+// skips ingest entirely).
+func (s *Store) AttachStats(st *stats.Store) {
+	s.mu.Lock()
+	s.stats = st
+	entries := make(map[string]*storedDataset, len(s.datasets))
+	for name, d := range s.datasets {
+		entries[name] = d
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.IngestRows(name, entries[name].rows, entries[name].schema)
+	}
 }
 
 // Version reports the catalog mutation counter.
