@@ -11,11 +11,14 @@
 #                        vendored file that is not valid Go)
 #   * sjvet            — ScrubJay-specific invariants (purity, determinism,
 #                        lockdiscipline, unitsafety, frameimmut, ctxflow,
-#                        goroleak, and the hot-path allocation discipline
-#                        pair hotalloc/retain; see DESIGN.md "Enforced
-#                        invariants"), over library code AND tests, with a
-#                        reviewed baseline (sjvet.baseline) and a SARIF
-#                        artifact (sjvet.sarif) for code-scanning upload
+#                        goroleak, the hot-path allocation discipline pair
+#                        hotalloc/retain, and the flow-sensitive trio
+#                        errflow/leakcheck/lockorder; see DESIGN.md
+#                        "Enforced invariants"), over library code AND
+#                        tests, with a reviewed baseline (sjvet.baseline),
+#                        a SARIF artifact (sjvet.sarif) for code-scanning
+#                        upload, and a per-analyzer timing/finding-count
+#                        trend artifact (sjvet_timing.json)
 #   * sjbench gates    — columnar >= row throughput (BENCH_columnar.json),
 #                        the disabled-tracing overhead budget
 #                        (BENCH_obs.json, nil-span invariant), and the
@@ -55,11 +58,13 @@ go test -race ./...
 # source fix) and emits sjvet.sarif for the code-scanning artifact upload.
 # -timing prints the per-analyzer wall-clock breakdown, so a cost
 # regression in the interprocedural/hot-path build stages is attributable
-# before it blows the budget. Wall-clock budget: the whole pass must stay
-# fast enough to sit in every CI run, so anything over 30s fails the gate.
-echo "==> sjvet -timing -sarif sjvet.sarif -baseline sjvet.baseline ./..."
+# before it blows the budget; -timing-json lands the same rows plus raw
+# finding counts in sjvet_timing.json, the run-over-run trend artifact.
+# Wall-clock budget: the whole pass must stay fast enough to sit in every
+# CI run, so anything over 30s fails the gate.
+echo "==> sjvet -timing -timing-json sjvet_timing.json -sarif sjvet.sarif -baseline sjvet.baseline ./..."
 SJVET_T0=$(date +%s)
-go run ./cmd/sjvet -timing -sarif sjvet.sarif -baseline sjvet.baseline ./...
+go run ./cmd/sjvet -timing -timing-json sjvet_timing.json -sarif sjvet.sarif -baseline sjvet.baseline ./...
 
 # The -tests pass shares the baseline: hotalloc/retain skip _test.go files,
 # so the grandfathered library findings are the same set.
@@ -74,7 +79,8 @@ if [ "$SJVET_ELAPSED" -gt 30 ]; then
 fi
 if [ -n "${CI_ARTIFACT_DIR:-}" ]; then
   cp sjvet.sarif "$CI_ARTIFACT_DIR/sjvet.sarif"
-  echo "    uploaded sjvet.sarif to $CI_ARTIFACT_DIR"
+  cp sjvet_timing.json "$CI_ARTIFACT_DIR/sjvet_timing.json"
+  echo "    uploaded sjvet.sarif and sjvet_timing.json to $CI_ARTIFACT_DIR"
 fi
 
 # Columnar regression gate: the vectorized join kernels must not be slower

@@ -1,20 +1,37 @@
 // Command sjvet is ScrubJay's static-analysis gate: it loads the module,
-// type-checks every package, and runs the internal/lint analyzer suite
-// (ctxflow, determinism, frameimmut, goroleak, hotalloc, lockdiscipline,
-// purity, retain, unitsafety). Any finding is printed as file:line:col:
-// [analyzer] message and the process exits nonzero, so sjvet slots directly
-// into CI next to go vet.
+// type-checks every package, and runs the internal/lint analyzer suite:
+//
+//   - ctxflow: dropped or ignored context plumbing on cancellable paths
+//   - determinism: time/rand/map-order nondeterminism in derivation code
+//   - errflow: errors overwritten or discarded before any path reads them,
+//     and ExecFailures flattened into generic errors
+//   - frameimmut: writes to published (shared) frame storage
+//   - goroleak: goroutines with no termination edge
+//   - hotalloc: per-iteration allocation on the serving hot path
+//   - leakcheck: conns/files/tickers/spans not released on every CFG path
+//   - lockdiscipline: blocking operations while holding a mutex
+//   - lockorder: module-wide lock-acquisition-order cycles (deadlocks)
+//   - purity: impure rdd/kernel compute closures
+//   - retain: hot-path callees pinning caller buffers
+//   - unitsafety: arithmetic across mismatched units
+//
+// Any finding is printed as file:line:col: [analyzer] message and the
+// process exits nonzero, so sjvet slots directly into CI next to go vet.
+// Flow-sensitive findings (errflow, leakcheck, lockorder) carry the
+// control-flow path that demonstrates them: indented step lines in text
+// output and SARIF codeFlows in the -sarif artifact.
 //
 // Usage:
 //
-//	sjvet [-json] [-tests] [-list] [-run a,b] [-timing] [-C dir] [-sarif file] [-baseline file] [-write-baseline] [packages]
+//	sjvet [-json] [-tests] [-list] [-run a,b] [-timing] [-timing-json file] [-C dir] [-sarif file] [-baseline file] [-write-baseline] [packages]
 //
 // -run restricts the run to a comma-separated subset of analyzers (e.g.
 // -run hotalloc,retain); with -baseline, entries for analyzers outside the
 // subset are ignored rather than reported stale. -timing prints the
 // wall-clock cost of each analyzer (and the shared summary/hot-path build
 // stages) to stderr, so a regression in analysis cost is visible before it
-// blows the CI budget.
+// blows the CI budget; -timing-json writes the same rows plus per-analyzer
+// finding counts as a JSON artifact for trend tracking.
 //
 // Package patterns are module-relative ("./...", "./internal/rdd",
 // "scrubjay/internal/derive/..."); the default and "./..." analyze the whole
@@ -37,6 +54,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit 0")
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: the whole suite)")
 	timing := fs.Bool("timing", false, "print per-analyzer wall-clock timing to stderr")
+	timingJSON := fs.String("timing-json", "", "write per-analyzer timing and finding counts as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -116,6 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timing {
 		for _, t := range timings {
 			fmt.Fprintf(stderr, "sjvet: timing %-16s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
+	if *timingJSON != "" {
+		// Counts are pre-baseline: the artifact tracks analyzer activity and
+		// cost over time, not the CI pass/fail verdict.
+		if err := writeTimingJSON(*timingJSON, timings, findings); err != nil {
+			fmt.Fprintln(stderr, "sjvet:", err)
+			return 2
 		}
 	}
 
@@ -193,6 +220,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
+			for _, s := range f.Steps {
+				fmt.Fprintf(stdout, "    step %s:%d: %s\n", s.Pos.Filename, s.Pos.Line, s.Text)
+			}
 		}
 	}
 	fail := false
@@ -223,14 +253,50 @@ func plural(n int, one, many string) string {
 	return many
 }
 
-// relativize rewrites finding filenames relative to the module root for
-// stable, readable output.
+// relativize rewrites finding (and path-step) filenames relative to the
+// module root for stable, readable output.
 func relativize(fs []lint.Finding, root string) {
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return name
+	}
 	for i := range fs {
-		if rel, err := filepath.Rel(root, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			fs[i].Pos.Filename = filepath.ToSlash(rel)
+		fs[i].Pos.Filename = rel(fs[i].Pos.Filename)
+		for j := range fs[i].Steps {
+			fs[i].Steps[j].Pos.Filename = rel(fs[i].Steps[j].Pos.Filename)
 		}
 	}
+}
+
+// timingRow is one entry of the -timing-json artifact.
+type timingRow struct {
+	Name     string  `json:"name"`
+	Ms       float64 `json:"ms"`
+	Findings int     `json:"findings"`
+}
+
+// writeTimingJSON records per-analyzer wall-clock cost and raw finding
+// counts — the trend artifact CI archives run over run.
+func writeTimingJSON(path string, timings []lint.AnalyzerTiming, findings []lint.Finding) error {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	rows := make([]timingRow, 0, len(timings))
+	for _, t := range timings {
+		rows = append(rows, timingRow{
+			Name:     t.Name,
+			Ms:       float64(t.Elapsed.Microseconds()) / 1000,
+			Findings: counts[t.Name],
+		})
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // selectedFiles lists the module-root-relative filenames of the analyzed

@@ -269,7 +269,12 @@ func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d i
 
 	var straggler <-chan time.Time
 	if s.opts.StragglerAfter > 0 {
-		straggler = time.After(s.opts.StragglerAfter)
+		// A stoppable timer, not time.After: the fetch usually returns long
+		// before the straggler deadline, and an unstopped timer would pin
+		// its allocation (and this channel) until it fires.
+		timer := time.NewTimer(s.opts.StragglerAfter)
+		defer timer.Stop()
+		straggler = timer.C
 	}
 	var lastErr error
 	for {

@@ -44,10 +44,30 @@ const (
 type estimator struct {
 	store *stats.Store
 	memo  map[*pipeline.Node]Cost
+	// joinCols remembers, per combine node, the domain columns each side
+	// aligns on — registered by the planner (which holds the schemas) and
+	// consumed by combineCost's NDV-based output-cardinality estimate.
+	// Combine nodes outlive individual searches via the pair memo, so this
+	// table survives reset().
+	joinCols map[*pipeline.Node][]joinKey
+}
+
+// joinKey pairs the representative domain columns the two join sides align
+// on for one shared dimension.
+type joinKey struct {
+	left, right string
 }
 
 func newEstimator(store *stats.Store) *estimator {
-	return &estimator{store: store, memo: map[*pipeline.Node]Cost{}}
+	return &estimator{store: store, memo: map[*pipeline.Node]Cost{}, joinCols: map[*pipeline.Node][]joinKey{}}
+}
+
+// registerJoin records the join-key columns of a combine node before its
+// first cost() call. Safe to call for nodes the estimator never costs.
+func (e *estimator) registerJoin(n *pipeline.Node, keys []joinKey) {
+	if len(keys) > 0 {
+		e.joinCols[n] = keys
+	}
 }
 
 func (e *estimator) reset() {
@@ -130,10 +150,11 @@ func (e *estimator) combineCost(n *pipeline.Node) Cost {
 	c := Cost{Informed: l.Informed && r.Informed}
 	c.inputs = append(append([]string(nil), l.inputs...), r.inputs...)
 	key := stats.NodeKey(n)
+	selObserved := false
 	if d, ok := e.store.Derivation(key); ok {
 		used := false
 		if s, ok := d.Selectivity(); ok {
-			outRows, used = inRows*s, true
+			outRows, used, selObserved = inRows*s, true, true
 		}
 		if b, ok := d.BytesPerRow(); ok {
 			bytesPerRow, used = b, true
@@ -142,10 +163,67 @@ func (e *estimator) combineCost(n *pipeline.Node) Cost {
 			c.inputs = append(c.inputs, "deriv:"+key)
 		}
 	}
+	// Without an observed selectivity for this exact join, fall back to the
+	// textbook distinct-value estimate when the store has NDV facts for the
+	// join keys: |L ⋈ R| ≈ |L|·|R| / Π max(ndv_L, ndv_R). Observed behavior
+	// of the real derivation always outranks it.
+	if !selObserved && n.Derivation == "natural_join" && c.Informed {
+		if rows, facts, ok := e.ndvJoinRows(n, l, r); ok {
+			outRows = rows
+			c.inputs = append(c.inputs, facts...)
+		}
+	}
 	c.Rows = outRows
 	c.CPU = l.CPU + r.CPU + inRows
 	c.ShuffleBytes = l.ShuffleBytes + r.ShuffleBytes + inRows*bytesPerRow
 	return c
+}
+
+// ndvJoinRows estimates a natural join's output cardinality from join-key
+// distinct counts. It applies only when both subtrees draw from a single
+// source dataset (so table-level NDVs describe the rows actually arriving at
+// the join) and the store has a positive NDV for every join-key column on
+// both sides — partial evidence would skew the product. Returns the
+// estimate plus the "ndv:dataset.column" facts it consumed.
+func (e *estimator) ndvJoinRows(n *pipeline.Node, l, r Cost) (float64, []string, bool) {
+	keys := e.joinCols[n]
+	if len(keys) == 0 || len(n.Inputs) != 2 {
+		return 0, nil, false
+	}
+	lname, lt, ok := e.singleSourceTable(n.Inputs[0])
+	if !ok {
+		return 0, nil, false
+	}
+	rname, rt, ok := e.singleSourceTable(n.Inputs[1])
+	if !ok {
+		return 0, nil, false
+	}
+	denom := 1.0
+	var facts []string
+	for _, k := range keys {
+		ndvL := lt.Columns[k.left].NDV
+		ndvR := rt.Columns[k.right].NDV
+		if ndvL <= 0 || ndvR <= 0 {
+			return 0, nil, false
+		}
+		denom *= float64(max(ndvL, ndvR))
+		facts = append(facts, "ndv:"+lname+"."+k.left, "ndv:"+rname+"."+k.right)
+	}
+	return l.Rows * r.Rows / denom, facts, true
+}
+
+// singleSourceTable resolves a subtree to its table statistics when exactly
+// one source dataset feeds it and the store has seen that dataset.
+func (e *estimator) singleSourceTable(n *pipeline.Node) (string, stats.TableStats, bool) {
+	srcs := stats.NodeSources(n)
+	if len(srcs) != 1 {
+		return "", stats.TableStats{}, false
+	}
+	t, ok := e.store.Table(srcs[0])
+	if !ok {
+		return "", stats.TableStats{}, false
+	}
+	return srcs[0], t, true
 }
 
 // defaultSelectivity is the uninformed rows-out-per-row-in guess for a

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/stats"
+)
+
+// ndvSchemas is a minimal all-discrete catalog whose only viable plan is a
+// natural join of the two datasets on compute_node.
+func ndvSchemas() map[string]semantics.Schema {
+	return map[string]semantics.Schema{
+		"jobs": semantics.NewSchema(
+			"job_id", semantics.IDDomain("job"),
+			"node", semantics.IDDomain("compute_node"),
+			"jname", semantics.ValueEntry("application", "identifier"),
+		),
+		"layout": semantics.NewSchema(
+			"node", semantics.IDDomain("compute_node"),
+			"rack", semantics.IDDomain("rack"),
+		),
+	}
+}
+
+func ndvQuery() Query {
+	return Query{
+		Domains: []string{"job", "rack"},
+		Values:  []QueryValue{{Dimension: "application"}},
+	}
+}
+
+func solveNDV(t *testing.T, store *stats.Store) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Stats = store
+	return New(semantics.DefaultDictionary(), ndvSchemas(), opts)
+}
+
+// TestCombineCostNDVTightensEstimate: with join-key NDV facts in the store,
+// the natural-join output cardinality uses the distinct-value estimate
+// |L|·|R|/max(ndv) instead of the row-preserving |L|+|R| guess, and the
+// estimate records which ndv facts it consumed.
+func TestCombineCostNDVTightensEstimate(t *testing.T) {
+	rowsOnly := stats.NewStore()
+	rowsOnly.SetTable("jobs", stats.TableStats{Rows: 1000})
+	rowsOnly.SetTable("layout", stats.TableStats{Rows: 200})
+
+	withNDV := stats.NewStore()
+	withNDV.SetTable("jobs", stats.TableStats{Rows: 1000, Columns: map[string]stats.ColumnStats{
+		"node": {NDV: 500},
+	}})
+	withNDV.SetTable("layout", stats.TableStats{Rows: 200, Columns: map[string]stats.ColumnStats{
+		"node": {NDV: 200},
+	}})
+
+	rootEstimate := func(store *stats.Store) ([]string, int64) {
+		e := solveNDV(t, store)
+		plan, err := e.Solve(context.Background(), ndvQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Root.Derivation != "natural_join" {
+			t.Fatalf("plan root = %q, want natural_join\n%s", plan.Root.Derivation, plan)
+		}
+		est := plan.Root.Estimate
+		if est == nil || !est.Informed {
+			t.Fatalf("root estimate = %+v, want informed", est)
+		}
+		return est.StatsInputs, est.Rows
+	}
+
+	_, before := rootEstimate(rowsOnly)
+	if before != 1200 {
+		t.Fatalf("rows-only estimate = %d, want 1200 (row-preserving default over 1000+200)", before)
+	}
+
+	inputs, after := rootEstimate(withNDV)
+	// 1000 * 200 / max(500, 200) = 400: the NDV estimate tightens the
+	// uninformed 1200-row guess.
+	if after != 400 {
+		t.Fatalf("ndv-informed estimate = %d, want 400", after)
+	}
+	joined := strings.Join(inputs, " ")
+	for _, want := range []string{"ndv:jobs.node", "ndv:layout.node"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("estimate inputs %v missing fact %q", inputs, want)
+		}
+	}
+}
+
+// TestCombineCostNDVAbsentKeepsPlan: without column NDV facts the new code
+// path must be inert — the plan solved against a rows-only store has the
+// identical step structure to the plan solved with no store at all. (The
+// encoded bytes legitimately differ: a store adds estimate annotations.)
+func TestCombineCostNDVAbsentKeepsPlan(t *testing.T) {
+	solve := func(store *stats.Store) string {
+		e := solveNDV(t, store)
+		plan, err := e.Solve(context.Background(), ndvQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(plan.Steps(), "\n")
+	}
+	bare := solve(nil)
+	rowsOnly := stats.NewStore()
+	rowsOnly.SetTable("jobs", stats.TableStats{Rows: 1000})
+	rowsOnly.SetTable("layout", stats.TableStats{Rows: 200})
+	if got := solve(rowsOnly); got != bare {
+		t.Fatalf("rows-only store changed the plan steps:\n%s\nvs no store:\n%s", got, bare)
+	}
+}
+
+// TestNDVObservedSelectivityWins: an observed selectivity for the exact join
+// outranks the NDV estimate — real behavior beats the textbook formula.
+func TestNDVObservedSelectivityWins(t *testing.T) {
+	store := stats.NewStore()
+	store.SetTable("jobs", stats.TableStats{Rows: 1000, Columns: map[string]stats.ColumnStats{
+		"node": {NDV: 500},
+	}})
+	store.SetTable("layout", stats.TableStats{Rows: 200, Columns: map[string]stats.ColumnStats{
+		"node": {NDV: 200},
+	}})
+	// Observed: this join halves its input rows.
+	store.Observe("natural_join|jobs|layout",
+		stats.DerivationStats{Observations: 4, RowsIn: 2400, RowsOut: 1200, Micros: 100})
+
+	e := solveNDV(t, store)
+	plan, err := e.Solve(context.Background(), ndvQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := plan.Root.Estimate
+	if est == nil {
+		t.Fatal("no root estimate")
+	}
+	// (1000+200) * 0.5 observed selectivity, not the NDV formula's 400.
+	if est.Rows != 600 {
+		t.Fatalf("estimate rows = %d, want 600 (observed selectivity)", est.Rows)
+	}
+	joined := strings.Join(est.StatsInputs, " ")
+	if strings.Contains(joined, "ndv:") {
+		t.Errorf("estimate inputs %v should not include ndv facts when selectivity was observed", est.StatsInputs)
+	}
+}

@@ -298,6 +298,13 @@ func (e *Engine) tryCombine(a, b variant, wanted map[string]bool) (combineResult
 			class:  class,
 		}
 		if e.est != nil {
+			if class != classInterp {
+				// Hand the estimator the join-key columns before costing:
+				// only the planner knows the schemas, and the NDV-based
+				// cardinality estimate needs a column per shared dimension
+				// on each side.
+				e.est.registerJoin(node, joinKeysFor(a.schema, b.schema, shared))
+			}
 			r.cost = e.est.cost(node)
 		}
 		return r
@@ -315,6 +322,23 @@ func (e *Engine) tryCombine(a, b variant, wanted map[string]bool) (combineResult
 		return mk(nj, njSchema, classNaturalCont), true
 	}
 	return combineResult{}, false
+}
+
+// joinKeysFor picks, per shared domain dimension, the representative column
+// each join side aligns on — the NDV lookups behind informed join
+// cardinality. Dimensions where either side lacks a domain column are
+// skipped (the join cannot align on them anyway).
+func joinKeysFor(a, b semantics.Schema, shared []string) []joinKey {
+	var keys []joinKey
+	for _, dim := range shared {
+		la := a.ColumnsOnDimension(semantics.Domain, dim)
+		lb := b.ColumnsOnDimension(semantics.Domain, dim)
+		if len(la) == 0 || len(lb) == 0 {
+			continue
+		}
+		keys = append(keys, joinKey{left: la[0], right: lb[0]})
+	}
+	return keys
 }
 
 // better orders candidate combinations within one pair of groups: the

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCFGGolden pins the CFG builder's block/edge structure over the tricky
+// constructs in the cfgfix fixture — defer in a loop, labeled break, goto,
+// select with and without default, panic, recover, fallthrough, continue
+// with a post statement. The golden dump is the structural contract every
+// flow-sensitive analyzer builds on.
+func TestCFGGolden(t *testing.T) {
+	m := loadFixture(t, "src")
+	var b strings.Builder
+	for _, pkg := range m.Pkgs {
+		if pkg.Name != "cfgfix" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, fn := range fileFuncs(file) {
+				cfg := BuildCFG(fn.Name, fn.Body)
+				b.WriteString(cfg.Dump())
+				b.WriteString("\n")
+			}
+		}
+	}
+	if b.Len() == 0 {
+		t.Fatal("cfgfix fixture package not found")
+	}
+	checkGolden(t, "cfg.txt", b.String())
+}
+
+// TestCFGDeferCollection: deferred calls land in cfg.Defers in source order
+// (replayed LIFO at exit by flow consumers), and DeferInLoop records its
+// deferred close exactly once even though the defer sits inside a loop.
+func TestCFGDeferCollection(t *testing.T) {
+	m := loadFixture(t, "src")
+	for _, pkg := range m.Pkgs {
+		if pkg.Name != "cfgfix" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, fn := range fileFuncs(file) {
+				cfg := BuildCFG(fn.Name, fn.Body)
+				switch fn.Name {
+				case "DeferInLoop":
+					if len(cfg.Defers) != 1 {
+						t.Errorf("DeferInLoop: %d deferred calls recorded, want 1", len(cfg.Defers))
+					}
+				case "RecoverGuard":
+					if len(cfg.Defers) != 1 {
+						t.Errorf("RecoverGuard: %d deferred calls recorded, want 1", len(cfg.Defers))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunForwardReachability: RunForward only populates states for blocks
+// reachable from entry, and the exit state reflects merged paths.
+func TestRunForwardReachability(t *testing.T) {
+	m := loadFixture(t, "src")
+	for _, pkg := range m.Pkgs {
+		if pkg.Name != "cfgfix" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, fn := range fileFuncs(file) {
+				if fn.Name != "SelectBlocking" {
+					continue
+				}
+				cfg := BuildCFG(fn.Name, fn.Body)
+				// Count blocks visited on the way to exit: a trivial
+				// "path length" flow whose merge takes the maximum.
+				_, out := RunForward(cfg, FlowSpec[int]{
+					Init:  0,
+					Merge: func(a, b int) int { return max(a, b) },
+					Equal: func(a, b int) bool { return a == b },
+					Transfer: func(blk *Block, s int) int {
+						return s + 1
+					},
+				})
+				exitDepth, ok := out[cfg.Exit]
+				if !ok {
+					t.Fatal("SelectBlocking: exit block unreachable in flow")
+				}
+				if exitDepth < 2 {
+					t.Errorf("SelectBlocking: exit depth = %d, want >= 2 (entry + case)", exitDepth)
+				}
+			}
+		}
+	}
+}

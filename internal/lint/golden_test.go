@@ -23,15 +23,22 @@ func loadFixture(t *testing.T, rel string) *Module {
 }
 
 // formatFindings renders findings with module-root-relative paths, one per
-// line — the golden-file format.
+// line — the golden-file format. Path-trace steps (flow-sensitive findings)
+// follow their finding as indented lines, so the goldens pin the explanation,
+// not just the verdict.
 func formatFindings(m *Module, findings []Finding) string {
+	rel := func(name string) string {
+		if r, err := filepath.Rel(m.Root, name); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return name
+	}
 	var b strings.Builder
 	for _, f := range findings {
-		name := f.Pos.Filename
-		if rel, err := filepath.Rel(m.Root, name); err == nil {
-			name = filepath.ToSlash(rel)
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		for _, s := range f.Steps {
+			fmt.Fprintf(&b, "    step %s:%d: %s\n", rel(s.Pos.Filename), s.Pos.Line, s.Text)
 		}
-		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 	}
 	return b.String()
 }

@@ -52,6 +52,11 @@ const (
 	// with the call (a sort.Slice comparator) — but a capturing literal
 	// that itself escapes pins the parameter with it.
 	ParamCaptured
+	// ParamReleased: the function calls the parameter's release method —
+	// Close, Stop, or End — directly, in a deferred/nested literal, or via
+	// a transitive callee. leakcheck uses this so that handing a resource
+	// to a helper that closes it counts as releasing it.
+	ParamReleased
 )
 
 // Summary is the dataflow summary of one declared function.
@@ -693,6 +698,16 @@ func callIntra(fi *FuncInfo, call *ast.CallExpr, inLit bool,
 				if v := argRoot(arg); isParam(v) && !types.IsInterface(v.Type()) {
 					s.addFact(v, ParamBoxed)
 				}
+			}
+		}
+	}
+	// A release-method call on the parameter itself (not on one of its
+	// fields) records ParamReleased: `func drop(c *Conn) { c.Close() }`
+	// releases its argument wherever it is called from.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if v, _ := info.ObjectOf(id).(*types.Var); isParam(v) {
+				s.addFact(v, ParamReleased)
 			}
 		}
 	}

@@ -6,11 +6,19 @@ import "encoding/json"
 // sjvet -json. The field set is stable: tools downstream (CI annotators,
 // dashboards) key on it.
 type JSONFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Column   int        `json:"column"`
+	Analyzer string     `json:"analyzer"`
+	Message  string     `json:"message"`
+	Steps    []JSONStep `json:"steps,omitempty"`
+}
+
+// JSONStep is one hop of a flow-sensitive finding's path trace.
+type JSONStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Text string `json:"text"`
 }
 
 // ToJSON converts findings to their wire form. The slice is non-nil even
@@ -18,13 +26,17 @@ type JSONFinding struct {
 func ToJSON(fs []Finding) []JSONFinding {
 	out := make([]JSONFinding, 0, len(fs))
 	for _, f := range fs {
-		out = append(out, JSONFinding{
+		jf := JSONFinding{
 			File:     f.Pos.Filename,
 			Line:     f.Pos.Line,
 			Column:   f.Pos.Column,
 			Analyzer: f.Analyzer,
 			Message:  f.Message,
-		})
+		}
+		for _, s := range f.Steps {
+			jf.Steps = append(jf.Steps, JSONStep{File: s.Pos.Filename, Line: s.Pos.Line, Text: s.Text})
+		}
+		out = append(out, jf)
 	}
 	return out
 }

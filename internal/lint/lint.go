@@ -31,6 +31,18 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Steps, when present, trace the control-flow path that produces the
+	// finding (acquisition site, branch taken, exit), rendered into SARIF
+	// codeFlows and indented under the finding in golden output. Steps
+	// never participate in baseline matching — the baseline keys on
+	// (file, analyzer, message) only.
+	Steps []TraceStep
+}
+
+// TraceStep is one hop of a finding's path trace.
+type TraceStep struct {
+	Pos  token.Position
+	Text string
 }
 
 // String renders the finding in the canonical file:line:col: [analyzer] form.
@@ -64,6 +76,10 @@ type Pass struct {
 	// functions reachable from the serving-path roots, with the reason
 	// each one is hot.
 	Hot *HotPaths
+	// Flow is the flow-sensitive layer (see cfg.go): a per-function CFG
+	// cache plus the module-wide lock-order graph, shared across analyzers
+	// so each function's graph is built once per run.
+	Flow *Flow
 
 	findings *[]Finding
 }
@@ -74,6 +90,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPath records a finding with a control-flow path trace attached.
+func (p *Pass) ReportPath(pos token.Pos, steps []TraceStep, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Steps:    steps,
 	})
 }
 
@@ -89,6 +115,9 @@ func Analyzers() []*Analyzer {
 		GoroLeakAnalyzer(),
 		HotAllocAnalyzer(),
 		RetainAnalyzer(),
+		LockOrderAnalyzer(),
+		LeakCheckAnalyzer(),
+		ErrFlowAnalyzer(),
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -139,6 +168,7 @@ func RunPackagesTimed(m *Module, analyzers []*Analyzer, pkgs []*Package) ([]Find
 	start = time.Now()
 	hot := BuildHotPaths(m, ip)
 	hotElapsed := time.Since(start)
+	flow := NewFlow(m, ip)
 
 	perAnalyzer := make(map[string]time.Duration, len(analyzers))
 	var findings []Finding
@@ -149,7 +179,7 @@ func RunPackagesTimed(m *Module, analyzers []*Analyzer, pkgs []*Package) ([]Find
 				continue
 			}
 			var raw []Finding
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, IP: ip, Hot: hot, findings: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: m.Fset, IP: ip, Hot: hot, Flow: flow, findings: &raw}
 			start = time.Now()
 			a.Run(pass)
 			perAnalyzer[a.Name] += time.Since(start)

@@ -1,0 +1,557 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds a module-wide lock-acquisition-order graph and
+// reports cycles as potential deadlocks. A directed edge A→B is recorded
+// whenever, on some CFG path, lock class B is acquired — directly or via a
+// transitive callee — while lock class A is held. Lock classes are
+// module-wide canonical identities (pkg.Type.field for struct-owned
+// mutexes, pkg.var for package-level ones), so two goroutines taking
+// engine/cluster/server locks in opposite orders meet in one graph even
+// when the acquisitions live in different packages. Each cycle is reported
+// once, anchored at its lexicographically first edge site, with every
+// acquisition chain spelled out and a step-by-step path trace.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc: "every pair of mutexes must be acquired in one consistent order " +
+			"module-wide: a cycle in the acquisition-order graph (A held while " +
+			"B is taken, B held while A is taken — directly or through callees) " +
+			"is a potential deadlock between concurrent goroutines.",
+		Run: runLockOrder,
+	}
+}
+
+// lockOrderEdge is the first (deterministically chosen) witness that `to`
+// was acquired while `from` was held.
+type lockOrderEdge struct {
+	from, to string
+	fn       string // function containing the witness site
+	chain    string // non-empty when the acquisition is via a callee
+	pos      token.Pos
+	pkg      *Package
+}
+
+// lockCycleFinding is one detected cycle, precomputed module-wide and
+// emitted by whichever pass owns the anchor edge's package.
+type lockCycleFinding struct {
+	pkg     *Package
+	pos     token.Pos
+	message string
+	steps   []TraceStep
+}
+
+type lockOrderGraph struct {
+	cycles []lockCycleFinding
+}
+
+func runLockOrder(pass *Pass) {
+	g := pass.Flow.lockOrder(pass.Fset)
+	for _, c := range g.cycles {
+		if c.pkg == pass.Pkg {
+			pass.ReportPath(c.pos, c.steps, "%s", c.message)
+		}
+	}
+}
+
+// lockOrder builds (once per run) the module-wide acquisition graph and its
+// cycles.
+func (f *Flow) lockOrder(fset *token.FileSet) *lockOrderGraph {
+	if f.lockOnce {
+		return f.lockGraph
+	}
+	f.lockOnce = true
+	f.lockGraph = buildLockOrder(f, fset)
+	return f.lockGraph
+}
+
+func buildLockOrder(f *Flow, fset *token.FileSet) *lockOrderGraph {
+	may := buildMayAcquire(f)
+
+	// Walk every function unit's CFG in deterministic (package, file, decl)
+	// order, tracking held lock classes, and record the first witness site
+	// of each ordered pair.
+	edges := map[[2]string]*lockOrderEdge{}
+	for _, pkg := range f.mod.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFile(fset.Position(file.Pos()).Filename) {
+				continue
+			}
+			for _, fn := range fileFuncs(file) {
+				recordLockEdges(f, fset, pkg, fn, may, edges)
+			}
+		}
+	}
+
+	// Tarjan over the lock-class graph; every SCC with ≥2 classes holds at
+	// least one cycle.
+	adj := map[string][]string{}
+	var nodes []string
+	seen := map[string]bool{}
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		for _, n := range []string{k[0], k[1]} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	g := &lockOrderGraph{}
+	for _, scc := range lockSCCs(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		g.cycles = append(g.cycles, buildCycleFinding(fset, scc, edges))
+	}
+	sort.Slice(g.cycles, func(i, j int) bool { return g.cycles[i].message < g.cycles[j].message })
+	return g
+}
+
+// lockSCCs computes strongly connected components of the acquisition-order
+// graph with an iterative Tarjan. Nodes and adjacency lists arrive sorted,
+// so component membership and order are deterministic.
+func lockSCCs(nodes []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ int // next adjacency index to explore
+	}
+	for _, root := range nodes {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := fr.node
+			if fr.succ == 0 {
+				index[n] = next
+				low[n] = next
+				next++
+				stack = append(stack, n)
+				onStack[n] = true
+			}
+			advanced := false
+			for fr.succ < len(adj[n]) {
+				m := adj[n][fr.succ]
+				fr.succ++
+				if _, visited := index[m]; !visited {
+					work = append(work, frame{node: m})
+					advanced = true
+					break
+				}
+				if onStack[m] && index[m] < low[n] {
+					low[n] = index[m]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// n is finished: fold lowlink into the parent, pop components.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// buildCycleFinding renders one SCC as a finding: the sorted lock classes,
+// every internal edge with its witness function and call chain, anchored at
+// the first edge site in file/offset order.
+func buildCycleFinding(fset *token.FileSet, scc []string, edges map[[2]string]*lockOrderEdge) lockCycleFinding {
+	inSCC := map[string]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	var cycleEdges []*lockOrderEdge
+	for _, from := range scc {
+		for _, to := range scc {
+			if e, ok := edges[[2]string{from, to}]; ok && inSCC[e.from] && inSCC[e.to] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+	}
+	sort.Slice(cycleEdges, func(i, j int) bool {
+		if cycleEdges[i].from != cycleEdges[j].from {
+			return cycleEdges[i].from < cycleEdges[j].from
+		}
+		return cycleEdges[i].to < cycleEdges[j].to
+	})
+	anchor := cycleEdges[0]
+	for _, e := range cycleEdges[1:] {
+		pa, pe := fset.Position(anchor.pos), fset.Position(e.pos)
+		if pe.Filename < pa.Filename || (pe.Filename == pa.Filename && pe.Offset < pa.Offset) {
+			anchor = e
+		}
+	}
+	var chains []string
+	var steps []TraceStep
+	for _, e := range cycleEdges {
+		desc := fmt.Sprintf("%s held when %s is acquired in %s", e.from, e.to, e.fn)
+		if e.chain != "" {
+			desc += " (" + e.chain + ")"
+		}
+		chains = append(chains, desc)
+		steps = append(steps, TraceStep{Pos: fset.Position(e.pos), Text: desc})
+	}
+	return lockCycleFinding{
+		pkg: anchor.pkg,
+		pos: anchor.pos,
+		message: fmt.Sprintf("lock-order cycle between %s — potential deadlock: %s; pick one order and use it everywhere",
+			strings.Join(scc, ", "), strings.Join(chains, "; ")),
+		steps: steps,
+	}
+}
+
+// mayAcquireInfo maps a function to the lock classes it (or a transitive
+// callee, outside function literals) may acquire, each with a human-readable
+// call chain.
+type mayAcquireInfo map[*types.Func]map[string]string
+
+// buildMayAcquire computes the transitive may-acquire sets over the
+// interprocedural call graph by monotone fixpoint, in deterministic order.
+func buildMayAcquire(f *Flow) mayAcquireInfo {
+	type fnEntry struct {
+		obj *types.Func
+		fi  *FuncInfo
+	}
+	var order []fnEntry
+	for _, pkg := range f.mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if fi := f.ip.FuncOf(obj); fi != nil {
+					order = append(order, fnEntry{obj: obj.Origin(), fi: fi})
+				}
+			}
+		}
+	}
+
+	may := mayAcquireInfo{}
+	// Seed with direct acquisitions (outside literals — closures run on
+	// other goroutines, so their locks belong to their own CFG walk).
+	for _, e := range order {
+		direct := map[string]string{}
+		ast.Inspect(e.fi.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, method, ok := lockMethod(e.fi.Pkg.Info, call); ok && (method == "Lock" || method == "RLock") {
+				if class := canonicalLockClass(e.fi.Pkg.Info, call); class != "" {
+					if _, dup := direct[class]; !dup {
+						direct[class] = "locks " + class
+					}
+				}
+			}
+			return true
+		})
+		may[e.obj] = direct
+	}
+	// Fold callee sets into callers to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range order {
+			mine := may[e.obj]
+			for _, rec := range e.fi.calls {
+				if rec.inLit {
+					continue
+				}
+				for class, chain := range may[rec.callee.Origin()] {
+					if _, ok := mine[class]; !ok {
+						mine[class] = "calls " + rec.callee.Name() + ": " + chain
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return may
+}
+
+// recordLockEdges walks one function unit's CFG with a held-class set and
+// records order edges for direct acquisitions and for calls into functions
+// that may acquire.
+func recordLockEdges(f *Flow, fset *token.FileSet, pkg *Package, fn funcUnit, may mayAcquireInfo, edges map[[2]string]*lockOrderEdge) {
+	info := pkg.Info
+	cfg := f.CFG(fn.Name, fn.Body)
+
+	// Forward flow: state is the held set, canonically rendered for Equal.
+	type held = map[string]bool
+	clone := func(h held) held {
+		c := make(held, len(h))
+		for k := range h {
+			c[k] = true
+		}
+		return c
+	}
+	transfer := func(blk *Block, in held) held {
+		st := clone(in)
+		for _, node := range blk.Nodes {
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				continue // the call replays at Exit
+			}
+			applyLockNode(info, node, st, nil)
+		}
+		return st
+	}
+	_, out := RunForward(cfg, FlowSpec[held]{
+		Init: held{},
+		Merge: func(a, b held) held {
+			u := clone(a)
+			for k := range b {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: func(a, b held) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: transfer,
+	})
+
+	// Deterministic replay: revisit blocks in index order with their final
+	// in-state and record edges at each acquisition event.
+	record := func(heldNow held, class, chain string, pos token.Pos) {
+		var hs []string
+		for h := range heldNow {
+			hs = append(hs, h)
+		}
+		sort.Strings(hs)
+		for _, from := range hs {
+			if from == class {
+				continue
+			}
+			key := [2]string{from, class}
+			if _, ok := edges[key]; ok {
+				continue
+			}
+			edges[key] = &lockOrderEdge{from: from, to: class, fn: fn.Name, chain: chain, pos: pos, pkg: pkg}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		st, ok := blockInState(cfg, blk, out)
+		if !ok {
+			continue
+		}
+		for _, node := range blk.Nodes {
+			if _, isDefer := node.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			applyLockNode(info, node, st, func(class, chain string, pos token.Pos) {
+				record(st, class, chain, pos)
+			})
+			// Calls into may-acquire functions while something is held.
+			if len(st) > 0 {
+				scanMayAcquireCalls(info, node, may, func(class, chain string, pos token.Pos) {
+					record(st, class, chain, pos)
+				})
+			}
+		}
+	}
+}
+
+// blockInState recomputes a block's in-state from its predecessors' final
+// out-states (entry starts empty).
+func blockInState(cfg *CFG, blk *Block, out map[*Block]map[string]bool) (map[string]bool, bool) {
+	if blk == cfg.Entry {
+		return map[string]bool{}, true
+	}
+	st := map[string]bool{}
+	reached := false
+	for _, p := range blk.Preds {
+		po, ok := out[p]
+		if !ok {
+			continue
+		}
+		reached = true
+		for k := range po {
+			st[k] = true
+		}
+	}
+	return st, reached
+}
+
+// applyLockNode updates the held set for direct lock/unlock calls in one
+// node, invoking onAcquire (if non-nil) before each acquisition is added.
+func applyLockNode(info *types.Info, node ast.Node, st map[string]bool, onAcquire func(class, chain string, pos token.Pos)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, method, ok := lockMethod(info, call)
+		if !ok {
+			return true
+		}
+		class := canonicalLockClass(info, call)
+		if class == "" {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			if onAcquire != nil {
+				onAcquire(class, "", call.Pos())
+			}
+			st[class] = true
+		case "Unlock", "RUnlock":
+			delete(st, class)
+		}
+		return true
+	})
+}
+
+// scanMayAcquireCalls finds module-internal calls in the node whose callee
+// may acquire locks, and reports each such class with its chain.
+func scanMayAcquireCalls(info *types.Info, node ast.Node, may mayAcquireInfo, onAcquire func(class, chain string, pos token.Pos)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isLock := lockMethod(info, call); isLock {
+			return true
+		}
+		obj := calleeObj(info, call)
+		if obj == nil {
+			return true
+		}
+		classes := may[obj.Origin()]
+		if len(classes) == 0 {
+			return true
+		}
+		var sorted []string
+		for c := range classes {
+			sorted = append(sorted, c)
+		}
+		sort.Strings(sorted)
+		for _, c := range sorted {
+			onAcquire(c, classes[c], call.Pos())
+		}
+		return true
+	})
+}
+
+// canonicalLockClass derives the module-wide identity of the mutex a
+// lock/unlock call operates on. Struct-owned mutexes canonicalize to
+// pkg.Type.field (instance-insensitive: lock order is a property of the
+// type), package-level mutexes to pkg.var, and embedded mutexes locked
+// through the owning struct to pkg.Type. Function-local mutexes have no
+// module-wide identity and return "".
+func canonicalLockClass(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return lockClassOfExpr(info, sel.X)
+}
+
+func lockClassOfExpr(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, _ := info.ObjectOf(e).(*types.Var)
+		if v == nil {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		// Receiver/param with an embedded mutex: identity is the named type.
+		if named := namedOwner(v.Type()); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() != "sync" {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		// Field path: owner type + field name.
+		if tv, ok := info.Types[e.X]; ok {
+			if named := namedOwner(tv.Type); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return ""
+	case *ast.IndexExpr:
+		return lockClassOfExpr(info, e.X)
+	}
+	return ""
+}
+
+// namedOwner strips pointers/aliases down to a named type, nil otherwise.
+func namedOwner(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

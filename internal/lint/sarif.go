@@ -46,6 +46,24 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifFlowLocation `json:"location"`
+}
+
+type sarifFlowLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          sarifMessage  `json:"message"`
 }
 
 type sarifLocation struct {
@@ -78,7 +96,7 @@ func EncodeSARIF(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
 
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
-		results = append(results, sarifResult{
+		r := sarifResult{
 			RuleID:  f.Analyzer,
 			Level:   "error",
 			Message: sarifMessage{Text: f.Message},
@@ -88,7 +106,25 @@ func EncodeSARIF(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
 					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
 				},
 			}},
-		})
+		}
+		// Flow-sensitive findings carry the path that demonstrates them; a
+		// SARIF codeFlow lets viewers step through it location by location.
+		if len(f.Steps) > 0 {
+			tf := sarifThreadFlow{}
+			for _, s := range f.Steps {
+				tf.Locations = append(tf.Locations, sarifThreadFlowLocation{
+					Location: sarifFlowLocation{
+						PhysicalLocation: sarifPhysical{
+							ArtifactLocation: sarifArtifact{URI: s.Pos.Filename},
+							Region:           sarifRegion{StartLine: s.Pos.Line, StartColumn: s.Pos.Column},
+						},
+						Message: sarifMessage{Text: s.Text},
+					},
+				})
+			}
+			r.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		results = append(results, r)
 	}
 
 	log := sarifLog{

@@ -1,0 +1,140 @@
+// Package cache exercises the leakcheck analyzer: resources acquired and
+// then lost on some control-flow path — a conn leaked past a later error
+// return, a ticker never stopped, a file leaked on a stat failure, a span
+// never ended on an early return — next to the clean idioms: deferred
+// release, close-on-error, nil-guarded close, release through a helper
+// whose summary proves it closes its argument, and ownership transfer.
+package cache
+
+import (
+	"net"
+	"os"
+	"time"
+
+	"sjvettest/obs"
+)
+
+// handshake uses the conn without closing or retaining it.
+func handshake(c net.Conn) error {
+	_, err := c.Write([]byte("hello"))
+	return err
+}
+
+// closeQuiet closes its argument, swallowing the error; its ParamReleased
+// summary is what lets callers count it as a release.
+func closeQuiet(c net.Conn) {
+	_ = c.Close()
+}
+
+// DirtyConnOnError leaks the conn when the handshake fails: the early
+// return exits with c live.
+func DirtyConnOnError(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := handshake(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DirtyTicker never stops the ticker it creates.
+func DirtyTicker(every time.Duration) int {
+	t := time.NewTicker(every)
+	select {
+	case <-t.C:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DirtyFileOnError leaks the file when Stat fails: err is reassigned, so
+// the error return no longer implies the file was never opened.
+func DirtyFileOnError(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	_ = f.Close()
+	return size, nil
+}
+
+// DirtySpanEarlyReturn opens a span and returns before ending it on the
+// not-ok path.
+func DirtySpanEarlyReturn(ok bool, work func() int) int {
+	sp := obs.StartSpan("work")
+	if !ok {
+		return 0
+	}
+	n := work()
+	sp.End()
+	return n
+}
+
+// CleanDefer releases via defer; the deferred close replays at the exit
+// block on every path.
+func CleanDefer(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// CleanHelperClose releases through closeQuiet on both the error and the
+// success path — visible only through the helper's ParamReleased summary.
+func CleanHelperClose(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := handshake(c); err != nil {
+		closeQuiet(c)
+		return err
+	}
+	closeQuiet(c)
+	return nil
+}
+
+// CleanNilGuard closes behind a nil check; the nil branch has nothing to
+// release.
+func CleanNilGuard(dial func() (net.Conn, error)) {
+	c, err := dial()
+	if err == nil {
+		_ = handshake(c)
+	}
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// CleanTransfer hands the ticker to the caller — ownership moves with it.
+func CleanTransfer(every time.Duration) *time.Ticker {
+	t := time.NewTicker(every)
+	return t
+}
+
+// CleanStop stops the ticker on every path.
+func CleanStop(every time.Duration, ready chan struct{}) bool {
+	t := time.NewTicker(every)
+	select {
+	case <-t.C:
+		t.Stop()
+		return false
+	case <-ready:
+		t.Stop()
+		return true
+	}
+}

@@ -1,0 +1,113 @@
+// Package cfgfix exercises the CFG builder over the constructs that are
+// easy to get wrong: defer inside loops, labeled break and goto, select
+// with and without default, switch fallthrough, and panic exits. The
+// package must stay finding-clean — its golden artifact is the block/edge
+// dump per function (testdata/golden/cfg.txt), not analyzer output.
+package cfgfix
+
+import "errors"
+
+// DeferInLoop registers a deferred call per iteration; all of them replay
+// at the function's single exit block.
+func DeferInLoop(closers []func()) {
+	for i := 0; i < len(closers); i++ {
+		defer closers[i]()
+	}
+}
+
+// LabeledBreak breaks out of a nested loop via a label.
+func LabeledBreak(grid [][]int, want int) bool {
+	found := false
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == want {
+				found = true
+				break outer
+			}
+		}
+	}
+	return found
+}
+
+// GotoRetry loops through a label with a bounded retry counter.
+func GotoRetry(try func() error) error {
+	attempts := 0
+retry:
+	err := try()
+	if err != nil {
+		attempts++
+		if attempts < 3 {
+			goto retry
+		}
+	}
+	return err
+}
+
+// SelectDefault polls a channel without blocking.
+func SelectDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+// SelectBlocking waits on two channels with no default.
+func SelectBlocking(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// PanicExit panics on bad input; the panic edge reaches the exit block so
+// deferred cleanup still runs.
+func PanicExit(cleanup func(), n int) int {
+	defer cleanup()
+	if n < 0 {
+		panic("negative")
+	}
+	return n * 2
+}
+
+// RecoverGuard converts a panic into an error return.
+func RecoverGuard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("panicked")
+		}
+	}()
+	f()
+	return nil
+}
+
+// SwitchFallthrough chains two cases through a fallthrough edge.
+func SwitchFallthrough(n int) int {
+	total := 0
+	switch n {
+	case 0:
+		total++
+		fallthrough
+	case 1:
+		total += 10
+	default:
+		total = -1
+	}
+	return total
+}
+
+// ContinueWithPost exercises the continue-to-post-block edge.
+func ContinueWithPost(xs []int) int {
+	sum := 0
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			continue
+		}
+		sum += xs[i]
+	}
+	return sum
+}

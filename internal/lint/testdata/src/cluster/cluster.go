@@ -1,0 +1,81 @@
+// Package cluster exercises the errflow analyzer: an error overwritten
+// before any read, an error discarded on the way to function exit, and an
+// *rdd.ExecFailure matched by a handler but flattened into a generic error
+// that loses the stage and cause — next to the clean check-then-reassign
+// and wrap-with-%w idioms.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"sjvettest/rdd"
+)
+
+// DirtyOverwrite assigns err twice without reading in between: the first
+// failure is silently replaced.
+func DirtyOverwrite(push, drain func() error) error {
+	err := push()
+	err = drain()
+	return err
+}
+
+// DirtyDiscard reads the flush error only on the verbose path; the quiet
+// path reaches function exit with the error unread.
+func DirtyDiscard(flush func() error, log func(string), verbose bool) {
+	err := flush()
+	if verbose {
+		log(err.Error())
+	}
+	log("flushed")
+}
+
+// DirtySwallowAs matches an ExecFailure with errors.As and then returns a
+// fresh generic error: the stage and cause are gone.
+func DirtySwallowAs(err error) error {
+	var ef *rdd.ExecFailure
+	if errors.As(err, &ef) {
+		return errors.New("stage failed")
+	}
+	return err
+}
+
+// DirtySwallowSwitch does the same through a type switch and fmt.Errorf
+// without %w.
+func DirtySwallowSwitch(err error, host string) error {
+	switch err.(type) {
+	case *rdd.ExecFailure:
+		return fmt.Errorf("exchange with %s failed", host)
+	}
+	return err
+}
+
+// CleanCheckThenReassign reads the first error before reassigning.
+func CleanCheckThenReassign(push, drain func() error) error {
+	err := push()
+	if err != nil {
+		return err
+	}
+	err = drain()
+	return err
+}
+
+// CleanWrap propagates the matched failure with %w — nothing is lost.
+func CleanWrap(err error) error {
+	var ef *rdd.ExecFailure
+	if errors.As(err, &ef) {
+		return fmt.Errorf("stage %d failed: %w", ef.Stage, ef)
+	}
+	return err
+}
+
+// CleanNamedResult publishes the deferred error through a named result and
+// a bare return.
+func CleanNamedResult(begin, commit func() error) (err error) {
+	err = begin()
+	if err != nil {
+		return
+	}
+	err = commit()
+	return
+}

@@ -1,0 +1,162 @@
+// Package lockcycle exercises the lockorder analyzer: three independent
+// acquisition-order cycles — a direct two-lock inversion, an inversion
+// hidden behind a helper call, and a three-lock rotation — plus a pair of
+// functions that take two locks in one consistent order and must stay
+// clean.
+package lockcycle
+
+import "sync"
+
+// ---- cycle 1: direct two-lock inversion ----
+
+// Registry and Journal each own a mutex.
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Journal is the second lock class of the direct cycle.
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+// RegistryThenJournal acquires registry before journal.
+func RegistryThenJournal(r *Registry, j *Journal) {
+	r.mu.Lock()
+	j.mu.Lock()
+	j.n++
+	r.n++
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// JournalThenRegistry acquires them in the opposite order — the deadlock
+// partner of RegistryThenJournal.
+func JournalThenRegistry(r *Registry, j *Journal) {
+	j.mu.Lock()
+	r.mu.Lock()
+	r.n++
+	j.n++
+	r.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// ---- cycle 2: inversion through a helper ----
+
+// Catalog and Index form the helper-mediated cycle.
+type Catalog struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Index is locked only inside touchIndex.
+type Index struct {
+	mu sync.Mutex
+	n  int
+}
+
+// touchIndex takes the index lock; callers holding the catalog lock create
+// a catalog→index edge only visible through this helper's summary.
+func touchIndex(ix *Index) {
+	ix.mu.Lock()
+	ix.n++
+	ix.mu.Unlock()
+}
+
+// CatalogThenIndex holds the catalog lock across the helper call.
+func CatalogThenIndex(c *Catalog, ix *Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	touchIndex(ix)
+}
+
+// IndexThenCatalog inverts the order directly.
+func IndexThenCatalog(c *Catalog, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// ---- cycle 3: three-lock rotation ----
+
+// Alpha, Beta and Gamma rotate: alpha→beta, beta→gamma, gamma→alpha.
+type Alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Beta is the middle of the rotation.
+type Beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Gamma closes the rotation back to Alpha.
+type Gamma struct {
+	mu sync.Mutex
+	n  int
+}
+
+// AlphaBeta takes alpha then beta.
+func AlphaBeta(a *Alpha, b *Beta) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BetaGamma takes beta then gamma.
+func BetaGamma(b *Beta, g *Gamma) {
+	b.mu.Lock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// GammaAlpha takes gamma then alpha, closing the cycle.
+func GammaAlpha(g *Gamma, a *Alpha) {
+	g.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// ---- clean: one consistent order ----
+
+// Meta and Data are always taken meta-first.
+type Meta struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Data is the second lock of the clean pair.
+type Data struct {
+	mu sync.Mutex
+	n  int
+}
+
+// WriteBoth takes meta then data.
+func WriteBoth(m *Meta, d *Data) {
+	m.mu.Lock()
+	d.mu.Lock()
+	d.n++
+	m.n++
+	d.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// SyncBoth also takes meta then data — same order, no cycle.
+func SyncBoth(m *Meta, d *Data) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.n = d.n
+}

@@ -1,0 +1,20 @@
+// Package obs is a miniature stand-in for the real observability layer:
+// a span type with an End method, enough for leakcheck's span-release
+// tracking to resolve the obs.Span resource class.
+package obs
+
+// Span is one timed region; End closes it.
+type Span struct {
+	name  string
+	ended bool
+}
+
+// StartSpan opens a span.
+func StartSpan(name string) *Span {
+	return &Span{name: name}
+}
+
+// End closes the span; calling it twice is harmless.
+func (s *Span) End() {
+	s.ended = true
+}

@@ -68,3 +68,17 @@ func ZipPartitions(n int, fn func(int)) {
 		fn(i)
 	}
 }
+
+// ExecFailure mirrors the real placement layer's structured execution
+// failure: the stage that died and the underlying cause. errflow's
+// swallow check matches this type by name and package.
+type ExecFailure struct {
+	Stage int
+	Cause error
+}
+
+// Error renders the failure.
+func (e *ExecFailure) Error() string { return "stage failed" }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ExecFailure) Unwrap() error { return e.Cause }
