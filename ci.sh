@@ -31,7 +31,13 @@
 #                        then the distributed smoke: 2 sjworker processes,
 #                        a driver query whose shuffles cross TCP must match
 #                        the local run byte-for-byte, including with one
-#                        worker SIGKILLed mid-query at an exchange barrier
+#                        worker SIGKILLed mid-query at an exchange barrier,
+#                        and a traced run must graft worker-origin spans
+#                        into one coherent cross-process trace
+#   * provenance       — each sjbench gate appends its report to the
+#                        BENCH_history.jsonl ledger; the run adds one "ci"
+#                        record (sjvet timing + distributed trace summary)
+#                        and bench-log -check fails on any invalid record
 #
 # Any nonzero exit fails the gate.
 set -eu
@@ -89,22 +95,24 @@ fi
 # numbers stay honest. Small row count: this is a floor check, not the
 # reference measurement (see EXPERIMENTS.md for one).
 echo "==> sjbench columnar (row-vs-columnar gate)"
-go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json
+go run ./cmd/sjbench -exp columnar -rows 30000 -out BENCH_columnar.json -history BENCH_history.jsonl
 
 # Observability regression gate: with tracing disabled the rdd hot path is
 # nil-pointer checks only, so it must stay within 3% of the always-
 # collecting baseline (sjbench exits nonzero past the budget) — the
-# performance half of the nil-span invariant (DESIGN.md). The obs package
-# itself must also be sjvet-clean on its own.
-echo "==> sjbench obs (disabled-tracing overhead gate)"
-go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json
+# performance half of the nil-span invariant (DESIGN.md). The same run
+# gates the distributed leg: Fig-5 over a live 2-worker cluster with
+# fleet-wide tracing on vs off, same 3% budget. The obs package itself
+# must also be sjvet-clean on its own.
+echo "==> sjbench obs (disabled-tracing + distributed-tracing overhead gates)"
+go run ./cmd/sjbench -exp obs -rows 30000 -out BENCH_obs.json -history BENCH_history.jsonl
 
 # Distributed-shuffle gate: the Fig-5 query through an in-process 2-worker
 # cluster (real TCP loopback exchanges) must produce byte-identical rows to
 # the local run (sjbench exits nonzero otherwise) — the bit-for-bit half of
 # the scheduler's determinism contract (DESIGN.md "Distributed execution").
 echo "==> sjbench shuffle (local vs distributed bit-for-bit gate)"
-go run ./cmd/sjbench -exp shuffle -out BENCH_shuffle.json
+go run ./cmd/sjbench -exp shuffle -out BENCH_shuffle.json -history BENCH_history.jsonl
 
 # Cost-based planning gate: the chain workload's statistics must flip the
 # join order to the provably cheaper plan with an identical row multiset
@@ -112,7 +120,7 @@ go run ./cmd/sjbench -exp shuffle -out BENCH_shuffle.json
 # cost no more than the heuristic's (sjbench exits nonzero otherwise) —
 # the planner half of the statistics-store contract (DESIGN.md).
 echo "==> sjbench plan (cold vs warm cost-based planning gate)"
-go run ./cmd/sjbench -exp plan -out BENCH_plan.json
+go run ./cmd/sjbench -exp plan -out BENCH_plan.json -history BENCH_history.jsonl
 echo "==> sjvet ./internal/obs"
 go run ./cmd/sjvet -baseline sjvet.baseline ./internal/obs
 
@@ -245,6 +253,18 @@ W2ADDR=$(wait_addr "$SMOKE/w2.addr")
   -shuffle-workers "$W1ADDR,$W2ADDR" -out "csv:$SMOKE/fig5-dist.csv" >/dev/null
 cmp "$SMOKE/fig5-local.csv" "$SMOKE/fig5-dist.csv" \
   || { echo "ci.sh: distributed result differs from local" >&2; exit 1; }
+
+# Distributed tracing smoke: the same query traced — the artifact must
+# contain worker-origin spans grafted from both live workers, and the
+# timeline must render their origin columns and per-worker rollups.
+echo "  -> distributed tracing: worker-origin spans in one coherent trace"
+"$SMOKE/scrubjay" query -catalog "$SMOKE/cat" $QUERY_ARGS \
+  -shuffle-workers "$W1ADDR,$W2ADDR" -trace "$SMOKE/dist.trace.json" >/dev/null
+"$SMOKE/scrubjay" trace -check "$SMOKE/dist.trace.json"
+"$SMOKE/scrubjay" trace "$SMOKE/dist.trace.json" | grep -q 'origin=worker@' \
+  || { echo "ci.sh: distributed trace has no worker-origin spans" >&2; exit 1; }
+"$SMOKE/scrubjay" trace "$SMOKE/dist.trace.json" | grep -q '↳ worker@' \
+  || { echo "ci.sh: distributed trace has no per-worker rollups" >&2; exit 1; }
 SCRUBJAY_FAULT_KILL_PID=$W2 "$SMOKE/scrubjay" query -catalog "$SMOKE/cat" $QUERY_ARGS \
   -shuffle-workers "$W1ADDR,$W2ADDR" -out "csv:$SMOKE/fig5-killed.csv" >/dev/null
 if kill -0 "$W2" 2>/dev/null; then
@@ -255,5 +275,15 @@ cmp "$SMOKE/fig5-local.csv" "$SMOKE/fig5-killed.csv" \
 kill "$W1" 2>/dev/null || true
 wait "$W1" 2>/dev/null || true
 wait "$W2" 2>/dev/null || true
+
+# Provenance ledger: the sjbench gates above each appended an "sjbench"
+# record to BENCH_history.jsonl; this run adds one "ci" record tying the
+# commit to its sjvet timing and the distributed trace summary, then the
+# whole ledger is re-validated — a schema-invalid record fails the gate.
+echo "==> provenance ledger (BENCH_history.jsonl)"
+"$SMOKE/scrubjay" bench-log -append -kind ci -note "ci.sh gate run" \
+  -vet-timing sjvet_timing.json -trace "$SMOKE/dist.trace.json" \
+  -ledger BENCH_history.jsonl
+"$SMOKE/scrubjay" bench-log -check -ledger BENCH_history.jsonl
 
 echo "ci.sh: all gates passed"

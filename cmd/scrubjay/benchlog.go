@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scrubjay/internal/obs"
+	"scrubjay/internal/provenance"
+)
+
+// cmdBenchLog works the bench provenance ledger (internal/provenance):
+//
+//	scrubjay bench-log [-ledger FILE]                      render the records
+//	scrubjay bench-log -check [-ledger FILE]               validate every line
+//	scrubjay bench-log -append -kind ci|sjbench [-exp NAME] [-note STR]
+//	                   [-bench FILE] [-vet-timing FILE] [-trace FILE]
+//
+// -append stamps the current time and git SHA and adds one record; -bench
+// and -vet-timing attach the named JSON reports verbatim; -trace reads a
+// trace artifact and stores its summary (spans, worker-origin spans,
+// workers). -check exits nonzero on any schema-invalid line, naming it.
+func cmdBenchLog(args []string) error {
+	fs := flag.NewFlagSet("bench-log", flag.ExitOnError)
+	ledger := fs.String("ledger", provenance.DefaultLedger, "ledger file (JSONL)")
+	check := fs.Bool("check", false, "validate every record instead of rendering")
+	appendRec := fs.Bool("append", false, "append one record")
+	kind := fs.String("kind", "ci", `record kind: "sjbench" or "ci"`)
+	expName := fs.String("exp", "", "experiment name for the record")
+	note := fs.String("note", "", "free-form note for the record")
+	benchFile := fs.String("bench", "", "attach this JSON bench report verbatim")
+	vetFile := fs.String("vet-timing", "", "attach this JSON vet-timing report verbatim")
+	traceFile := fs.String("trace", "", "summarize this trace artifact into the record")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench-log: unexpected argument %q", fs.Arg(0))
+	}
+
+	if *appendRec {
+		rec := &provenance.Record{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			GitSHA:     provenance.GitHead("."),
+			Kind:       *kind,
+			Experiment: *expName,
+			Note:       *note,
+		}
+		if *benchFile != "" {
+			data, err := os.ReadFile(*benchFile)
+			if err != nil {
+				return err
+			}
+			rec.Bench = data
+		}
+		if *vetFile != "" {
+			data, err := os.ReadFile(*vetFile)
+			if err != nil {
+				return err
+			}
+			rec.VetTiming = data
+		}
+		if *traceFile != "" {
+			data, err := os.ReadFile(*traceFile)
+			if err != nil {
+				return err
+			}
+			art, err := obs.DecodeArtifact(data)
+			if err != nil {
+				return fmt.Errorf("bench-log: %s: %w", *traceFile, err)
+			}
+			rec.Trace = provenance.Summarize(art)
+		}
+		if err := provenance.Append(*ledger, rec); err != nil {
+			return err
+		}
+		fmt.Printf("appended %s record to %s\n", rec.Kind, *ledger)
+		return nil
+	}
+
+	recs, err := provenance.ReadFile(*ledger)
+	if err != nil {
+		return err
+	}
+	if *check {
+		fmt.Printf("%s: %d records, ok\n", *ledger, len(recs))
+		return nil
+	}
+	for _, r := range recs {
+		sha := r.GitSHA
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		fmt.Printf("%-20s %-8s %-10s %-12s", r.Time, r.Kind, r.Experiment, sha)
+		if r.Trace != nil {
+			fmt.Printf(" trace=%s spans=%d worker_spans=%d workers=%d",
+				r.Trace.TraceID, r.Trace.Spans, r.Trace.WorkerSpans, r.Trace.Workers)
+		}
+		if len(r.Bench) > 0 {
+			fmt.Printf(" bench=%dB", len(r.Bench))
+		}
+		if len(r.VetTiming) > 0 {
+			fmt.Printf(" vet_timing=%dB", len(r.VetTiming))
+		}
+		if r.Note != "" {
+			fmt.Printf(" note=%q", r.Note)
+		}
+		fmt.Println()
+	}
+	return nil
+}

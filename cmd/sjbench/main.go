@@ -12,7 +12,8 @@
 //	memo   Memoization ablation                 (§5.2)
 //	naive  Dual-binning vs naive interp join    (§5.3 ablation)
 //	columnar Row-path vs columnar join throughput (this repo's batch engine)
-//	obs    Tracing-overhead gate: natural join with tracing off vs on
+//	obs    Tracing-overhead gates: natural join with tracing off vs on,
+//	       plus distributed Fig-5 tracing over a live 2-worker cluster
 //	shuffle Local vs 2-worker distributed Fig-5 (bit-for-bit gate)
 //	all    Everything above
 //
@@ -26,12 +27,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"scrubjay/internal/bench"
+	"scrubjay/internal/provenance"
 )
 
 func main() {
@@ -46,6 +50,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		reps    = flag.Int("reps", 1, "repetitions per figure-3 sweep point (min kept)")
 		out     = flag.String("out", "", "columnar/obs: write the comparison report to this JSON file")
+		history = flag.String("history", "", "append one provenance record per experiment to this JSONL ledger")
 	)
 	flag.Parse()
 
@@ -62,13 +67,41 @@ func main() {
 	}
 	cs.Workers = *workers
 
+	// Experiments that produce a structured report hand it to histReport;
+	// run appends one provenance record per completed experiment when
+	// -history names a ledger, so every bench number ties back to a commit.
+	var histReport any
+	logHistory := func(name string) error {
+		if *history == "" {
+			return nil
+		}
+		rec := &provenance.Record{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			GitSHA:     provenance.GitHead("."),
+			Kind:       "sjbench",
+			Experiment: name,
+		}
+		if histReport != nil {
+			raw, err := json.Marshal(histReport)
+			if err != nil {
+				return err
+			}
+			rec.Bench = raw
+		}
+		return provenance.Append(*history, rec)
+	}
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("==== %s ====\n", name)
+		histReport = nil
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "sjbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := logHistory(name); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench %s: provenance ledger: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -214,6 +247,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		histReport = report
 		report.Print(os.Stdout)
 		if *out != "" {
 			if err := report.WriteFile(*out); err != nil {
@@ -237,6 +271,21 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// Distributed leg: the same budget applied to fleet-wide tracing —
+		// Fig-5 over 2 live workers, tracing on vs off. Bigger than the
+		// shuffle gate's fixture: the per-exchange tracing cost (span
+		// recording, shipment, grafting) is near-constant, so the query must
+		// be large enough that a real deployment's amortization shows.
+		dcfg := cs
+		dcfg.Racks, dcfg.NodesPerRack, dcfg.AMGRack = 4, 8, 2
+		dcfg.DAT1DurationSec = 28800
+		dcfg.Partitions = 4
+		dist, err := bench.RunObsDistOverhead(dcfg, creps)
+		if err != nil {
+			return err
+		}
+		report.Dist = dist
+		histReport = report
 		report.Print(os.Stdout)
 		if *out != "" {
 			if err := report.WriteFile(*out); err != nil {
@@ -247,6 +296,10 @@ func main() {
 		if !report.WithinBudget {
 			return fmt.Errorf("disabled-tracing hot path regressed past the %.0f%% budget: median off/collected ratio %.3f",
 				report.Budget*100, report.GateRatio)
+		}
+		if !dist.WithinBudget {
+			return fmt.Errorf("distributed tracing regressed past the %.0f%% budget: median on/off ratio %.3f",
+				dist.Budget*100, dist.GateRatio)
 		}
 		return nil
 	})
@@ -261,6 +314,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		histReport = report
 		report.Print(os.Stdout)
 		if *out != "" {
 			if err := report.WriteFile(*out); err != nil {
@@ -287,6 +341,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		histReport = report
 		report.Print(os.Stdout)
 		if *out != "" {
 			if err := report.WriteFile(*out); err != nil {

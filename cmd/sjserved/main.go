@@ -141,8 +141,10 @@ func run(o options) error {
 	}
 
 	var placement rdd.Placement
+	var sched *cluster.Scheduler
 	if o.shuffleWorkers != "" {
-		sched, err := cluster.Connect(context.Background(), "sjserved", o.shuffleWorkers, cluster.Options{})
+		var err error
+		sched, err = cluster.Connect(context.Background(), "sjserved", o.shuffleWorkers, cluster.Options{})
 		if err != nil {
 			return err
 		}
@@ -170,6 +172,11 @@ func run(o options) error {
 		Placement:      placement,
 		Stats:          statsStore,
 	})
+	if sched != nil {
+		// The scheduler's exchange counters and cluster_worker_* fleet
+		// gauges surface on the daemon's own GET /metrics.
+		sched.AttachMetrics(s.Metrics())
+	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

@@ -59,6 +59,9 @@ type ObsOverheadReport struct {
 	// TracedSpans counts the spans one traced run records, proving the
 	// traced variant actually exercised the instrumentation.
 	TracedSpans int `json:"traced_spans"`
+	// Dist is the distributed leg (RunObsDistOverhead): the same budget
+	// applied to cross-process tracing over a live 2-worker cluster.
+	Dist *ObsDistReport `json:"dist,omitempty"`
 }
 
 // obsOverheadBudget is the regression budget CI enforces on the disabled
@@ -222,6 +225,10 @@ func (r ObsOverheadReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "traced run recorded %d spans\n", r.TracedSpans)
 	fmt.Fprintf(w, "gate: median paired off/collected ratio %.3f <= %.2f = %v\n",
 		r.GateRatio, 1+r.Budget, r.WithinBudget)
+	if r.Dist != nil {
+		fmt.Fprintln(w)
+		r.Dist.Print(w)
+	}
 }
 
 // WriteFile lands the report as indented JSON via temp + rename.

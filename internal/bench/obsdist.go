@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"scrubjay/internal/cluster"
+	"scrubjay/internal/engine"
+	"scrubjay/internal/obs"
+	"scrubjay/internal/pipeline"
+	"scrubjay/internal/provenance"
+	"scrubjay/internal/rdd"
+	"scrubjay/internal/semantics"
+	"scrubjay/internal/shuffle"
+)
+
+// ObsDistReport is the distributed leg of the obs experiment: the Fig-5
+// query over a live 2-worker shuffle cluster, tracing on vs tracing off.
+// Tracing on means the full cross-process path — trace context on every
+// put/fetch, worker-side span recording, span shipment at the barrier, and
+// driver-side grafting — so the gate bounds what fleet-wide tracing costs a
+// real distributed query, under the same budget as the local fast-path
+// gate. Both variants run in one process (workers are in-process TCP
+// servers), so process CPU time captures driver and worker cost together.
+type ObsDistReport struct {
+	Workers int `json:"workers"`
+	Reps    int `json:"reps"`
+	// Best-of-reps process CPU times per variant.
+	UntracedMicros int64 `json:"untraced_cpu_micros"`
+	TracedMicros   int64 `json:"traced_cpu_micros"`
+	// Budget bounds the median paired traced/untraced ratio (0.03 = 3%).
+	Budget       float64 `json:"budget"`
+	GateRatio    float64 `json:"gate_ratio"`
+	WithinBudget bool    `json:"within_budget"`
+	// WorkerSpans counts worker-origin spans in one traced run's artifact —
+	// zero means the distributed tracing path silently never ran.
+	WorkerSpans int `json:"worker_spans"`
+}
+
+// RunObsDistOverhead measures the distributed tracing overhead: reps
+// back-to-back pairs of (untraced, traced) Fig-5 runs over a live
+// 2-worker cluster, order alternating per rep, gated on the median paired
+// ratio with one extension round — the same discipline as RunObsOverhead.
+func RunObsDistOverhead(cfg CaseStudyConfig, reps int) (*ObsDistReport, error) {
+	if reps < 5 {
+		reps = 5
+	}
+	const workers = 2
+	reg := cluster.NewRegistry("sjbench-obs", 10*time.Second, 2)
+	defer reg.Close()
+	servers := make([]*shuffle.Server, 0, workers)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		srv, err := shuffle.Serve("127.0.0.1:0", fmt.Sprintf("obs-w%d", i))
+		if err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+		if _, err := reg.Register(context.Background(), srv.Addr()); err != nil {
+			return nil, err
+		}
+	}
+	sched := cluster.NewScheduler(reg, cluster.Options{})
+
+	rep := &ObsDistReport{Workers: workers, Budget: obsOverheadBudget}
+
+	// One distributed Fig-5 execution; setup (catalog, plan search) stays
+	// outside the measured region, GC is forced before and pinned off
+	// during it.
+	run := func(traced bool) (time.Duration, error) {
+		ctx := rdd.NewContext(cfg.Workers).WithPlacement(sched)
+		dict := semantics.DefaultDictionary()
+		cat, schemas, _ := DAT1Catalog(ctx, cfg)
+		for name, ds := range cat {
+			cat[name] = materializeRows(ctx, ds)
+		}
+		e := engine.New(dict, schemas, engine.DefaultOptions())
+		plan, err := e.Solve(context.Background(), Fig5Query())
+		if err != nil {
+			return 0, err
+		}
+		var tr *obs.Tracer
+		var root *obs.Span
+		if traced {
+			tr = obs.NewTracer("bench-dist", nil)
+			root = tr.Start(obs.KindExec, "fig5-dist")
+			ctx.SetSpan(root)
+		}
+		runtime.GC()
+		gcPrev := debug.SetGCPercent(-1)
+		start := cpuTime()
+		out, err := pipeline.Execute(context.Background(), ctx, plan, cat, dict, pipeline.ExecOptions{})
+		if err != nil {
+			debug.SetGCPercent(gcPrev)
+			return 0, err
+		}
+		out.Collect()
+		d := cpuTime() - start
+		debug.SetGCPercent(gcPrev)
+		if traced {
+			root.End()
+			if s := provenance.Summarize(tr.Artifact()); s != nil {
+				rep.WorkerSpans = s.WorkerSpans
+			}
+		}
+		return d, nil
+	}
+
+	// Discarded warm-up pair.
+	for _, traced := range []bool{false, true} {
+		if _, err := run(traced); err != nil {
+			return nil, err
+		}
+	}
+	var ratios []float64
+	round := func(n int) error {
+		for r := 0; r < n; r++ {
+			var untraced, traced time.Duration
+			order := []bool{false, true}
+			if r%2 == 1 {
+				order[0], order[1] = order[1], order[0]
+			}
+			for _, isTraced := range order {
+				d, err := run(isTraced)
+				if err != nil {
+					return err
+				}
+				us := d.Microseconds()
+				if isTraced {
+					traced = d
+					if rep.TracedMicros == 0 || us < rep.TracedMicros {
+						rep.TracedMicros = us
+					}
+				} else {
+					untraced = d
+					if rep.UntracedMicros == 0 || us < rep.UntracedMicros {
+						rep.UntracedMicros = us
+					}
+				}
+			}
+			if untraced > 0 {
+				ratios = append(ratios, float64(traced)/float64(untraced))
+			}
+		}
+		return nil
+	}
+	if err := round(reps); err != nil {
+		return nil, err
+	}
+	rep.GateRatio = medianFloat(ratios)
+	if rep.GateRatio > 1+rep.Budget {
+		if err := round(reps); err != nil {
+			return nil, err
+		}
+		rep.GateRatio = medianFloat(ratios)
+	}
+	rep.Reps = len(ratios)
+	rep.WithinBudget = rep.GateRatio <= 1+rep.Budget
+	if rep.WorkerSpans == 0 {
+		return rep, fmt.Errorf("traced distributed run recorded no worker-origin spans")
+	}
+	return rep, nil
+}
+
+// Print renders the distributed leg under the local obs table.
+func (r *ObsDistReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "distributed leg: fig-5 over %d workers, %d paired reps\n", r.Workers, r.Reps)
+	fmt.Fprintf(w, "%-22s %12v\n", "tracing off", time.Duration(r.UntracedMicros)*time.Microsecond)
+	fmt.Fprintf(w, "%-22s %12v\n", "tracing on", time.Duration(r.TracedMicros)*time.Microsecond)
+	fmt.Fprintf(w, "traced run grafted %d worker-origin spans\n", r.WorkerSpans)
+	fmt.Fprintf(w, "gate: median paired on/off ratio %.3f <= %.2f = %v\n",
+		r.GateRatio, 1+r.Budget, r.WithinBudget)
+}

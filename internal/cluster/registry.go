@@ -32,6 +32,7 @@ type Worker struct {
 
 	failed atomic.Bool
 	misses atomic.Int32
+	stats  atomic.Pointer[shuffle.WorkerStats]
 }
 
 // Addr returns the worker's exchange address.
@@ -42,6 +43,16 @@ func (w *Worker) ID() string { return w.id }
 
 // Live reports whether the worker is still schedulable.
 func (w *Worker) Live() bool { return !w.failed.Load() }
+
+// Stats returns the worker's latest heartbeat metrics snapshot (the zero
+// snapshot before the first successful probe). The v2 fields stay zero for
+// a v1 worker.
+func (w *Worker) Stats() shuffle.WorkerStats {
+	if st := w.stats.Load(); st != nil {
+		return *st
+	}
+	return shuffle.WorkerStats{}
+}
 
 // get returns a pooled connection or dials a fresh one.
 func (w *Worker) get(ctx context.Context) (*shuffle.Conn, error) {
@@ -207,8 +218,9 @@ func (r *Registry) probe(misses int) {
 	for _, w := range r.Live() {
 		ctx, cancel := context.WithTimeout(context.Background(), r.opTimeout)
 		c, err := w.get(ctx)
+		var st shuffle.WorkerStats
 		if err == nil {
-			_, _, err = c.Ping(ctx)
+			st, err = c.Ping(ctx)
 		}
 		cancel()
 		if err != nil {
@@ -221,6 +233,7 @@ func (r *Registry) probe(misses int) {
 			continue
 		}
 		w.misses.Store(0)
+		w.stats.Store(&st)
 		w.put(c)
 	}
 }

@@ -71,6 +71,7 @@ type Scheduler struct {
 	opts Options
 	seq  atomic.Int64
 
+	metricsSet atomic.Bool
 	exchanges  *obs.Counter
 	retries    *obs.Counter
 	stragglers *obs.Counter
@@ -81,14 +82,50 @@ type Scheduler struct {
 // NewScheduler builds a scheduler over reg.
 func NewScheduler(reg *Registry, opts Options) *Scheduler {
 	s := &Scheduler{reg: reg, opts: opts.withDefaults()}
-	if m := s.opts.Metrics; m != nil {
-		s.exchanges = m.Counter("cluster_exchanges_total")
-		s.retries = m.Counter("cluster_task_retries_total")
-		s.stragglers = m.Counter("cluster_straggler_backups_total")
-		s.bytesOut = m.Counter("cluster_shuffle_bytes_total")
-		s.fetchUS = m.Histogram("cluster_fetch_latency", "us")
-	}
+	s.AttachMetrics(s.opts.Metrics)
 	return s
+}
+
+// AttachMetrics wires the scheduler's counters and the fleet-health gauges
+// into m: cluster_workers_live plus cluster_worker_* aggregates of the
+// heartbeat snapshots (stored bytes, shuffles, goroutines, heap, fetch
+// count summed over live workers; fetch p99 as the fleet max). Idempotent —
+// the first non-nil registry wins; sjserved calls this after server
+// construction so the scheduler shares the server's /metrics registry.
+func (s *Scheduler) AttachMetrics(m *obs.Registry) {
+	if m == nil || s.metricsSet.Swap(true) {
+		return
+	}
+	s.exchanges = m.Counter("cluster_exchanges_total")
+	s.retries = m.Counter("cluster_task_retries_total")
+	s.stragglers = m.Counter("cluster_straggler_backups_total")
+	s.bytesOut = m.Counter("cluster_shuffle_bytes_total")
+	s.fetchUS = m.Histogram("cluster_fetch_latency", "us")
+	reg := s.reg
+	sum := func(f func(shuffle.WorkerStats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, w := range reg.Live() {
+				t += f(w.Stats())
+			}
+			return t
+		}
+	}
+	m.GaugeFunc("cluster_workers_live", func() int64 { return int64(len(reg.Live())) })
+	m.GaugeFunc("cluster_worker_stored_bytes", sum(func(st shuffle.WorkerStats) int64 { return st.StoredBytes }))
+	m.GaugeFunc("cluster_worker_shuffles", sum(func(st shuffle.WorkerStats) int64 { return int64(st.Shuffles) }))
+	m.GaugeFunc("cluster_worker_goroutines", sum(func(st shuffle.WorkerStats) int64 { return int64(st.Goroutines) }))
+	m.GaugeFunc("cluster_worker_heap_bytes", sum(func(st shuffle.WorkerStats) int64 { return st.HeapBytes }))
+	m.GaugeFunc("cluster_worker_fetches", sum(func(st shuffle.WorkerStats) int64 { return st.Fetches }))
+	m.GaugeFunc("cluster_worker_fetch_p99_us", func() int64 {
+		var max int64
+		for _, w := range reg.Live() {
+			if p := w.Stats().FetchP99us; p > max {
+				max = p
+			}
+		}
+		return max
+	})
 }
 
 // Registry returns the scheduler's worker registry.
@@ -112,6 +149,12 @@ func (s *Scheduler) Exchange(ctx context.Context, stage string, numOut int, enc 
 	if s.exchanges != nil {
 		s.exchanges.Inc()
 	}
+	// The driver-side exchange span (threaded via obs.ContextWithSpan by the
+	// rdd layer) becomes the trace context every put/fetch carries across
+	// the wire, and the graft point for the worker subtrees collected after
+	// the fetch phase. A nil span yields an empty TraceCtx: untraced.
+	parent := obs.SpanFrom(ctx)
+	tc := shuffle.TraceCtx{TraceID: parent.TraceID(), ParentSpan: parent.ID()}
 	id := fmt.Sprintf("%s#%d", stage, s.seq.Add(1))
 	owners := make([]*Worker, numOut)
 	for d := range owners {
@@ -140,7 +183,7 @@ func (s *Scheduler) Exchange(ctx context.Context, stage string, numOut int, enc 
 		go func() {
 			defer wg.Done()
 			runBounded(func() {
-				w, err := s.pushWithRetry(ctx, id, stage, d, owners[d], enc)
+				w, err := s.pushWithRetry(ctx, id, stage, d, owners[d], enc, tc)
 				owners[d], errs[d] = w, err
 			})()
 		}()
@@ -163,24 +206,54 @@ func (s *Scheduler) Exchange(ctx context.Context, stage string, numOut int, enc 
 		go func() {
 			defer wg.Done()
 			runBounded(func() {
-				out[d], errs[d] = s.fetchWithRecovery(ctx, id, stage, d, owners[d], enc)
+				out[d], errs[d] = s.fetchWithRecovery(ctx, id, stage, d, owners[d], enc, tc)
 			})()
 		}()
 	}
 	wg.Wait()
 	s.hook("fetch", stage)
-	s.dropAsync(id)
 	for _, err := range errs {
 		if err != nil {
+			s.dropAsync(id)
 			return nil, err
 		}
 	}
+	s.collectSpans(ctx, id, parent)
+	s.dropAsync(id)
 	return out, nil
+}
+
+// collectSpans ships every live worker's recorded span subtrees for this
+// exchange back and grafts them under the driver-side exchange span,
+// renumbered into the driver's trace and rebased to the exchange start,
+// each stamped with its worker origin. Best-effort: a worker that fails
+// here loses its spans, never the query.
+func (s *Scheduler) collectSpans(ctx context.Context, id string, parent *obs.Span) {
+	if parent == nil || parent.TraceID() == "" {
+		return
+	}
+	for _, w := range s.reg.Live() {
+		c, err := w.get(ctx)
+		if err != nil {
+			continue
+		}
+		recs, err := c.Spans(ctx, id, parent.TraceID())
+		if err != nil {
+			c.Close()
+			continue
+		}
+		w.put(c)
+		for _, rec := range recs {
+			g := parent.Graft(rec, parent.Start(), "worker@"+w.addr)
+			g.SetStr(obs.AttrWorker, w.addr)
+			g.End() // Graft returns the subtree already ended; idempotent
+		}
+	}
 }
 
 // pushWithRetry pushes destination d's buckets to w, reassigning to the
 // next live worker on failure. Returns the worker that holds the data.
-func (s *Scheduler) pushWithRetry(ctx context.Context, id, stage string, d int, w *Worker, enc [][][]byte) (*Worker, error) {
+func (s *Scheduler) pushWithRetry(ctx context.Context, id, stage string, d int, w *Worker, enc [][][]byte, tc shuffle.TraceCtx) (*Worker, error) {
 	var lastErr error
 	for attempt := 0; attempt <= s.opts.TaskRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -196,7 +269,7 @@ func (s *Scheduler) pushWithRetry(ctx context.Context, id, stage string, d int, 
 			}
 			w = next
 		}
-		if err := s.pushDstTo(ctx, id, d, w, enc); err != nil {
+		if err := s.pushDstTo(ctx, id, d, w, enc, tc); err != nil {
 			lastErr = err
 			s.failWorker(w, err)
 			continue
@@ -208,7 +281,7 @@ func (s *Scheduler) pushWithRetry(ctx context.Context, id, stage string, d int, 
 
 // pushDstTo ships every (src, seq) chunk for destination d to worker w on
 // one pooled connection.
-func (s *Scheduler) pushDstTo(ctx context.Context, id string, d int, w *Worker, enc [][][]byte) error {
+func (s *Scheduler) pushDstTo(ctx context.Context, id string, d int, w *Worker, enc [][][]byte, tc shuffle.TraceCtx) error {
 	c, err := w.get(ctx)
 	if err != nil {
 		return err
@@ -223,7 +296,7 @@ func (s *Scheduler) pushDstTo(ctx context.Context, id string, d int, w *Worker, 
 			if len(chunk) > s.opts.ChunkBytes {
 				chunk = chunk[:s.opts.ChunkBytes]
 			}
-			if err := c.Put(ctx, id, d, src, seq, chunk); err != nil {
+			if err := c.PutTraced(ctx, id, d, src, seq, chunk, tc); err != nil {
 				c.Close()
 				return err
 			}
@@ -241,7 +314,7 @@ func (s *Scheduler) pushDstTo(ctx context.Context, id string, d int, w *Worker, 
 // (re-push to a replacement, fetch) on failure, and racing a straggler
 // backup when the primary stalls. Only the first completed payload is
 // committed (at-most-once visibility).
-func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d int, owner *Worker, enc [][][]byte) ([]byte, error) {
+func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d int, owner *Worker, enc [][][]byte, tc shuffle.TraceCtx) ([]byte, error) {
 	type result struct {
 		payload []byte
 		err     error
@@ -250,13 +323,13 @@ func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d i
 	results := make(chan result, s.opts.TaskRetries+2)
 	attempt := func(w *Worker, repush bool) {
 		if repush {
-			if err := s.pushDstTo(ctx, id, d, w, enc); err != nil {
+			if err := s.pushDstTo(ctx, id, d, w, enc, tc); err != nil {
 				results <- result{nil, err, w}
 				return
 			}
 		}
 		start := time.Now()
-		payload, err := s.fetchFrom(ctx, id, d, w)
+		payload, err := s.fetchFrom(ctx, id, d, w, tc)
 		if err == nil && s.fetchUS != nil {
 			s.fetchUS.ObserveDuration(time.Since(start))
 		}
@@ -318,12 +391,12 @@ func (s *Scheduler) fetchWithRecovery(ctx context.Context, id, stage string, d i
 	}
 }
 
-func (s *Scheduler) fetchFrom(ctx context.Context, id string, d int, w *Worker) ([]byte, error) {
+func (s *Scheduler) fetchFrom(ctx context.Context, id string, d int, w *Worker, tc shuffle.TraceCtx) ([]byte, error) {
 	c, err := w.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.Fetch(ctx, id, d)
+	payload, err := c.FetchTraced(ctx, id, d, tc)
 	if err != nil {
 		c.Close()
 		return nil, err

@@ -226,3 +226,94 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 		t.Fatalf("large payload corrupted: %d bytes, want %d", len(out[0]), len(big))
 	}
 }
+
+// TestTracedExchangeGraftsWorkerSpans runs a traced exchange over live TCP
+// workers: the exchange span rides the wire, both workers record their
+// side, and the scheduler grafts each shipped subtree back under the
+// exchange span with correct parentage, worker attrs, and unique ids.
+func TestTracedExchangeGraftsWorkerSpans(t *testing.T) {
+	sched, _ := testCluster(t, 2, Options{})
+	tr := obs.NewTracer("trace-graft", nil)
+	root := tr.Start(obs.KindQuery, "q")
+	ex := root.Child(obs.KindStage, "stage-g|shuffle-fetch")
+	ctx := obs.ContextWithSpan(context.Background(), ex)
+
+	const srcs, dsts = 2, 3
+	out, err := sched.Exchange(ctx, "stage-g", dsts, testEnc(srcs, dsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dsts; d++ {
+		if got, want := string(out[d]), wantMerged(srcs, d); got != want {
+			t.Fatalf("dst %d: %q, want %q", d, got, want)
+		}
+	}
+	ex.End()
+	root.End()
+
+	a := tr.Artifact()
+	if err := a.Check(); err != nil {
+		t.Fatalf("merged artifact failed Check: %v", err)
+	}
+	// Both workers own destinations (3 dsts over 2 workers), so both
+	// shipped a subtree, and every subtree grafts directly under ex.
+	exRec := a.Root.Find(obs.KindStage)
+	subs := exRec.FindAll("worker-shuffle")
+	if len(subs) != 2 {
+		t.Fatalf("grafted %d worker subtrees under the exchange span, want 2", len(subs))
+	}
+	origins := map[string]bool{}
+	for _, sub := range subs {
+		origin, _ := sub.Attrs[obs.AttrOrigin].(string)
+		if !strings.HasPrefix(origin, "worker@") {
+			t.Fatalf("subtree origin = %q", origin)
+		}
+		origins[origin] = true
+		if got := sub.AttrInt(obs.AttrParentSpan); got != int64(ex.ID()) {
+			t.Fatalf("subtree parent_span = %d, want exchange span %d", got, ex.ID())
+		}
+		if sub.Find("worker-put") == nil || sub.Find("worker-fetch") == nil {
+			t.Fatalf("subtree missing put/fetch spans: %+v", sub)
+		}
+		for _, p := range sub.FindAll("worker-put") {
+			if p.Attrs[obs.AttrOrigin] != sub.Attrs[obs.AttrOrigin] {
+				t.Fatal("descendant origin differs from subtree origin")
+			}
+		}
+	}
+	if len(origins) != 2 {
+		t.Fatalf("expected 2 distinct worker origins, got %v", origins)
+	}
+}
+
+// TestHeartbeatSnapshotAndGauges: a probe stores each worker's v2 metrics
+// snapshot, and the cluster_worker_* gauges aggregate it on render.
+func TestHeartbeatSnapshotAndGauges(t *testing.T) {
+	met := obs.NewRegistry()
+	sched, _ := testCluster(t, 2, Options{Metrics: met})
+	if _, err := sched.Exchange(context.Background(), "stage-hb", 2, testEnc(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	reg := sched.Registry()
+	reg.probe(3)
+	var fetches int64
+	for _, w := range reg.Live() {
+		st := w.Stats()
+		if st.Goroutines == 0 || st.HeapBytes == 0 {
+			t.Fatalf("worker %s snapshot missing runtime stats: %+v", w.ID(), st)
+		}
+		fetches += st.Fetches
+	}
+	if fetches == 0 {
+		t.Fatal("no worker reported fetches after an exchange")
+	}
+	out := met.Render()
+	if !strings.Contains(out, "cluster_workers_live=2\n") {
+		t.Fatalf("metrics missing live-worker gauge:\n%s", out)
+	}
+	for _, key := range []string{"cluster_worker_goroutines=", "cluster_worker_heap_bytes=", "cluster_worker_fetches="} {
+		if !strings.Contains(out, key) || strings.Contains(out, key+"0\n") {
+			t.Fatalf("gauge %s absent or zero:\n%s", key, out)
+		}
+	}
+}

@@ -11,16 +11,19 @@ import (
 // files, and the worker process. A conn or file leaked there accumulates
 // across queries instead of dying with a short-lived command.
 var leakcheckPackages = map[string]bool{
-	"shuffle":  true,
-	"cluster":  true,
-	"server":   true,
-	"cache":    true,
-	"sjworker": true,
+	"shuffle":    true,
+	"cluster":    true,
+	"server":     true,
+	"cache":      true,
+	"sjworker":   true,
+	"provenance": true,
 }
 
 // releaseMethods are the method names that relinquish a tracked resource.
-// interproc.go uses the same set to compute ParamReleased summaries.
-var releaseMethods = map[string]bool{"Close": true, "Stop": true, "End": true}
+// interproc.go uses the same set to compute ParamReleased summaries. EndAt
+// is the explicit-offset form of Span.End, used by the worker-side span
+// shipper's instrumentation.
+var releaseMethods = map[string]bool{"Close": true, "Stop": true, "End": true, "EndAt": true}
 
 // LeakCheckAnalyzer proves must-release on every control-flow path: a
 // connection, file, ticker, timer, or observability span acquired by a
@@ -384,7 +387,8 @@ func nodeEffect(pass *Pass, info *types.Info, node ast.Node, acq acquisition) ef
 func classifyCall(pass *Pass, info *types.Info, call *ast.CallExpr, acq acquisition, eff *effect) {
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if exprIsVar(info, sel.X, acq.v) {
-			if sel.Sel.Name == acq.release {
+			if sel.Sel.Name == acq.release ||
+				(acq.release == "End" && sel.Sel.Name == "EndAt") {
 				eff.released = true
 			}
 			return // other methods on the resource are plain uses

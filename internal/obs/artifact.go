@@ -127,6 +127,14 @@ func (a *Artifact) Check() error {
 	return a.Root.check(seen)
 }
 
+// Validate checks one span subtree against the SpanRecord schema rules —
+// non-empty kinds, non-negative ids and timings, subtree-unique ids —
+// without requiring a full artifact. Wire codecs that ship bare subtrees
+// (the shuffle spans op) validate with this before accepting a record.
+func (r *SpanRecord) Validate() error {
+	return r.check(make(map[int]bool))
+}
+
 func (r *SpanRecord) check(seen map[int]bool) error {
 	if r == nil {
 		return fmt.Errorf("obs: null span record")

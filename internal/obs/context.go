@@ -1,0 +1,22 @@
+package obs
+
+import "context"
+
+// ctxSpanKey carries the active span across API boundaries that speak
+// context.Context rather than *Span — the driver threads its exchange span
+// to the cluster scheduler this way, so worker subtrees can be grafted
+// under the span that owns the exchange.
+type ctxSpanKey struct{}
+
+// ContextWithSpan returns a context carrying sp. A nil span is stored as-is
+// (SpanFrom then returns nil), preserving the nil-span fast path.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxSpanKey{}, sp)
+}
+
+// SpanFrom returns the span carried by ctx, or nil when none is attached.
+// The nil result is a valid obs span — every method no-ops on it.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxSpanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,79 @@
+package obs
+
+import "time"
+
+// Graft imports a serialized span subtree — recorded by another process on
+// its own tracer and clock — as a child of s, returning the imported root.
+//
+// Two mismatches make a naive copy wrong, and Graft repairs both:
+//
+//   - IDs: span ids are process-local ints allocated sequentially per
+//     tracer, so a worker's ids collide with the driver's. Every imported
+//     span is re-numbered from s's tracer (the same allocator live child
+//     spans use), so the merged tree still satisfies Artifact.Check's
+//     artifact-unique-id invariant.
+//   - Clocks: the subtree's start offsets are readings of the remote
+//     process's clock, which has a different origin. The subtree is rebased
+//     so its root starts at the rebase offset on this trace's clock, with
+//     all internal relative timing (child offsets, event timestamps,
+//     durations) preserved.
+//
+// When origin is non-empty it is stamped as the AttrOrigin attribute on
+// every imported span, marking the subtree's process of origin ("driver"
+// is implied by absence). Attrs and events are deep-copied; integral
+// float64 attr values (the JSON decoding of int64) are normalized back to
+// int64. A nil receiver or nil record returns nil.
+func (s *Span) Graft(rec *SpanRecord, rebase time.Duration, origin string) *Span {
+	if s == nil || rec == nil {
+		return nil
+	}
+	base := time.Duration(rec.StartMicros) * time.Microsecond
+	return s.graftRec(rec, rebase-base, origin)
+}
+
+// graftRec copies one record under parent, shifting every timestamp by
+// shift (remote offset + shift = local offset).
+func (s *Span) graftRec(rec *SpanRecord, shift time.Duration, origin string) *Span {
+	start := time.Duration(rec.StartMicros)*time.Microsecond + shift
+	if start < 0 {
+		start = 0
+	}
+	c := s.ChildAt(rec.Kind, rec.Name, start)
+	for k, v := range rec.Attrs {
+		c.setAttr(k, normalizeAttr(v))
+	}
+	if origin != "" {
+		c.SetStr(AttrOrigin, origin)
+	}
+	for _, ev := range rec.Events {
+		at := time.Duration(ev.AtMicros)*time.Microsecond + shift
+		if at < 0 {
+			at = 0
+		}
+		var attrs map[string]any
+		if len(ev.Attrs) > 0 {
+			attrs = make(map[string]any, len(ev.Attrs))
+			for k, v := range ev.Attrs {
+				attrs[k] = normalizeAttr(v)
+			}
+		}
+		c.mu.Lock()
+		c.events = append(c.events, SpanEvent{Kind: ev.Kind, AtMicros: at.Microseconds(), Text: ev.Text, Attrs: attrs})
+		c.mu.Unlock()
+	}
+	for _, child := range rec.Children {
+		c.graftRec(child, shift, origin)
+	}
+	c.EndAt(start + time.Duration(rec.DurationMicros)*time.Microsecond)
+	return c
+}
+
+// normalizeAttr undoes encoding/json's number widening: an integral float64
+// (how a decoded SpanRecord carries what was an int64 attr) becomes int64
+// again, so re-serialized merged artifacts render integers as integers.
+func normalizeAttr(v any) any {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}

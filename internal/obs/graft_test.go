@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestGraftRenumbersCollidingIDs builds a driver trace and a worker trace
+// whose span ids deliberately collide (both tracers allocate 0, 1, 2, ...),
+// grafts the worker subtree into the driver tree, and requires the merged
+// artifact to pass Check — the artifact-unique-id invariant the grafting
+// exists to preserve.
+func TestGraftRenumbersCollidingIDs(t *testing.T) {
+	driver := NewTracer("t1", StepClock(time.Millisecond))
+	root := driver.Start(KindQuery, "q")
+	ex := root.Child(KindStage, "heat|shuffle-fetch")
+
+	// The worker's tracer numbers from 0 too: ids 0, 1, 2 collide with the
+	// driver's root/exchange ids by construction.
+	worker := NewTracer("t1", StepClock(time.Millisecond))
+	wroot := worker.Start("worker-shuffle", "heat#1")
+	put := wroot.Child("worker-put", "dst0")
+	put.SetInt("bytes", 128)
+	put.End()
+	wroot.SetInt(AttrParentSpan, int64(ex.ID()))
+	wroot.Event("merge", "sorted 3 chunks", nil)
+	wroot.End()
+	rec := worker.Artifact().Root
+	if rec.ID != root.ID() {
+		t.Fatalf("test premise broken: worker root id %d, driver root id %d — wanted a collision", rec.ID, root.ID())
+	}
+
+	g := ex.Graft(rec, ex.Start(), "worker@127.0.0.1:9")
+	if g == nil {
+		t.Fatal("graft returned nil")
+	}
+	ex.End()
+	root.End()
+
+	a := driver.Artifact()
+	if err := a.Check(); err != nil {
+		t.Fatalf("merged artifact failed Check: %v", err)
+	}
+
+	// The graft also survives a serialization round trip (DecodeArtifact
+	// re-runs Check on the decoded form).
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	groot := back.Root.Find("worker-shuffle")
+	if groot == nil {
+		t.Fatal("grafted worker root missing from artifact")
+	}
+	if got := groot.Attrs[AttrOrigin]; got != "worker@127.0.0.1:9" {
+		t.Fatalf("origin attr = %v, want worker@127.0.0.1:9", got)
+	}
+	if groot.AttrInt(AttrParentSpan) != int64(ex.ID()) {
+		t.Fatalf("parent_span = %d, want %d", groot.AttrInt(AttrParentSpan), ex.ID())
+	}
+	gput := back.Root.Find("worker-put")
+	if gput == nil {
+		t.Fatal("grafted child span missing")
+	}
+	if gput.AttrInt("bytes") != 128 {
+		t.Fatalf("grafted child attr bytes = %d, want 128", gput.AttrInt("bytes"))
+	}
+	if got := groot.Attrs[AttrOrigin]; gput.Attrs[AttrOrigin] != got {
+		t.Fatalf("child origin %v != root origin %v", gput.Attrs[AttrOrigin], got)
+	}
+}
+
+// TestGraftRebasesRemoteClock pins the clock-rebasing arithmetic: a worker
+// subtree recorded at a wildly different clock origin lands at the given
+// rebase offset with its internal relative timing intact.
+func TestGraftRebasesRemoteClock(t *testing.T) {
+	driver := NewTracer("t2", FrozenClock())
+	root := driver.Start(KindQuery, "q")
+
+	rec := &SpanRecord{
+		ID: 0, Kind: "worker-shuffle", Name: "s#1",
+		StartMicros: 5_000_000, DurationMicros: 300,
+		Events: []SpanEvent{{Kind: "merge", AtMicros: 5_000_100}},
+		Children: []*SpanRecord{
+			{ID: 1, Kind: "worker-put", Name: "dst1", StartMicros: 5_000_050, DurationMicros: 20},
+		},
+	}
+	g := root.Graft(rec, 10*time.Millisecond, "worker@w1")
+	root.End()
+
+	if got := g.Start(); got != 10*time.Millisecond {
+		t.Fatalf("grafted root start = %v, want 10ms", got)
+	}
+	if got := g.Duration(); got != 300*time.Microsecond {
+		t.Fatalf("grafted root duration = %v, want 300µs", got)
+	}
+	kids := g.Children()
+	if len(kids) != 1 {
+		t.Fatalf("grafted children = %d, want 1", len(kids))
+	}
+	if got := kids[0].Start(); got != 10*time.Millisecond+50*time.Microsecond {
+		t.Fatalf("grafted child start = %v, want 10.05ms", got)
+	}
+	a := driver.Artifact()
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	groot := a.Root.Find("worker-shuffle")
+	if len(groot.Events) != 1 || groot.Events[0].AtMicros != 10_100 {
+		t.Fatalf("grafted event at %v, want at_micros=10100", groot.Events)
+	}
+}
+
+// TestGraftNormalizesJSONNumbers: a record that went through JSON decoding
+// carries float64 attr values; the graft must restore int64 so a re-encoded
+// merged artifact is not littered with floats.
+func TestGraftNormalizesJSONNumbers(t *testing.T) {
+	src := &SpanRecord{ID: 0, Kind: "worker-shuffle", Attrs: map[string]any{"bytes": int64(4096)}}
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, isFloat := rec.Attrs["bytes"].(float64); !isFloat {
+		t.Fatalf("test premise broken: decoded attr is %T, expected float64", rec.Attrs["bytes"])
+	}
+	tr := NewTracer("t3", FrozenClock())
+	root := tr.Start(KindQuery, "q")
+	g := root.Graft(&rec, 0, "worker@w")
+	if v, ok := g.attrs["bytes"].(int64); !ok || v != 4096 {
+		t.Fatalf("grafted attr = %#v, want int64(4096)", g.attrs["bytes"])
+	}
+}

@@ -84,6 +84,14 @@ const (
 	// AttrWorker identifies the shard worker a distributed task ran against.
 	AttrWorker     = "worker"
 	AttrPartitions = "partitions"
+	// AttrOrigin names the process a span was recorded in ("worker@addr");
+	// spans without it originated on the driver. Stamped by Span.Graft when
+	// a worker subtree is merged into the driver's trace.
+	AttrOrigin = "origin"
+	// AttrParentSpan, on a grafted worker subtree root, is the driver span
+	// id the worker was told owns its work — the cross-process parent link
+	// carried by the shuffle protocol's trace context.
+	AttrParentSpan = "parent_span"
 	AttrPartition  = "partition"
 	AttrCacheHit   = "cache_hit"
 	AttrPlanHash   = "plan_hash"

@@ -18,11 +18,28 @@ func (a *Artifact) Timeline() string {
 	}
 	fmt.Fprintf(&b, "trace %s: %d spans, total %s\n",
 		a.TraceID, a.SpanCount(), fmtMicros(a.Root.DurationMicros))
-	a.Root.timeline(&b, 0)
+	// A trace with grafted worker subtrees renders an origin column on
+	// every span (driver or worker@addr); a purely local trace stays
+	// column-free, so single-process output is unchanged.
+	a.Root.timeline(&b, 0, a.Root.distributed())
 	return b.String()
 }
 
-func (r *SpanRecord) timeline(b *strings.Builder, depth int) {
+// distributed reports whether any span in the subtree carries an origin
+// attr — i.e. the trace includes grafted worker spans.
+func (r *SpanRecord) distributed() bool {
+	if origin, ok := r.Attrs[AttrOrigin].(string); ok && origin != "" {
+		return true
+	}
+	for _, c := range r.Children {
+		if c.distributed() {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *SpanRecord) timeline(b *strings.Builder, depth int, dist bool) {
 	var childTotal int64
 	for _, c := range r.Children {
 		childTotal += c.DurationMicros
@@ -39,11 +56,54 @@ func (r *SpanRecord) timeline(b *strings.Builder, depth int) {
 	if pad < len(label) {
 		pad = len(label)
 	}
-	fmt.Fprintf(b, "%s%-*s total=%-9s self=%-9s%s%s\n",
+	origin := ""
+	if dist {
+		origin = " origin=driver"
+		if o, ok := r.Attrs[AttrOrigin].(string); ok && o != "" {
+			origin = " origin=" + o
+		}
+	}
+	fmt.Fprintf(b, "%s%-*s total=%-9s self=%-9s%s%s%s\n",
 		strings.Repeat("  ", depth), pad, label,
-		fmtMicros(r.DurationMicros), fmtMicros(self), attrSummary(r), derivedSummary(r))
+		fmtMicros(r.DurationMicros), fmtMicros(self), origin, attrSummary(r), derivedSummary(r))
 	for _, c := range r.Children {
-		c.timeline(b, depth+1)
+		c.timeline(b, depth+1, dist)
+	}
+	r.workerRollup(b, depth+1)
+}
+
+// workerRollup emits one aggregate line per worker whose shipped subtrees
+// were grafted directly under r — spans, bytes handled, and wall time — so
+// an exchange line reads like a miniature fleet report. Silent when no
+// direct child carries an origin attr.
+func (r *SpanRecord) workerRollup(b *strings.Builder, depth int) {
+	type agg struct {
+		spans int
+		bytes int64
+		wall  int64
+	}
+	var order []string
+	aggs := map[string]*agg{}
+	for _, c := range r.Children {
+		origin, _ := c.Attrs[AttrOrigin].(string)
+		if origin == "" {
+			continue
+		}
+		a := aggs[origin]
+		if a == nil {
+			a = &agg{}
+			aggs[origin] = a
+			order = append(order, origin)
+		}
+		a.spans += c.spanCount()
+		a.wall += c.DurationMicros
+		a.bytes += c.AttrInt("put_bytes")
+	}
+	sort.Strings(order)
+	for _, origin := range order {
+		a := aggs[origin]
+		fmt.Fprintf(b, "%s↳ %s: spans=%d bytes=%s wall=%s\n",
+			strings.Repeat("  ", depth), origin, a.spans, fmtBytes(a.bytes), fmtMicros(a.wall))
 	}
 }
 
@@ -101,6 +161,10 @@ func attrSummary(r *SpanRecord) string {
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
+		// Origin renders as its own column (timeline), not as an attr.
+		if k == AttrOrigin {
+			continue
+		}
 		// Byte-volume attrs render humanized; everything else verbatim.
 		if k == AttrShuffleBytes || k == AttrEstShuffleBytes {
 			fmt.Fprintf(&b, " %s=%s", k, fmtBytes(r.AttrInt(k)))

@@ -206,6 +206,14 @@ func (s *Span) ID() int {
 	return s.id
 }
 
+// TraceID returns the owning tracer's trace id ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tracer.id
+}
+
 // Kind returns the span kind ("" for nil).
 func (s *Span) Kind() string {
 	if s == nil {

@@ -1,0 +1,190 @@
+// Package provenance is ScrubJay's bench provenance ledger, in the spirit
+// of ProvDB: an append-only JSONL file (BENCH_history.jsonl) holding one
+// record per benchmark experiment and per CI run, so a performance number
+// is never an orphan — every figure ties back to the commit, time, bench
+// report, and trace summary that produced it.
+package provenance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"scrubjay/internal/obs"
+)
+
+// Schema identifies the record layout; readers reject records whose schema
+// they do not speak, so the ledger can evolve without silent misreads.
+const Schema = "scrubjay.bench.v1"
+
+// DefaultLedger is the conventional ledger filename at the repo root.
+const DefaultLedger = "BENCH_history.jsonl"
+
+// Record is one ledger entry. Bench and VetTiming hold the producing
+// tool's own JSON report verbatim (raw, not re-modeled), so the ledger
+// never lags the report formats.
+type Record struct {
+	Schema     string          `json:"schema"`
+	Time       string          `json:"time"` // RFC 3339
+	GitSHA     string          `json:"git_sha,omitempty"`
+	Kind       string          `json:"kind"`                 // "sjbench" | "ci"
+	Experiment string          `json:"experiment,omitempty"` // sjbench -exp name
+	Bench      json.RawMessage `json:"bench,omitempty"`
+	VetTiming  json.RawMessage `json:"vet_timing,omitempty"`
+	Trace      *TraceSummary   `json:"trace,omitempty"`
+	Note       string          `json:"note,omitempty"`
+}
+
+// TraceSummary condenses one query trace for the ledger: enough to spot a
+// distributed run (worker-origin spans present) without storing the tree.
+type TraceSummary struct {
+	TraceID     string `json:"trace_id"`
+	Spans       int    `json:"spans"`
+	WorkerSpans int    `json:"worker_spans"`
+	Workers     int    `json:"workers"`
+}
+
+// Validate checks the invariants every ledger record must hold.
+func (r *Record) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("provenance: schema %q, want %q", r.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, r.Time); err != nil {
+		return fmt.Errorf("provenance: bad time %q: %v", r.Time, err)
+	}
+	switch r.Kind {
+	case "sjbench", "ci":
+	default:
+		return fmt.Errorf("provenance: kind %q, want sjbench or ci", r.Kind)
+	}
+	if len(r.Bench) > 0 && !json.Valid(r.Bench) {
+		return fmt.Errorf("provenance: bench payload is not valid JSON")
+	}
+	if len(r.VetTiming) > 0 && !json.Valid(r.VetTiming) {
+		return fmt.Errorf("provenance: vet_timing payload is not valid JSON")
+	}
+	return nil
+}
+
+// Append validates rec, stamps the schema when unset, and appends it as one
+// JSON line to the ledger at path (created if absent). The single-line
+// invariant keeps the file greppable and each write atomic at the
+// filesystem level for line-sized payloads.
+func Append(path string, rec *Record) error {
+	if rec.Schema == "" {
+		rec.Schema = Schema
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if bytes.ContainsRune(data, '\n') {
+		return fmt.Errorf("provenance: record encodes to multiple lines")
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses and validates every record in the ledger at path. Any
+// invalid line fails the whole read with its line number — the ledger is
+// evidence, and evidence with holes is worse than none.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []*Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		rec := new(Record)
+		if err := json.Unmarshal(raw, rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return recs, nil
+}
+
+// Summarize condenses a trace artifact: total spans, worker-origin spans
+// (those the scheduler grafted from shipped worker subtrees), and distinct
+// workers seen.
+func Summarize(a *obs.Artifact) *TraceSummary {
+	if a == nil || a.Root == nil {
+		return nil
+	}
+	s := &TraceSummary{TraceID: a.TraceID}
+	workers := map[string]bool{}
+	var walk func(r *obs.SpanRecord)
+	walk = func(r *obs.SpanRecord) {
+		s.Spans++
+		if origin, ok := r.Attrs[obs.AttrOrigin].(string); ok && origin != "" {
+			s.WorkerSpans++
+			workers[origin] = true
+		}
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	walk(a.Root)
+	s.Workers = len(workers)
+	return s
+}
+
+// GitHead resolves the current commit SHA of the repository at dir by
+// reading .git directly (no exec): HEAD, then the named ref file, then
+// packed-refs. Empty when dir is not a git work tree — provenance degrades,
+// it does not fail.
+func GitHead(dir string) string {
+	gitDir := filepath.Join(dir, ".git")
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	h := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(h, "ref:") {
+		return h // detached HEAD holds the SHA itself
+	}
+	ref := strings.TrimSpace(strings.TrimPrefix(h, "ref:"))
+	if b, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(packed), "\n") {
+		if fields := strings.Fields(line); len(fields) == 2 && fields[1] == ref {
+			return fields[0]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,135 @@
+package provenance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scrubjay/internal/obs"
+)
+
+func validRecord() *Record {
+	return &Record{
+		Time:       "2026-08-08T12:00:00Z",
+		GitSHA:     "0123abcd",
+		Kind:       "sjbench",
+		Experiment: "obs",
+		Bench:      json.RawMessage(`{"median_overhead":1.01}`),
+	}
+}
+
+func TestAppendAndReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	r1 := validRecord()
+	r2 := validRecord()
+	r2.Kind = "ci"
+	r2.Experiment = ""
+	r2.Note = "full gate"
+	r2.Trace = &TraceSummary{TraceID: "t1", Spans: 10, WorkerSpans: 4, Workers: 2}
+	if err := Append(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, r2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Schema != Schema {
+		t.Fatalf("schema not stamped: %q", recs[0].Schema)
+	}
+	if recs[1].Trace == nil || recs[1].Trace.WorkerSpans != 4 {
+		t.Fatalf("trace summary did not round-trip: %+v", recs[1].Trace)
+	}
+	// One line per record: the greppable-ledger invariant.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("ledger has %d lines, want 2", n)
+	}
+}
+
+func TestValidateRejectsBadRecords(t *testing.T) {
+	cases := map[string]func(*Record){
+		"bad schema": func(r *Record) { r.Schema = "scrubjay.bench.v0" },
+		"bad time":   func(r *Record) { r.Time = "yesterday" },
+		"bad kind":   func(r *Record) { r.Kind = "vibes" },
+		"bad bench":  func(r *Record) { r.Bench = json.RawMessage(`{"x":`) },
+	}
+	for name, mutate := range cases {
+		r := validRecord()
+		r.Schema = Schema
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, r)
+		}
+	}
+}
+
+func TestReadFileFailsOnInvalidLineWithNumber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	good, _ := json.Marshal(func() *Record { r := validRecord(); r.Schema = Schema; return r }())
+	content := string(good) + "\n" + `{"schema":"nope"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("invalid line accepted")
+	}
+	if !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestSummarizeCountsWorkerSpans(t *testing.T) {
+	tr := obs.NewTracer("t9", obs.StepClock(time.Millisecond))
+	root := tr.Start(obs.KindQuery, "q")
+	ex := root.Child(obs.KindStage, "heat|shuffle-fetch")
+	for _, w := range []string{"worker@a:1", "worker@a:1", "worker@b:2"} {
+		c := ex.Child("worker-shuffle", "heat#1")
+		c.SetStr(obs.AttrOrigin, w)
+		c.End()
+	}
+	ex.End()
+	root.End()
+	s := Summarize(tr.Artifact())
+	if s.TraceID != "t9" || s.Spans != 5 || s.WorkerSpans != 3 || s.Workers != 2 {
+		t.Fatalf("summary = %+v, want 5 spans, 3 worker spans, 2 workers", s)
+	}
+}
+
+func TestGitHeadReadsRefAndPackedRefs(t *testing.T) {
+	dir := t.TempDir()
+	git := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(filepath.Join(git, "refs", "heads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte("ref: refs/heads/main\n"), 0o644)
+	os.WriteFile(filepath.Join(git, "refs", "heads", "main"), []byte("aaaa1111\n"), 0o644)
+	if got := GitHead(dir); got != "aaaa1111" {
+		t.Fatalf("loose ref: got %q", got)
+	}
+	os.Remove(filepath.Join(git, "refs", "heads", "main"))
+	os.WriteFile(filepath.Join(git, "packed-refs"),
+		[]byte("# pack-refs with: peeled\nbbbb2222 refs/heads/main\n"), 0o644)
+	if got := GitHead(dir); got != "bbbb2222" {
+		t.Fatalf("packed ref: got %q", got)
+	}
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte("cccc3333\n"), 0o644)
+	if got := GitHead(dir); got != "cccc3333" {
+		t.Fatalf("detached head: got %q", got)
+	}
+	if got := GitHead(t.TempDir()); got != "" {
+		t.Fatalf("non-repo: got %q, want empty", got)
+	}
+}

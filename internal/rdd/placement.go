@@ -113,8 +113,17 @@ func exchangeVia[T any](c *Context, w *Wire[T], stage string, numOut int, bucket
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
+	// The exchange span opens before the placement call so the scheduler can
+	// read it from the context: its (trace id, span id) ride the wire as the
+	// put/fetch trace context, and worker-recorded subtrees graft back under
+	// it — the cross-process parent of everything this shuffle did remotely.
+	exSpan := c.Span().Child(obs.KindStage, stage+"|shuffle-fetch")
+	exSpan.SetBool(obs.AttrShuffle, true)
+	exSpan.SetInt(obs.AttrPartitions, int64(numOut))
+	goCtx = obs.ContextWithSpan(goCtx, exSpan)
 	merged, err := c.placement.Exchange(goCtx, stage, numOut, enc)
 	if err != nil {
+		exSpan.End()
 		if c.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			cause := c.Err()
 			if cause == nil {
@@ -125,8 +134,11 @@ func exchangeVia[T any](c *Context, w *Wire[T], stage string, numOut int, bucket
 		panic(&ExecFailure{Stage: stage, Cause: err})
 	}
 	if len(merged) != numOut {
+		exSpan.End()
 		panic(&ExecFailure{Stage: stage, Cause: fmt.Errorf("placement returned %d partitions, want %d", len(merged), numOut)})
 	}
+	exSpan.SetInt(obs.AttrShuffleBytes, encBytes)
+	exSpan.End()
 
 	// Decode per destination partition, in parallel. A decode error is a
 	// data-plane failure (corrupt payload), not a user-code panic.
@@ -156,12 +168,5 @@ func exchangeVia[T any](c *Context, w *Wire[T], stage string, numOut int, bucket
 		}
 	}
 
-	if sp := c.Span(); sp != nil {
-		st := sp.Child(obs.KindStage, stage+"|shuffle-fetch")
-		st.SetBool(obs.AttrShuffle, true)
-		st.SetInt(obs.AttrShuffleBytes, encBytes)
-		st.SetInt(obs.AttrPartitions, int64(numOut))
-		st.End()
-	}
 	return dst, true
 }

@@ -64,3 +64,8 @@ func (s *Server) registerGauges() {
 
 // renderMetrics produces the GET /metrics body.
 func (s *Server) renderMetrics() string { return s.met.reg.Render() }
+
+// Metrics exposes the daemon's registry so sibling components (the cluster
+// scheduler's exchange counters and worker-fleet gauges) can register their
+// instruments on the same GET /metrics surface.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }

@@ -2,12 +2,18 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"scrubjay/internal/bench"
 	"scrubjay/internal/cluster"
 	"scrubjay/internal/obs"
+	"scrubjay/internal/rdd"
 	"scrubjay/internal/shuffle"
 )
 
@@ -76,5 +82,106 @@ func TestFig5BitForBitDistributedWorkerFailure(t *testing.T) {
 	}
 	if live := sched.Registry().Live(); len(live) != 1 {
 		t.Fatalf("expected 1 surviving worker, have %d", len(live))
+	}
+}
+
+// TestFig5DistributedTrace is the cross-process tracing e2e: a Fig-5 query
+// over 2 live TCP workers must yield ONE trace in which every exchange
+// span carries at least one worker-origin child, grafted with correct
+// parentage, served by GET /v1/trace/{id} and rendered by the timeline
+// with per-worker rollups.
+func TestFig5DistributedTrace(t *testing.T) {
+	sched, _ := distCluster(t, cluster.Options{})
+	cfg := bench.DefaultCaseStudyConfig()
+	cfg.Racks, cfg.NodesPerRack, cfg.AMGRack = 4, 6, 2
+	cfg.DAT1DurationSec = 1800
+	cfg.Partitions = 4
+	build := rdd.NewContext(2)
+	srcCat, schemas, _ := bench.DAT1Catalog(build, cfg)
+
+	s := New(NewStore(), Config{Workers: 2, Placement: sched})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for name, ds := range srcCat {
+		resp := postJSON(t, ts.URL+"/v1/catalog/datasets", RegisterRequest{
+			Name:       name,
+			Schema:     schemas[name],
+			Rows:       ds.Collect(),
+			Partitions: ds.Rows().NumPartitions(),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: status %d: %s", name, resp.StatusCode, decodeError(t, resp))
+		}
+		resp.Body.Close()
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: bench.Fig5Query()})
+	traceID := resp.Header.Get(TraceHeader)
+	_, rows, trailer := readStream(t, resp)
+	if trailer.Error != "" {
+		t.Fatalf("stream error: %s", trailer.Error)
+	}
+	if len(rows) == 0 {
+		t.Fatal("query returned no rows")
+	}
+	if traceID == "" {
+		t.Fatal("no trace id on the query response")
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace/%s: status %d", traceID, tresp.StatusCode)
+	}
+	data, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := obs.DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("served trace failed validation: %v", err)
+	}
+	if a.TraceID != traceID {
+		t.Fatalf("artifact trace id %q, want %q", a.TraceID, traceID)
+	}
+
+	exchanges := 0
+	for _, ex := range a.Root.FindAll(obs.KindStage) {
+		if !strings.HasSuffix(ex.Name, "|shuffle-fetch") {
+			continue
+		}
+		exchanges++
+		workerKids := 0
+		for _, c := range ex.Children {
+			origin, _ := c.Attrs[obs.AttrOrigin].(string)
+			if !strings.HasPrefix(origin, "worker@") {
+				continue
+			}
+			workerKids++
+			if c.Kind != "worker-shuffle" {
+				t.Fatalf("worker-origin child of %s has kind %q", ex.Name, c.Kind)
+			}
+			if got := c.AttrInt(obs.AttrParentSpan); got != int64(ex.ID) {
+				t.Fatalf("worker subtree under %s records parent_span=%d, exchange span id is %d",
+					ex.Name, got, ex.ID)
+			}
+		}
+		if workerKids == 0 {
+			t.Fatalf("exchange span %s has no worker-origin children", ex.Name)
+		}
+	}
+	if exchanges == 0 {
+		t.Fatal("trace contains no exchange spans: the distributed path never ran")
+	}
+
+	tl := a.Timeline()
+	if !strings.Contains(tl, "↳ worker@") {
+		t.Fatalf("timeline lacks per-worker rollup lines:\n%s", tl)
+	}
+	if !strings.Contains(tl, "origin=driver") || !strings.Contains(tl, "origin=worker@") {
+		t.Fatalf("timeline lacks origin columns:\n%s", tl)
 	}
 }

@@ -6,7 +6,32 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"scrubjay/internal/obs"
 )
+
+// TraceCtx is the distributed-tracing context one exchange operation
+// carries across the wire: the driver's trace id (empty = untraced) and
+// the id of the driver-side span that owns the exchange, which becomes the
+// cross-process parent of the worker's recorded subtree.
+type TraceCtx struct {
+	TraceID    string
+	ParentSpan int
+}
+
+// WorkerStats is the metrics snapshot a v2 ping returns — the compact
+// worker health summary the registry heartbeat aggregates into
+// cluster_worker_* gauges. A v1 worker fills only the first two fields.
+type WorkerStats struct {
+	StoredBytes int64
+	Shuffles    int
+	Goroutines  int
+	HeapBytes   int64
+	Fetches     int64
+	FetchP50us  int64
+	FetchP90us  int64
+	FetchP99us  int64
+}
 
 // Conn is one driver-side connection to a worker's exchange service. A Conn
 // is not safe for concurrent use — internal/cluster pools several per worker
@@ -16,11 +41,16 @@ import (
 type Conn struct {
 	nc        net.Conn
 	workerID  string
+	version   byte
 	opTimeout time.Duration
 }
 
 // Dial connects to a worker exchange service and performs the hello
-// handshake, verifying the protocol version.
+// handshake, negotiating the protocol version: the client advertises
+// ProtoVersion and accepts any server answer in [1, ProtoVersion], so a v2
+// driver interoperates with a v1 worker (and vice versa — a v1 server
+// ignores the trailing version byte and a v2 server answers a version-less
+// hello with 1).
 func Dial(ctx context.Context, addr, driverName string, opTimeout time.Duration) (*Conn, error) {
 	d := net.Dialer{}
 	nc, err := d.DialContext(ctx, "tcp", addr)
@@ -29,6 +59,7 @@ func Dial(ctx context.Context, addr, driverName string, opTimeout time.Duration)
 	}
 	c := &Conn{nc: nc, opTimeout: opTimeout}
 	req := appendString([]byte{opHello}, driverName)
+	req = append(req, ProtoVersion)
 	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		nc.Close()
@@ -39,9 +70,11 @@ func Dial(ctx context.Context, addr, driverName string, opTimeout time.Duration)
 		nc.Close()
 		return nil, fmt.Errorf("shuffle: malformed hello response from %s", addr)
 	}
-	if v := resp[n]; v != ProtoVersion {
+	if v := resp[n]; v < 1 || v > ProtoVersion {
 		nc.Close()
-		return nil, fmt.Errorf("shuffle: worker %s speaks protocol %d, driver %d", addr, v, ProtoVersion)
+		return nil, fmt.Errorf("shuffle: worker %s negotiated protocol %d, driver supports 1..%d", addr, v, ProtoVersion)
+	} else {
+		c.version = v
 	}
 	c.workerID = id
 	return c, nil
@@ -50,51 +83,119 @@ func Dial(ctx context.Context, addr, driverName string, opTimeout time.Duration)
 // WorkerID returns the identity the worker reported in the handshake.
 func (c *Conn) WorkerID() string { return c.workerID }
 
+// Version returns the negotiated protocol version.
+func (c *Conn) Version() byte { return c.version }
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
 
-// Put pushes one map-output chunk: payload bytes for (shuffleID, dst),
-// sequenced (src, seq). Idempotent on the worker.
+// Put pushes one untraced map-output chunk — PutTraced with an empty trace
+// context.
 func (c *Conn) Put(ctx context.Context, shuffleID string, dst, src, seq int, payload []byte) error {
+	return c.PutTraced(ctx, shuffleID, dst, src, seq, payload, TraceCtx{})
+}
+
+// PutTraced pushes one map-output chunk: payload bytes for (shuffleID,
+// dst), sequenced (src, seq), carrying the trace context on a v2
+// connection (a v1 worker receives the v1 wire form and records nothing).
+// Idempotent on the worker.
+func (c *Conn) PutTraced(ctx context.Context, shuffleID string, dst, src, seq int, payload []byte, tc TraceCtx) error {
 	req := appendString([]byte{opPut}, shuffleID)
 	req = binary.AppendUvarint(req, uint64(dst))
 	req = binary.AppendUvarint(req, uint64(src))
 	req = binary.AppendUvarint(req, uint64(seq))
+	if c.version >= 2 {
+		req = appendTraceCtx(req, tc)
+	}
 	req = append(req, payload...)
 	_, err := c.roundTrip(ctx, req)
 	return err
 }
 
-// Fetch returns the merged payload for destination partition dst of
-// shuffleID: all stored chunks concatenated in (src, seq) order.
+// Fetch returns the untraced merged payload for destination dst —
+// FetchTraced with an empty trace context.
 func (c *Conn) Fetch(ctx context.Context, shuffleID string, dst int) ([]byte, error) {
+	return c.FetchTraced(ctx, shuffleID, dst, TraceCtx{})
+}
+
+// FetchTraced returns the merged payload for destination partition dst of
+// shuffleID — all stored chunks concatenated in (src, seq) order — carrying
+// the trace context on a v2 connection.
+func (c *Conn) FetchTraced(ctx context.Context, shuffleID string, dst int, tc TraceCtx) ([]byte, error) {
 	req := appendString([]byte{opFetch}, shuffleID)
 	req = binary.AppendUvarint(req, uint64(dst))
+	if c.version >= 2 {
+		req = appendTraceCtx(req, tc)
+	}
 	return c.roundTrip(ctx, req)
 }
 
-// Drop frees all worker-side state for shuffleID. Best-effort cleanup.
+// Spans ships back and clears the worker's recorded span subtrees for
+// (shuffleID, traceID). Nil on a v1 connection (the worker recorded
+// nothing) and for an untraced shuffle.
+func (c *Conn) Spans(ctx context.Context, shuffleID, traceID string) ([]*obs.SpanRecord, error) {
+	if c.version < 2 || traceID == "" {
+		return nil, nil
+	}
+	req := appendString([]byte{opSpans}, shuffleID)
+	req = appendString(req, traceID)
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	recs, n, err := DecodeSpanSubtrees(resp)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(resp) {
+		return nil, fmt.Errorf("shuffle: %d trailing bytes after span payload", len(resp)-n)
+	}
+	return recs, nil
+}
+
+// Drop frees all worker-side state for shuffleID (stored chunks and
+// recorded spans). Best-effort cleanup.
 func (c *Conn) Drop(ctx context.Context, shuffleID string) error {
 	_, err := c.roundTrip(ctx, appendString([]byte{opDrop}, shuffleID))
 	return err
 }
 
-// Ping checks liveness and returns the worker's stored bytes and live
-// shuffle count. Used by the registry heartbeat.
-func (c *Conn) Ping(ctx context.Context) (storedBytes int64, shuffles int, err error) {
+// Ping checks liveness and returns the worker's metrics snapshot. Used by
+// the registry heartbeat. A v1 worker reports stored bytes and shuffle
+// count only; the v2 fields stay zero.
+func (c *Conn) Ping(ctx context.Context) (WorkerStats, error) {
 	resp, err := c.roundTrip(ctx, []byte{opPing})
 	if err != nil {
-		return 0, 0, err
+		return WorkerStats{}, err
 	}
-	stored, n, err := readUvarint(resp)
-	if err != nil {
-		return 0, 0, err
+	var vals []int64
+	for len(resp) > 0 && len(vals) < 8 {
+		v, n, err := readUvarint(resp)
+		if err != nil {
+			return WorkerStats{}, err
+		}
+		vals = append(vals, int64(v))
+		resp = resp[n:]
 	}
-	count, _, err := readUvarint(resp[n:])
-	if err != nil {
-		return 0, 0, err
+	if len(vals) < 2 {
+		return WorkerStats{}, fmt.Errorf("shuffle: truncated ping response")
 	}
-	return int64(stored), int(count), nil
+	st := WorkerStats{StoredBytes: vals[0], Shuffles: int(vals[1])}
+	if len(vals) == 8 { // the v2 snapshot extension; absent from a v1 worker
+		st.Goroutines, st.HeapBytes = int(vals[2]), vals[3]
+		st.Fetches, st.FetchP50us, st.FetchP90us, st.FetchP99us = vals[4], vals[5], vals[6], vals[7]
+	}
+	return st, nil
+}
+
+// appendTraceCtx appends the v2 trace-context fields.
+func appendTraceCtx(req []byte, tc TraceCtx) []byte {
+	req = appendString(req, tc.TraceID)
+	parent := tc.ParentSpan
+	if parent < 0 {
+		parent = 0
+	}
+	return binary.AppendUvarint(req, uint64(parent))
 }
 
 func (c *Conn) roundTrip(ctx context.Context, req []byte) ([]byte, error) {

@@ -76,3 +76,34 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeSpanSubtrees(f *testing.F) {
+	if seed, err := AppendSpanSubtrees(nil, sampleSubtrees()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{spanMarker, 0x00})
+	f.Add([]byte{spanMarker, 0x01, 0x02, '{', '}'})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, n, err := DecodeSpanSubtrees(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// Every accepted record passed schema validation; re-encoding the
+		// decoded set must itself decode cleanly (canonical output).
+		buf, err := AppendSpanSubtrees(nil, recs)
+		if err != nil {
+			t.Fatalf("re-encoding decoded subtrees: %v", err)
+		}
+		recs2, n2, err := DecodeSpanSubtrees(buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded subtrees failed: %v", err)
+		}
+		if n2 != len(buf) || len(recs2) != len(recs) {
+			t.Fatalf("re-encode changed shape: %d subtrees in %d bytes vs %d in %d",
+				len(recs2), n2, len(recs), len(buf))
+		}
+	})
+}

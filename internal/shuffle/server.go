@@ -4,8 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrubjay/internal/obs"
 )
 
 // Server is the worker side of the exchange: it stores map-output chunks
@@ -18,17 +23,53 @@ import (
 //
 // Puts are idempotent: re-pushing a chunk after a retry overwrites the
 // identical bytes, so a task observed twice is visible at most once.
+//
+// On a v2 connection each put/fetch may carry a trace context; the server
+// then records its side of the exchange — put, fetch, and merge spans with
+// bytes/chunks attrs — under one obs.Tracer per (shuffle, trace), and
+// ships the completed subtree back on the spans op (cleared worker-side on
+// shipment, on drop, and bounded by liveTraceCap against drivers that
+// never collect).
 type Server struct {
 	id string
 	ln net.Listener
 
 	mu       sync.Mutex
 	shuffles map[string]map[int]map[uint64][]byte // shuffleID -> dst -> src<<32|seq -> chunk
+	traces   map[traceKey]*workerTrace
 	conns    map[net.Conn]struct{}
 	bytes    int64
 	closed   bool
 
+	fetchUS *obs.Histogram // merge latency, reported in the ping snapshot
+
 	wg sync.WaitGroup
+}
+
+// traceKey identifies one traced shuffle on one driver trace.
+type traceKey struct {
+	shuffle string
+	trace   string
+}
+
+// liveTraceCap bounds concurrently-open worker traces: past it, new traced
+// shuffles record nothing (the driver's graft is best-effort), so a driver
+// that dies before collecting cannot grow worker memory without bound.
+const liveTraceCap = 64
+
+// putSpanCap bounds per-trace put child spans; further puts still count in
+// the root's put_chunks/put_bytes totals but add no span, keeping a huge
+// exchange's subtree shippable.
+const putSpanCap = 128
+
+// workerTrace is the server-side span state of one (shuffle, trace): a
+// private tracer whose root span collects put/fetch/merge children.
+type workerTrace struct {
+	tracer *obs.Tracer
+	root   *obs.Span
+
+	puts     atomic.Int64
+	putBytes atomic.Int64
 }
 
 // Serve starts a worker exchange service listening on addr (e.g.
@@ -42,7 +83,14 @@ func Serve(addr, id string) (*Server, error) {
 	if id == "" {
 		id = ln.Addr().String()
 	}
-	s := &Server{id: id, ln: ln, shuffles: make(map[string]map[int]map[uint64][]byte), conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		id:       id,
+		ln:       ln,
+		shuffles: make(map[string]map[int]map[uint64][]byte),
+		traces:   make(map[traceKey]*workerTrace),
+		conns:    make(map[net.Conn]struct{}),
+		fetchUS:  &obs.Histogram{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -111,36 +159,52 @@ func (s *Server) acceptLoop() {
 
 // serveConn answers framed requests in order until the peer hangs up or a
 // framing error makes the stream unrecoverable. Application-level errors
-// are answered with statusErr and the connection stays usable.
+// are answered with statusErr and the connection stays usable. The
+// negotiated protocol version is connection state, set by the hello.
 func (s *Server) serveConn(conn net.Conn) {
+	ver := byte(1) // until a hello negotiates otherwise
 	for {
 		req, err := readMessage(conn, DefaultMaxMessage)
 		if err != nil {
 			return
 		}
-		resp := s.handle(req)
+		resp := s.handle(req, &ver)
 		if err := writeMessage(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req []byte) []byte {
+func (s *Server) handle(req []byte, ver *byte) []byte {
 	if len(req) == 0 {
 		return errResponse(fmt.Errorf("empty request"))
 	}
 	op, body := req[0], req[1:]
 	switch op {
 	case opHello:
-		if _, _, err := readString(body); err != nil {
+		_, n, err := readString(body)
+		if err != nil {
 			return errResponse(err)
 		}
+		// A v2 client appends its version after the driver name; absence
+		// (or an unrecognized 0) means the peer speaks v1. The negotiated
+		// version is min(client, server), echoed in the response.
+		clientVer := byte(1)
+		if len(body) > n && body[n] >= 1 {
+			clientVer = body[n]
+		}
+		*ver = clientVer
+		if *ver > ProtoVersion {
+			*ver = ProtoVersion
+		}
 		resp := appendString([]byte{statusOK}, s.id)
-		return append(resp, ProtoVersion)
+		return append(resp, *ver)
 	case opPut:
-		return s.handlePut(body)
+		return s.handlePut(body, *ver)
 	case opFetch:
-		return s.handleFetch(body)
+		return s.handleFetch(body, *ver)
+	case opSpans:
+		return s.handleSpans(body)
 	case opDrop:
 		id, _, err := readString(body)
 		if err != nil {
@@ -155,19 +219,81 @@ func (s *Server) handle(req []byte) []byte {
 			}
 			delete(s.shuffles, id)
 		}
+		for k := range s.traces {
+			if k.shuffle == id {
+				delete(s.traces, k)
+			}
+		}
 		s.mu.Unlock()
 		return []byte{statusOK}
 	case opPing:
 		stored, n := s.Stats()
 		resp := []byte{statusOK}
 		resp = binary.AppendUvarint(resp, uint64(stored))
-		return binary.AppendUvarint(resp, uint64(n))
+		resp = binary.AppendUvarint(resp, uint64(n))
+		if *ver >= 2 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			resp = binary.AppendUvarint(resp, uint64(runtime.NumGoroutine()))
+			resp = binary.AppendUvarint(resp, ms.HeapAlloc)
+			resp = binary.AppendUvarint(resp, uint64(s.fetchUS.Count()))
+			resp = binary.AppendUvarint(resp, uint64(s.fetchUS.Quantile(0.50)))
+			resp = binary.AppendUvarint(resp, uint64(s.fetchUS.Quantile(0.90)))
+			resp = binary.AppendUvarint(resp, uint64(s.fetchUS.Quantile(0.99)))
+		}
+		return resp
 	default:
 		return errResponse(fmt.Errorf("unknown opcode 0x%02x", op))
 	}
 }
 
-func (s *Server) handlePut(body []byte) []byte {
+// readTraceCtx consumes the v2 trace-context fields (traceID, parentSpan).
+func readTraceCtx(body []byte) (traceID string, parent int, n int, err error) {
+	traceID, n, err = readString(body)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	p, m, err := readUvarint(body[n:])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return traceID, int(p), n + m, nil
+}
+
+// traceFor returns the live trace state for key, creating it (bounded by
+// liveTraceCap) on first use. parent is the driver-side owning span id.
+// Nil means "do not record" — untraced, or the cap is reached.
+func (s *Server) traceFor(key traceKey, parent int) *workerTrace {
+	if key.trace == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wt, ok := s.traces[key]
+	if !ok {
+		if len(s.traces) >= liveTraceCap {
+			return nil
+		}
+		tracer := obs.NewTracer(key.trace, nil)
+		root := tracer.Start("worker-shuffle", key.shuffle)
+		root.SetStr(obs.AttrWorker, s.id)
+		root.SetInt(obs.AttrParentSpan, int64(parent))
+		wt = &workerTrace{tracer: tracer, root: root}
+		s.traces[key] = wt
+	}
+	return wt
+}
+
+// takeTrace removes and returns the trace state for key (nil when absent).
+func (s *Server) takeTrace(key traceKey) *workerTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wt := s.traces[key]
+	delete(s.traces, key)
+	return wt
+}
+
+func (s *Server) handlePut(body []byte, ver byte) []byte {
 	id, n, err := readString(body)
 	if err != nil {
 		return errResponse(err)
@@ -187,9 +313,23 @@ func (s *Server) handlePut(body []byte) []byte {
 	if err != nil {
 		return errResponse(err)
 	}
-	chunk := body[n:]
+	body = body[n:]
+	var wt *workerTrace
+	if ver >= 2 {
+		traceID, parent, n, err := readTraceCtx(body)
+		if err != nil {
+			return errResponse(err)
+		}
+		body = body[n:]
+		wt = s.traceFor(traceKey{shuffle: id, trace: traceID}, parent)
+	}
+	chunk := body
 	if src > 1<<31 || seq > 1<<31 || dst > 1<<31 {
 		return errResponse(fmt.Errorf("put indices out of range (dst=%d src=%d seq=%d)", dst, src, seq))
+	}
+	var start time.Duration
+	if wt != nil {
+		start = wt.root.Clock()()
 	}
 	key := src<<32 | seq
 	// Copy: chunk aliases the request buffer owned by this read loop.
@@ -212,19 +352,52 @@ func (s *Server) handlePut(body []byte) []byte {
 	chunks[key] = stored
 	s.bytes += int64(len(stored))
 	s.mu.Unlock()
+	if wt != nil {
+		wt.recordPut(int(dst), int(src), int(seq), len(stored), start)
+	}
 	return []byte{statusOK}
 }
 
-func (s *Server) handleFetch(body []byte) []byte {
+// recordPut attaches one put span (up to putSpanCap) and bumps the root
+// totals.
+func (w *workerTrace) recordPut(dst, src, seq, bytes int, start time.Duration) {
+	n := w.puts.Add(1)
+	w.putBytes.Add(int64(bytes))
+	if n > putSpanCap {
+		return
+	}
+	sp := w.root.ChildAt("worker-put", fmt.Sprintf("dst%d", dst), start)
+	sp.SetInt(obs.AttrPartition, int64(dst))
+	sp.SetInt("src", int64(src))
+	sp.SetInt("seq", int64(seq))
+	sp.SetInt("bytes", int64(bytes))
+	sp.EndAt(w.root.Clock()())
+}
+
+func (s *Server) handleFetch(body []byte, ver byte) []byte {
 	id, n, err := readString(body)
 	if err != nil {
 		return errResponse(err)
 	}
 	body = body[n:]
-	dst, _, err := readUvarint(body)
+	dst, n, err := readUvarint(body)
 	if err != nil {
 		return errResponse(err)
 	}
+	var wt *workerTrace
+	if ver >= 2 {
+		traceID, parent, _, terr := readTraceCtx(body[n:])
+		if terr != nil {
+			return errResponse(terr)
+		}
+		wt = s.traceFor(traceKey{shuffle: id, trace: traceID}, parent)
+	}
+	var fetchSpan *obs.Span // nil-safe: nil when untraced
+	if wt != nil {
+		fetchSpan = wt.root.Child("worker-fetch", fmt.Sprintf("dst%d", dst))
+		fetchSpan.SetInt(obs.AttrPartition, int64(dst))
+	}
+	mergeStart := time.Now()
 
 	s.mu.Lock()
 	var chunks map[uint64][]byte
@@ -237,6 +410,12 @@ func (s *Server) handleFetch(body []byte) []byte {
 		keys = append(keys, k)
 		total += len(c)
 	}
+	var mergeSpan *obs.Span
+	if fetchSpan != nil {
+		mergeSpan = fetchSpan.Child("worker-merge", fmt.Sprintf("dst%d", dst))
+		mergeSpan.SetInt("chunks", int64(len(keys)))
+		mergeSpan.SetInt("bytes", int64(total))
+	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	resp := make([]byte, 1, 1+total)
 	resp[0] = statusOK
@@ -244,5 +423,37 @@ func (s *Server) handleFetch(body []byte) []byte {
 		resp = append(resp, chunks[k]...)
 	}
 	s.mu.Unlock()
+	s.fetchUS.ObserveDuration(time.Since(mergeStart))
+	mergeSpan.End()
+	if fetchSpan != nil {
+		fetchSpan.SetInt("chunks", int64(len(keys)))
+		fetchSpan.SetInt("bytes", int64(total))
+		fetchSpan.End()
+	}
+	return resp
+}
+
+// handleSpans ships the recorded span subtree for (shuffleID, traceID) and
+// clears it: the driver collects at the exchange barrier, exactly once.
+func (s *Server) handleSpans(body []byte) []byte {
+	id, n, err := readString(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	traceID, _, err := readString(body[n:])
+	if err != nil {
+		return errResponse(err)
+	}
+	var recs []*obs.SpanRecord
+	if wt := s.takeTrace(traceKey{shuffle: id, trace: traceID}); wt != nil {
+		wt.root.SetInt("put_chunks", wt.puts.Load())
+		wt.root.SetInt("put_bytes", wt.putBytes.Load())
+		wt.root.End()
+		recs = append(recs, wt.tracer.Artifact().Root)
+	}
+	resp, err := AppendSpanSubtrees([]byte{statusOK}, recs)
+	if err != nil {
+		return errResponse(err)
+	}
 	return resp
 }

@@ -116,12 +116,26 @@ func TestPing(t *testing.T) {
 	if err := c.Put(ctx, "sh#3", 1, 0, 0, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	stored, n, err := c.Ping(ctx)
+	st, err := c.Ping(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stored != 5 || n != 1 {
-		t.Fatalf("ping reported %d bytes, %d shuffles", stored, n)
+	if st.StoredBytes != 5 || st.Shuffles != 1 {
+		t.Fatalf("ping reported %d bytes, %d shuffles", st.StoredBytes, st.Shuffles)
+	}
+	// A v2 connection's ping carries the metrics snapshot extension.
+	if st.Goroutines == 0 || st.HeapBytes == 0 {
+		t.Fatalf("v2 ping snapshot missing runtime stats: %+v", st)
+	}
+	if _, err := c.Fetch(ctx, "sh#3", 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Ping(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fetches != 1 {
+		t.Fatalf("ping reported %d fetches after one fetch", st.Fetches)
 	}
 }
 
@@ -145,7 +159,7 @@ func TestServeAfterBadRequest(t *testing.T) {
 	if _, err := c.roundTrip(ctx, []byte{0x7f}); err == nil {
 		t.Fatal("unknown opcode accepted")
 	}
-	if _, _, err := c.Ping(ctx); err != nil {
+	if _, err := c.Ping(ctx); err != nil {
 		t.Fatalf("connection unusable after app-level error: %v", err)
 	}
 }

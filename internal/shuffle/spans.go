@@ -1,0 +1,83 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"scrubjay/internal/obs"
+)
+
+// Span-subtree wire codec: the payload of a spans response. Worker-side
+// span subtrees ship back to the driver serialized with the existing
+// deterministic artifact codec (obs.SpanRecord's fixed-field-order JSON
+// with sorted attr maps), one length-prefixed document per subtree, so the
+// bytes are deterministic for a deterministic trace and the schema is the
+// one Artifact.Check already validates.
+//
+// Encoding, after the marker byte:
+//
+//	uvarint count
+//	count x (uvarint len, len bytes of SpanRecord JSON)
+const spanMarker byte = 0x5A
+
+// maxSpanSubtrees caps one spans payload: a worker records at most one
+// subtree per (shuffle, trace) key and liveTraceCap keys, so anything past
+// this is a corrupt length prefix, not data.
+const maxSpanSubtrees = 4096
+
+// AppendSpanSubtrees appends the wire encoding of the span subtrees to buf
+// and returns the extended slice.
+func AppendSpanSubtrees(buf []byte, recs []*obs.SpanRecord) ([]byte, error) {
+	buf = append(buf, spanMarker)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: encoding span subtree: %w", err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(data)))
+		buf = append(buf, data...)
+	}
+	return buf, nil
+}
+
+// DecodeSpanSubtrees decodes one span-subtree payload from the front of b,
+// returning the subtrees, the bytes consumed, and an error on any
+// malformed, truncated, or schema-invalid input (each decoded record is
+// validated against the SpanRecord schema rules before it is accepted).
+func DecodeSpanSubtrees(b []byte) ([]*obs.SpanRecord, int, error) {
+	if len(b) == 0 || b[0] != spanMarker {
+		return nil, 0, fmt.Errorf("shuffle: span payload lacks marker 0x%02x", spanMarker)
+	}
+	off := 1
+	count, n, err := readUvarint(b[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	if count > maxSpanSubtrees {
+		return nil, 0, fmt.Errorf("shuffle: span payload claims %d subtrees (cap %d)", count, maxSpanSubtrees)
+	}
+	recs := make([]*obs.SpanRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n, err := readUvarint(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		if l > uint64(len(b)-off) {
+			return nil, 0, fmt.Errorf("shuffle: span subtree %d truncated (%d bytes claimed, %d left)", i, l, len(b)-off)
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(b[off:off+int(l)], &rec); err != nil {
+			return nil, 0, fmt.Errorf("shuffle: decoding span subtree %d: %w", i, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("shuffle: span subtree %d: %w", i, err)
+		}
+		off += int(l)
+		recs = append(recs, &rec)
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,374 @@
+package shuffle
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"scrubjay/internal/obs"
+)
+
+// sampleSubtrees builds representative span subtrees: nested children,
+// attrs of every supported JSON-stable type, and events.
+func sampleSubtrees() []*obs.SpanRecord {
+	return []*obs.SpanRecord{
+		{ID: 0, Kind: "worker-shuffle", Name: "heat#1",
+			StartMicros: 10, DurationMicros: 500,
+			Attrs: map[string]any{"worker": "w1", "put_bytes": int64(4096), "ok": true},
+			Children: []*obs.SpanRecord{
+				{ID: 1, Kind: "worker-put", Name: "dst0", StartMicros: 20, DurationMicros: 5},
+				{ID: 2, Kind: "worker-fetch", Name: "dst0", StartMicros: 100, DurationMicros: 50,
+					Events: []obs.SpanEvent{{Kind: "merge", AtMicros: 120, Text: "3 chunks"}},
+					Children: []*obs.SpanRecord{
+						{ID: 3, Kind: "worker-merge", Name: "dst0", StartMicros: 110, DurationMicros: 30},
+					}},
+			}},
+		{ID: 0, Kind: "worker-shuffle", Name: "empty#2"},
+	}
+}
+
+// TestSpanSubtreeCodecRoundTrip is the property test for the spans-payload
+// wire codec: encode/decode is the identity on valid subtree sets of any
+// size, and the decoder consumes exactly the encoded bytes.
+func TestSpanSubtreeCodecRoundTrip(t *testing.T) {
+	samples := sampleSubtrees()
+	for count := 0; count <= len(samples); count++ {
+		recs := samples[:count]
+		buf, err := AppendSpanSubtrees([]byte("prefix"), recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeSpanSubtrees(buf[len("prefix"):])
+		if err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if n != len(buf)-len("prefix") {
+			t.Fatalf("count %d: consumed %d of %d bytes", count, n, len(buf)-len("prefix"))
+		}
+		if len(got) != count {
+			t.Fatalf("count %d: decoded %d subtrees", count, len(got))
+		}
+		for i, rec := range got {
+			if rec.Kind != recs[i].Kind || rec.Name != recs[i].Name ||
+				rec.DurationMicros != recs[i].DurationMicros ||
+				len(rec.Children) != len(recs[i].Children) ||
+				len(rec.Events) != len(recs[i].Events) {
+				t.Fatalf("subtree %d did not round-trip: %+v vs %+v", i, rec, recs[i])
+			}
+		}
+	}
+}
+
+func TestSpanSubtreeCodecRejectsMalformed(t *testing.T) {
+	valid, _ := AppendSpanSubtrees(nil, sampleSubtrees())
+	cases := map[string][]byte{
+		"empty":           {},
+		"wrong marker":    {0x00, 0x01},
+		"truncated count": {spanMarker},
+		"huge count":      {spanMarker, 0xff, 0xff, 0xff, 0x7f},
+		"truncated body":  valid[:len(valid)-3],
+		"bad json":        {spanMarker, 0x01, 0x02, '{', 'x'},
+		// Schema-invalid subtree: duplicate ids within one record.
+		"dup ids": func() []byte {
+			b, _ := AppendSpanSubtrees(nil, []*obs.SpanRecord{{
+				ID: 1, Kind: "a",
+				Children: []*obs.SpanRecord{{ID: 1, Kind: "b"}},
+			}})
+			return b
+		}(),
+		"no kind": func() []byte {
+			b, _ := AppendSpanSubtrees(nil, []*obs.SpanRecord{{ID: 0}})
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeSpanSubtrees(b); err == nil {
+			t.Errorf("%s: decoder accepted %v", name, b)
+		}
+	}
+}
+
+// TestWorkerRecordsAndShipsSpans drives a traced exchange against a live
+// server: traced puts and a traced fetch, then the spans op, asserting the
+// shipped subtree's shape — and that shipping clears the worker state.
+func TestWorkerRecordsAndShipsSpans(t *testing.T) {
+	srv := testServer(t)
+	c := testDial(t, srv)
+	ctx := context.Background()
+	tc := TraceCtx{TraceID: "t42", ParentSpan: 7}
+
+	for src := 0; src < 3; src++ {
+		if err := c.PutTraced(ctx, "sh#9", 0, src, 0, []byte("abcd"), tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.FetchTraced(ctx, "sh#9", 0, tc); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Spans(ctx, "sh#9", "t42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("shipped %d subtrees, want 1", len(recs))
+	}
+	root := recs[0]
+	if root.Kind != "worker-shuffle" || root.Name != "sh#9" {
+		t.Fatalf("root = %s %q", root.Kind, root.Name)
+	}
+	if got, _ := root.Attrs[obs.AttrWorker].(string); got != "w-test" {
+		t.Fatalf("worker attr = %q", got)
+	}
+	if root.AttrInt(obs.AttrParentSpan) != 7 {
+		t.Fatalf("parent_span = %d, want 7", root.AttrInt(obs.AttrParentSpan))
+	}
+	if root.AttrInt("put_chunks") != 3 || root.AttrInt("put_bytes") != 12 {
+		t.Fatalf("put totals = %d chunks / %d bytes, want 3/12",
+			root.AttrInt("put_chunks"), root.AttrInt("put_bytes"))
+	}
+	if puts := root.FindAll("worker-put"); len(puts) != 3 {
+		t.Fatalf("recorded %d put spans, want 3", len(puts))
+	}
+	fetch := root.Find("worker-fetch")
+	if fetch == nil {
+		t.Fatal("no worker-fetch span")
+	}
+	if fetch.AttrInt("chunks") != 3 || fetch.AttrInt("bytes") != 12 {
+		t.Fatalf("fetch attrs: chunks=%d bytes=%d, want 3/12",
+			fetch.AttrInt("chunks"), fetch.AttrInt("bytes"))
+	}
+	if fetch.Find("worker-merge") == nil {
+		t.Fatal("fetch span has no merge child")
+	}
+
+	// Shipping cleared the state: a second collection is empty.
+	recs, err = c.Spans(ctx, "sh#9", "t42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("second collection returned %d subtrees, want 0", len(recs))
+	}
+}
+
+func TestDropClearsRecordedSpans(t *testing.T) {
+	srv := testServer(t)
+	c := testDial(t, srv)
+	ctx := context.Background()
+	tc := TraceCtx{TraceID: "t43", ParentSpan: 1}
+	if err := c.PutTraced(ctx, "sh#10", 0, 0, 0, []byte("x"), tc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop(ctx, "sh#10"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Spans(ctx, "sh#10", "t43")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("drop left %d recorded subtrees", len(recs))
+	}
+}
+
+// TestUntracedOpsRecordNothing: v2 operations with an empty trace context
+// must not create worker-side trace state.
+func TestUntracedOpsRecordNothing(t *testing.T) {
+	srv := testServer(t)
+	c := testDial(t, srv)
+	ctx := context.Background()
+	if err := c.Put(ctx, "sh#11", 0, 0, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(ctx, "sh#11", 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	n := len(srv.traces)
+	srv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("untraced ops created %d trace entries", n)
+	}
+}
+
+// TestLiveTraceCapBoundsState: past liveTraceCap concurrent traced
+// shuffles, new ones record nothing instead of growing without bound.
+func TestLiveTraceCapBoundsState(t *testing.T) {
+	srv := testServer(t)
+	c := testDial(t, srv)
+	ctx := context.Background()
+	for i := 0; i < liveTraceCap+5; i++ {
+		tc := TraceCtx{TraceID: fmt.Sprintf("t%d", i), ParentSpan: 1}
+		if err := c.PutTraced(ctx, fmt.Sprintf("sh#%d", i), 0, 0, 0, []byte("x"), tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Lock()
+	n := len(srv.traces)
+	srv.mu.Unlock()
+	if n != liveTraceCap {
+		t.Fatalf("trace state holds %d entries, cap is %d", n, liveTraceCap)
+	}
+	// An over-cap shuffle shipped nothing.
+	recs, err := c.Spans(ctx, fmt.Sprintf("sh#%d", liveTraceCap+1), fmt.Sprintf("t%d", liveTraceCap+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("over-cap shuffle recorded %d subtrees", len(recs))
+	}
+}
+
+// TestV1ClientAgainstV2Server simulates an old driver: a hello with no
+// trailing version byte must negotiate protocol 1, and v1-form put/fetch
+// must work on that connection.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	srv := testServer(t)
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rt := func(req []byte) []byte {
+		t.Helper()
+		if err := writeMessage(nc, req); err != nil {
+			t.Fatal(err)
+		}
+		body, err := readMessage(nc, DefaultMaxMessage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := parseResponse(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+
+	resp := rt(appendString([]byte{opHello}, "old-driver"))
+	id, n, err := readString(resp)
+	if err != nil || id != "w-test" {
+		t.Fatalf("hello response id %q err %v", id, err)
+	}
+	if len(resp) != n+1 || resp[n] != 1 {
+		t.Fatalf("version-less hello negotiated %v, want 1", resp[n:])
+	}
+
+	// v1 put: no trace fields; the payload starts right after seq.
+	put := appendString([]byte{opPut}, "sh#v1")
+	for _, v := range []uint64{0, 0, 0} { // dst, src, seq
+		put = appendUvarint(put, v)
+	}
+	put = append(put, []byte("legacy")...)
+	rt(put)
+
+	fetch := appendString([]byte{opFetch}, "sh#v1")
+	fetch = appendUvarint(fetch, 0)
+	if got := rt(fetch); string(got) != "legacy" {
+		t.Fatalf("v1 fetch returned %q", got)
+	}
+
+	// v1 ping answer carries exactly the two v1 fields.
+	ping := rt([]byte{opPing})
+	vals := 0
+	for len(ping) > 0 {
+		_, sz, err := readUvarint(ping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ping = ping[sz:]
+		vals++
+	}
+	if vals != 2 {
+		t.Fatalf("v1 ping returned %d fields, want 2", vals)
+	}
+}
+
+// TestV2ClientAgainstV1Server runs Dial against a stub that speaks only
+// protocol 1 (ignores the trailing hello byte, answers with version 1):
+// the client must downgrade, send v1-form puts, and report no spans.
+func TestV2ClientAgainstV1Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			req, err := readMessage(conn, DefaultMaxMessage)
+			if err != nil {
+				return
+			}
+			var resp []byte
+			switch req[0] {
+			case opHello:
+				// A v1 server ignores any trailing hello bytes.
+				resp = append(appendString([]byte{statusOK}, "v1-worker"), 1)
+			case opPut:
+				// Strict v1 parse: shuffleID, 3 uvarints, then payload —
+				// a client that wrongly appended trace fields would leave
+				// them glued to the payload, which this stub detects.
+				body := req[1:]
+				_, n, _ := readString(body)
+				body = body[n:]
+				for i := 0; i < 3; i++ {
+					_, n, _ := readUvarint(body)
+					body = body[n:]
+				}
+				if string(body) != "payload" {
+					resp = errResponse(fmt.Errorf("v1 put body corrupted: %q", body))
+				} else {
+					resp = []byte{statusOK}
+				}
+			case opPing:
+				resp = appendUvarint(appendUvarint([]byte{statusOK}, 7), 1)
+			default:
+				resp = errResponse(fmt.Errorf("v1 server: unknown op %d", req[0]))
+			}
+			if writeMessage(conn, resp) != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(context.Background(), ln.Addr().String(), "driver", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != 1 {
+		t.Fatalf("negotiated version %d, want 1", c.Version())
+	}
+	ctx := context.Background()
+	tc := TraceCtx{TraceID: "t1", ParentSpan: 3}
+	if err := c.PutTraced(ctx, "sh", 0, 0, 0, []byte("payload"), tc); err != nil {
+		t.Fatalf("traced put on v1 conn: %v", err)
+	}
+	recs, err := c.Spans(ctx, "sh", "t1")
+	if err != nil || recs != nil {
+		t.Fatalf("Spans on v1 conn = (%v, %v), want (nil, nil)", recs, err)
+	}
+	st, err := c.Ping(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredBytes != 7 || st.Shuffles != 1 || st.Goroutines != 0 {
+		t.Fatalf("v1 ping parsed as %+v", st)
+	}
+}
+
+// appendUvarint mirrors binary.AppendUvarint for test readability.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

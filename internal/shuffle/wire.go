@@ -11,26 +11,52 @@ import (
 // opcode, of a response the status. Payloads inside messages reuse the
 // uvarint/length-prefix conventions of the batch codec.
 //
-// Requests:
+// Version 1 requests:
 //
-//	hello  driverName                    -> ok workerID protoVersion
+//	hello  driverName                    -> ok workerID negotiatedVersion
 //	put    shuffleID dst src seq bytes   -> ok
 //	fetch  shuffleID dst                 -> ok payload   (chunks merged in
 //	                                        (src, seq) order — the worker's
 //	                                        shuffle-read merge task)
-//	drop   shuffleID                     -> ok           (frees the state)
+//	drop   shuffleID                     -> ok           (frees the state,
+//	                                        including recorded spans)
 //	ping                                 -> ok storedBytes shuffleCount
+//
+// Version 2 extends the wire per negotiated connection, backward
+// compatibly in both directions:
+//
+//	hello  driverName clientVersion      — a v2 client appends one version
+//	       byte; a v1 server ignores trailing hello bytes, a v2 server
+//	       reads it (absent = client speaks v1). The response's version
+//	       byte is the negotiated min(client, server), so a v1 client
+//	       still sees 1 from a v2 server.
+//	put    shuffleID dst src seq traceID parentSpan bytes
+//	fetch  shuffleID dst traceID parentSpan
+//	       — the distributed-tracing context: traceID ("" = untraced) and
+//	       the driver-side span id owning this exchange. A traced worker
+//	       records put/merge/fetch spans under a per-(shuffle, trace)
+//	       tracer.
+//	spans  shuffleID traceID             -> ok spanSubtrees
+//	       — ships the completed span subtrees for that (shuffle, trace)
+//	       back to the driver (see AppendSpanSubtrees for the payload
+//	       codec) and clears them worker-side.
+//	ping                                 -> ok storedBytes shuffleCount
+//	                                        goroutines heapBytes fetches
+//	                                        fetchP50us fetchP90us fetchP99us
+//	       — the heartbeat metrics snapshot the registry aggregates into
+//	       cluster_worker_* gauges.
 //
 // A worker answers requests on one connection strictly in order; the
 // driver keeps a small pool of connections per worker for parallelism.
 const (
-	ProtoVersion = 1
+	ProtoVersion = 2
 
 	opHello byte = 1
 	opPut   byte = 2
 	opFetch byte = 3
 	opDrop  byte = 4
 	opPing  byte = 5
+	opSpans byte = 6
 
 	statusOK  byte = 0
 	statusErr byte = 1
